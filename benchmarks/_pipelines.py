@@ -1,0 +1,35 @@
+"""Pipeline builders shared by the benchmark harness."""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.core import GrantPolicy, MTChannel, MTMonitor, MTSink, MTSource
+from repro.elastic.endpoints import Pattern
+from repro.kernel import build
+
+
+def make_mt_pipeline(
+    meb_cls,
+    threads: int,
+    items: Sequence[Iterable[Any]],
+    n_stages: int = 2,
+    src_patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
+    sink_patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
+    policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
+    width: int = 32,
+):
+    """source -> MEB^n_stages -> sink with a monitor on every channel."""
+    chans = [
+        MTChannel(f"ch{i}", threads=threads, width=width)
+        for i in range(n_stages + 1)
+    ]
+    source = MTSource("src", chans[0], items=items, patterns=src_patterns)
+    mebs = [
+        meb_cls(f"meb{i}", chans[i], chans[i + 1], policy=policy)
+        for i in range(n_stages)
+    ]
+    sink = MTSink("snk", chans[-1], patterns=sink_patterns)
+    monitors = [MTMonitor(f"mon{i}", ch) for i, ch in enumerate(chans)]
+    sim = build(*chans, source, *mebs, sink, *monitors)
+    return sim, source, sink, mebs, monitors

@@ -1,0 +1,53 @@
+"""Simulator performance micro-benchmarks (pytest-benchmark timings).
+
+Not a paper experiment — these track the cost of the substrate itself so
+regressions in the settle loop or the MEB implementations show up in CI.
+"""
+
+from __future__ import annotations
+
+from repro.apps.md5 import MD5Hasher
+from repro.apps.processor import Processor, programs
+from repro.core import FullMEB, ReducedMEB
+
+from _pipelines import make_mt_pipeline
+
+
+def pump_pipeline(meb_cls, threads=8, n_stages=4, n_items=50):
+    items = [list(range(n_items)) for _ in range(threads)]
+    sim, _src, sink, _mebs, _mons = make_mt_pipeline(
+        meb_cls, threads=threads, items=items, n_stages=n_stages
+    )
+    sim.run(until=lambda s: sink.count == threads * n_items,
+            max_cycles=20_000)
+    return sim.cycle
+
+
+def test_perf_full_meb_pipeline(benchmark):
+    cycles = benchmark(pump_pipeline, FullMEB)
+    assert cycles > 0
+
+
+def test_perf_reduced_meb_pipeline(benchmark):
+    cycles = benchmark(pump_pipeline, ReducedMEB)
+    assert cycles > 0
+
+
+def test_perf_md5_wave(benchmark):
+    def run():
+        hasher = MD5Hasher(threads=8, meb="reduced")
+        return hasher.hash_batch([b"throughput"] * 8)
+
+    digests = benchmark(run)
+    assert len(digests) == 8
+
+
+def test_perf_processor_workload(benchmark):
+    def run():
+        cpu = Processor(threads=8, meb="reduced")
+        for t, prog in enumerate(programs.standard_mix()):
+            cpu.load_program(t, prog.source)
+        return cpu.run()
+
+    stats = benchmark(run)
+    assert stats.total_retired > 0

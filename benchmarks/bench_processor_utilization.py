@@ -1,0 +1,84 @@
+"""E13 (extension) — processor pipeline utilization vs thread count.
+
+Quantifies the paper's §I motivation on the §V-B processor:
+"multithreading increases the utilization of processing units and hides
+the latency of each operation by time-multiplexing operations of
+different threads in the datapath."
+
+Sweeps the number of armed hardware threads (identical spin-loop
+programs, deliberately slow instruction/data memories) and reports IPC,
+speedup over 1 thread, and the fetch-stage channel utilization.  Also
+compares full vs reduced MEBs across the sweep (the Table I footnote:
+throughput is not sacrificed).
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.apps.processor import Processor, programs
+
+THREAD_SWEEP = (1, 2, 4, 8)
+MEM_CFG = dict(imem_latency=2, dmem_latency=4, mul_latency=3)
+
+
+def run_sweep(meb: str):
+    out = {}
+    for n in THREAD_SWEEP:
+        cpu = Processor(threads=n, meb=meb, monitor=True, **MEM_CFG)
+        for t in range(n):
+            cpu.load_program(t, programs.spin(40).source)
+        stats = cpu.run()
+        fetch_mon = cpu.monitors["c_pc"]
+        out[n] = {
+            "ipc": stats.ipc,
+            "cycles": stats.cycles,
+            "retired": stats.total_retired,
+            "fetch_util": fetch_mon.utilization(),
+        }
+    return out
+
+
+def test_ipc_scaling_with_threads(benchmark, report):
+    data = benchmark(run_sweep, "reduced")
+    base = data[1]["ipc"]
+    buf = io.StringIO()
+    buf.write("Processor utilization vs hardware threads "
+              "(reduced MEBs, imem=2, dmem=4 cycles)\n\n")
+    buf.write(f"{'threads':>8} | {'cycles':>7} | {'IPC':>6} | "
+              f"{'speedup':>8} | {'fetch-channel util':>18}\n")
+    for n in THREAD_SWEEP:
+        d = data[n]
+        buf.write(
+            f"{n:>8} | {d['cycles']:>7} | {d['ipc']:>6.3f} | "
+            f"{d['ipc'] / base:>7.2f}x | {d['fetch_util']:>18.2f}\n"
+        )
+    report("processor_utilization", buf.getvalue())
+
+    # IPC grows monotonically with thread count...
+    ipcs = [data[n]["ipc"] for n in THREAD_SWEEP]
+    assert ipcs == sorted(ipcs)
+    # ...with near-linear speedup while the pipeline has slack.
+    assert data[4]["ipc"] > 3.5 * base
+    # Channel utilization rises toward saturation.
+    assert data[8]["fetch_util"] > data[1]["fetch_util"]
+
+
+def test_full_vs_reduced_across_sweep(benchmark, report):
+    def both():
+        return {meb: run_sweep(meb) for meb in ("full", "reduced")}
+
+    data = benchmark(both)
+    buf = io.StringIO()
+    buf.write("Full vs reduced MEBs: IPC across the thread sweep\n\n")
+    buf.write(f"{'threads':>8} | {'full IPC':>9} | {'reduced IPC':>12}\n")
+    for n in THREAD_SWEEP:
+        buf.write(
+            f"{n:>8} | {data['full'][n]['ipc']:>9.3f} | "
+            f"{data['reduced'][n]['ipc']:>12.3f}\n"
+        )
+    report("processor_full_vs_reduced_sweep", buf.getvalue())
+    for n in THREAD_SWEEP:
+        full_ipc = data["full"][n]["ipc"]
+        red_ipc = data["reduced"][n]["ipc"]
+        assert abs(full_ipc - red_ipc) / full_ipc < 0.05

@@ -1,0 +1,177 @@
+"""E5/E6 — Table I: FPGA implementation results (area/frequency).
+
+Reproduces the paper's Table I for the 8-thread MD5 hash and the
+8-thread multithreaded processor, built with full and with reduced MEBs,
+plus the §V-C thread-count sweep ("if we increase the number of threads
+to 16 the average savings rise above 22%").
+
+Substitution (DESIGN.md §2): instead of FPGA place & route we fold each
+design's structural inventory through the LE cost model; the timing model
+is wire-dominated (``period = k·sqrt(area)``) with ``k`` calibrated once
+per design on the *full-MEB* column — the reduced-MEB frequency is then a
+model prediction, not an input.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.apps.md5 import MD5Circuit
+from repro.apps.processor import Processor
+from repro.cost import (
+    AreaModel,
+    ComparisonRow,
+    DesignCost,
+    average_savings,
+    savings_sweep_table,
+    table1,
+)
+
+#: Paper Table I values: (design, full LE, full MHz, reduced LE, reduced MHz)
+PAPER_TABLE1 = {
+    "MD5 hash": (12780, 11.0, 11200, 12.0),
+    "Processor": (6850, 60.0, 5590, 68.0),
+}
+
+THREADS = 8
+SWEEP = (2, 4, 8, 16, 32)
+
+
+def build_design(name: str, meb: str, threads: int):
+    if name == "MD5 hash":
+        return MD5Circuit(threads=threads, meb=meb)
+    return Processor(threads=threads, meb=meb)
+
+
+def design_area(name: str, meb: str, threads: int, model: AreaModel) -> float:
+    design = build_design(name, meb, threads)
+    return sum(
+        model.component_area(c).total_le for c in design.area_components()
+    )
+
+
+def meb_area(name: str, meb: str, threads: int, model: AreaModel) -> float:
+    design = build_design(name, meb, threads)
+    return sum(
+        model.component_area(c).total_le for c in design.meb_components()
+    )
+
+
+def comparison_rows(model: AreaModel, threads: int = THREADS):
+    rows = []
+    for name, (paper_full_le, paper_full_mhz, _rle, _rmhz) in (
+        PAPER_TABLE1.items()
+    ):
+        full_le = design_area(name, "full", threads, model)
+        red_le = design_area(name, "reduced", threads, model)
+        # One calibration point per design: the full-MEB build is pinned
+        # to the paper's frequency; reduced is predicted by the model.
+        wire_k = (1000.0 / paper_full_mhz) / math.sqrt(full_le)
+        full_mhz = 1000.0 / (wire_k * math.sqrt(full_le))
+        red_mhz = 1000.0 / (wire_k * math.sqrt(red_le))
+        rows.append(ComparisonRow(
+            name,
+            DesignCost(name, "full", full_le, full_mhz),
+            DesignCost(name, "reduced", red_le, red_mhz),
+        ))
+    return rows
+
+
+def test_table1_8_threads(benchmark, report):
+    model = AreaModel()
+    rows = benchmark(comparison_rows, model)
+    text = table1(
+        rows,
+        title="TABLE I — FPGA implementation results, 8-thread designs "
+              "(structural cost model)",
+    )
+    text += "\nPaper reference:\n"
+    for name, (fle, fmhz, rle, rmhz) in PAPER_TABLE1.items():
+        sav = 1 - rle / fle
+        text += (
+            f"  {name:<12} full {fle} LE @ {fmhz} MHz | reduced {rle} LE @ "
+            f"{rmhz} MHz | savings {sav:.1%}\n"
+        )
+    text += (
+        f"  paper average savings: "
+        f"{(1 - 11200 / 12780 + 1 - 5590 / 6850) / 2:.1%}\n"
+    )
+    report("table1_8threads", text)
+    # Shape assertions: reduced always wins, savings in the paper's band,
+    # processor saves more than MD5 (its MEB/logic ratio is larger).
+    assert all(r.area_savings > 0 for r in rows)
+    assert rows[1].area_savings > rows[0].area_savings
+    assert 0.10 < average_savings(rows) < 0.22
+    assert all(r.speedup > 1.0 for r in rows)
+
+
+def test_table1_16_thread_savings(benchmark, report):
+    """§V-C: savings rise with thread count; >22% MEB-local at S=16."""
+    model = AreaModel()
+
+    def sweep():
+        out = {}
+        for name in PAPER_TABLE1:
+            points = []
+            meb_points = []
+            for s in SWEEP:
+                full = design_area(name, "full", s, model)
+                red = design_area(name, "reduced", s, model)
+                points.append((s, full, red))
+                meb_points.append(
+                    (s, meb_area(name, "full", s, model),
+                     meb_area(name, "reduced", s, model))
+                )
+            out[name] = (points, meb_points)
+        return out
+
+    data = benchmark(sweep)
+    text = ""
+    for name, (points, meb_points) in data.items():
+        text += savings_sweep_table(f"{name} (whole design)", points) + "\n"
+        text += savings_sweep_table(f"{name} (MEB area only)", meb_points)
+        text += "\n"
+
+    def whole_savings(name, s):
+        pts = {p[0]: p for p in data[name][0]}
+        _s, full, red = pts[s]
+        return 1 - red / full
+
+    def meb_savings(name, s):
+        pts = {p[0]: p for p in data[name][1]}
+        _s, full, red = pts[s]
+        return 1 - red / full
+
+    avg16_whole = sum(whole_savings(n, 16) for n in PAPER_TABLE1) / 2
+    avg16_meb = sum(meb_savings(n, 16) for n in PAPER_TABLE1) / 2
+    avg8_whole = sum(whole_savings(n, 8) for n in PAPER_TABLE1) / 2
+    text += (
+        f"Average whole-design savings: S=8 {avg8_whole:.1%} -> "
+        f"S=16 {avg16_whole:.1%}\n"
+        f"Average MEB-local savings at S=16: {avg16_meb:.1%} "
+        f"(paper: 'above 22%')\n"
+    )
+    report("table1_thread_sweep", text)
+    # Savings must grow monotonically with S for both designs.
+    for name in PAPER_TABLE1:
+        series = [whole_savings(name, s) for s in SWEEP]
+        assert series == sorted(series), f"{name}: {series}"
+    assert avg16_whole > avg8_whole
+    assert avg16_meb > 0.22
+
+
+def test_table1_storage_arithmetic(report):
+    """The slot counts behind Table I: 2S vs S+1 words per MEB."""
+    text = ""
+    for s in SWEEP:
+        md5_full = MD5Circuit(threads=s, meb="full")
+        md5_red = MD5Circuit(threads=s, meb="reduced")
+        slots_full = sum(m.total_slots for m in md5_full.meb_components())
+        slots_red = sum(m.total_slots for m in md5_red.meb_components())
+        text += (
+            f"S={s:>2}: MD5 buffer slots full={slots_full} "
+            f"reduced={slots_red} (per MEB: {2 * s} vs {s + 1})\n"
+        )
+        assert slots_full == 2 * 2 * s
+        assert slots_red == 2 * (s + 1)
+    report("table1_slot_arithmetic", text)

@@ -1,0 +1,120 @@
+"""E7 — throughput preservation ("without sacrificing ... performance in
+terms of throughput", §V-C).
+
+Three measurements:
+
+1. Per-thread throughput vs number of active threads (the 1/M law of
+   §III-A) for both MEB kinds — they must coincide.
+2. End-to-end MD5 hashing: cycles per digest with full vs reduced MEBs.
+3. Processor: cycles to complete the standard mixed workload with full
+   vs reduced MEBs.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.analysis import steady_state_window
+from repro.apps.md5 import MD5Hasher
+from repro.apps.processor import Processor, programs
+from repro.core import FullMEB, ReducedMEB
+
+from _pipelines import make_mt_pipeline
+
+MEBS = {"full": FullMEB, "reduced": ReducedMEB}
+
+
+def throughput_vs_active_threads():
+    """Per-thread steady-state throughput with M of 4 threads active."""
+    results: dict[str, dict[int, float]] = {}
+    n_items = 40
+    for name, meb_cls in MEBS.items():
+        results[name] = {}
+        for m in (1, 2, 3, 4):
+            items = [
+                list(range(n_items)) if t < m else [] for t in range(4)
+            ]
+            sim, _src, sink, _mebs, mons = make_mt_pipeline(
+                meb_cls, threads=4, items=items, n_stages=3
+            )
+            sim.run(until=lambda s: sink.count == n_items * m,
+                    max_cycles=2000)
+            window = steady_state_window(mons[-1], warmup=6, drain=4)
+            per_thread = [
+                mons[-1].throughput_window(*window, thread=t)
+                for t in range(m)
+            ]
+            results[name][m] = sum(per_thread) / m
+    return results
+
+
+def md5_cycles_per_digest():
+    out = {}
+    for name in MEBS:
+        hasher = MD5Hasher(threads=8, meb=name)
+        msgs = [f"message-{i}".encode() for i in range(8)]
+        hasher.hash_batch(msgs)
+        out[name] = hasher.circuit.sim.cycle / 8
+    return out
+
+
+def processor_workload_cycles():
+    out = {}
+    for name in MEBS:
+        cpu = Processor(threads=8, meb=name)
+        for t, prog in enumerate(programs.standard_mix()):
+            cpu.load_program(t, prog.source)
+        stats = cpu.run()
+        out[name] = stats
+    return out
+
+
+def test_throughput_1_over_m_both_kinds(benchmark, report):
+    results = benchmark(throughput_vs_active_threads)
+    buf = io.StringIO()
+    buf.write("Per-thread throughput vs active threads M (4-thread, "
+              "3-stage pipeline)\n")
+    buf.write(f"{'M':>3} | {'ideal 1/M':>10} | {'full MEB':>9} | "
+              f"{'reduced':>9}\n")
+    for m in (1, 2, 3, 4):
+        buf.write(
+            f"{m:>3} | {1 / m:>10.3f} | {results['full'][m]:>9.3f} | "
+            f"{results['reduced'][m]:>9.3f}\n"
+        )
+    report("throughput_vs_threads", buf.getvalue())
+    for m in (1, 2, 3, 4):
+        assert abs(results["full"][m] - 1 / m) < 0.1
+        assert abs(results["reduced"][m] - 1 / m) < 0.1
+        assert abs(results["full"][m] - results["reduced"][m]) < 0.05
+
+
+def test_md5_throughput_preserved(benchmark, report):
+    cycles = benchmark(md5_cycles_per_digest)
+    ratio = cycles["reduced"] / cycles["full"]
+    report(
+        "throughput_md5",
+        "MD5, 8 threads, 8 single-block messages:\n"
+        f"  cycles/digest full    = {cycles['full']:.1f}\n"
+        f"  cycles/digest reduced = {cycles['reduced']:.1f}\n"
+        f"  ratio = {ratio:.3f} (paper: no throughput loss)\n",
+    )
+    assert ratio < 1.05
+
+
+def test_processor_throughput_preserved(benchmark, report):
+    stats = benchmark(processor_workload_cycles)
+    ratio = stats["reduced"].cycles / stats["full"].cycles
+    report(
+        "throughput_processor",
+        "Processor, 8 threads, standard mixed workload:\n"
+        f"  full:    {stats['full'].cycles} cycles, "
+        f"{stats['full'].total_retired} instrs, IPC "
+        f"{stats['full'].ipc:.3f}\n"
+        f"  reduced: {stats['reduced'].cycles} cycles, "
+        f"{stats['reduced'].total_retired} instrs, IPC "
+        f"{stats['reduced'].ipc:.3f}\n"
+        f"  cycle ratio reduced/full = {ratio:.3f} "
+        "(paper: no performance loss)\n",
+    )
+    assert stats["full"].total_retired == stats["reduced"].total_retired
+    assert ratio < 1.05

@@ -1,0 +1,34 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures.  The
+rendered output goes to stdout (run with ``-s`` to see it live) and to
+``results/<name>.txt`` next to this directory, so EXPERIMENTS.md can
+reference the exact artifacts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir):
+    """Callable saving a named report: ``report("fig5", text)``."""
+
+    def _save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text, encoding="utf-8")
+        print(f"\n===== {name} =====")
+        print(text)
+
+    return _save

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""The thread synchronization barrier (paper §IV-C, Fig. 8).
+
+Four threads reach a barrier at very different times (staggered
+injection); nothing passes until the last one arrives, then all four are
+released together.  The per-cycle trace shows the IDLE/WAIT/FREE FSMs,
+the arrival counter and the go flag — the exact machinery of Fig. 8.
+
+Run:  python examples/barrier_sync.py
+"""
+
+from repro.analysis import OccupancyProbe
+from repro.core import Barrier, FullMEB, MTChannel, MTSink, MTSource
+from repro.kernel import build
+
+
+def main() -> None:
+    threads = 4
+    c0 = MTChannel("c0", threads=threads, width=16)
+    c1 = MTChannel("c1", threads=threads, width=16)
+    c2 = MTChannel("c2", threads=threads, width=16)
+
+    # Thread t injects its item at cycle 4*t: arrivals are staggered.
+    src = MTSource("src", c0,
+                   items=[[f"T{t}"] for t in range(threads)],
+                   patterns=[lambda c, t=t: c >= 4 * t
+                             for t in range(threads)])
+    meb = FullMEB("meb", c0, c1)
+    barrier = Barrier("barrier", c1, c2)
+    sink = MTSink("snk", c2)
+
+    sim = build(c0, c1, c2, src, meb, barrier, sink)
+    states = OccupancyProbe(
+        lambda: " ".join(barrier.thread_state(t)[0] for t in range(threads))
+    )
+    count = OccupancyProbe(lambda: barrier.count)
+    go = OccupancyProbe(lambda: int(barrier.go))
+    for probe in (states, count, go):
+        sim.add_observer(probe)
+
+    sim.run(until=lambda _s: sink.count == threads, max_cycles=60)
+
+    print("cycle | FSM (I=IDLE W=WAIT F=FREE) | count | go")
+    print("-" * 50)
+    for c, (st, cnt, g) in enumerate(zip(states.series, count.series,
+                                         go.series)):
+        print(f"{c:>5} | {st:^26} | {cnt:>5} | {g}")
+
+    arrivals = {t: cyc for cyc, t, _d in sink.received}
+    print(f"\nall {threads} threads passed the barrier within "
+          f"{max(arrivals.values()) - min(arrivals.values()) + 1} cycles "
+          f"of each other (released together, serialized by the shared "
+          "channel)")
+    print(f"releases: {barrier.releases}, final go flag: {barrier.go}")
+
+
+if __name__ == "__main__":
+    main()

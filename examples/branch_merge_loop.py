@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Dataflow control flow with M-Branch and M-Merge: Collatz in hardware.
+
+Each thread pushes numbers into an elastic loop that applies one Collatz
+step per trip (n -> n/2 or 3n+1) and exits through the M-Branch once the
+value reaches 1, yielding the step count.  This is the "if-then-else /
+while-loop" synthesis pattern of the paper's Fig. 3 and Fig. 7, built
+from the public netlist API.
+
+Run:  python examples/branch_merge_loop.py
+"""
+
+from repro.netlist import DataflowGraph, elaborate
+
+
+def collatz_steps(n: int) -> int:
+    steps = 0
+    while n != 1:
+        n = n // 2 if n % 2 == 0 else 3 * n + 1
+        steps += 1
+    return steps
+
+
+def collatz_step(token):
+    origin, value, steps = token
+    if value == 1:
+        return token
+    return (origin, value // 2 if value % 2 == 0 else 3 * value + 1,
+            steps + 1)
+
+
+def main() -> None:
+    inputs = [[7, 6], [27]]  # two threads, independent work queues
+
+    g = DataflowGraph("collatz")
+    g.source("numbers",
+             items=[[(n, n, 0) for n in stream] for stream in inputs])
+    g.merge("loop_entry", n_inputs=2)
+    g.buffer("loop_buf")        # becomes a reduced MEB when elaborated
+    g.op("step", fn=collatz_step, area_luts=96)
+    g.buffer("exit_buf")
+    g.branch("done", selector=lambda tok: 1 if tok[1] == 1 else 0)
+    g.sink("results")
+    g.connect("numbers", "loop_entry", dst_port=0)
+    g.connect("loop_entry", "loop_buf")
+    g.connect("loop_buf", "step")
+    g.connect("step", "exit_buf")
+    g.connect("exit_buf", "done")
+    g.connect("done", "loop_entry", src_port=0, dst_port=1)  # recirculate
+    g.connect("done", "results", src_port=1)                 # exit
+
+    elab = elaborate(g, threads=2, meb="reduced")
+    sink = elab.sink("results")
+    total = sum(len(s) for s in inputs)
+    elab.run(until=lambda _s: sink.count == total, max_cycles=3000)
+
+    print("Collatz step counts computed by the elastic loop:\n")
+    ok = True
+    for t, stream in enumerate(inputs):
+        got = {origin: steps for origin, _v, steps in sink.values_for(t)}
+        order = [origin for origin, _v, _s in sink.values_for(t)]
+        for n in stream:
+            expected = collatz_steps(n)
+            ok &= got.get(n) == expected
+            print(f"  thread {t}: collatz({n}) = {got.get(n)} steps "
+                  f"(expected {expected})")
+        if order != stream:
+            print(f"  thread {t}: completion order {order} differs from "
+                  f"injection order {stream} — tokens needing fewer loop "
+                  "trips overtake (dynamic dataflow scheduling)")
+    print(f"\nsimulated {elab.sim.cycle} cycles; all correct: {ok}")
+    print("loop entry transfers per thread:",
+          [elab.monitor(g.edges[1].name).transfer_count(t)
+           for t in range(2)])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""The multithreaded pipelined elastic processor (paper §V-B).
+
+Loads a different program on each of 8 hardware threads — loops,
+recursion-free call/return, memory copies, multiplies — runs them to
+completion on the shared 5-stage elastic pipeline, validates every
+result, and shows how IPC scales with thread count as multithreading
+hides the variable memory/execute latencies.
+
+Run:  python examples/processor_demo.py
+"""
+
+from repro.apps.processor import Processor, programs
+
+
+def run_mixed_workload() -> None:
+    cpu = Processor(threads=8, meb="reduced", imem_latency=1,
+                    dmem_latency=3, mul_latency=3)
+    mix = programs.standard_mix()
+    for t, prog in enumerate(mix):
+        cpu.load_program(t, prog.source)
+    stats = cpu.run()
+
+    print("8-thread mixed workload (reduced MEBs):")
+    print(f"{'thread':>7} {'program':<18} {'retired':>8} {'result':>12} ok")
+    for t, prog in enumerate(mix):
+        kind, where = prog.check
+        got = cpu.reg(t, where) if kind == "reg" else cpu.mem_word(t, where)
+        ok = "yes" if got == prog.expected else "NO"
+        print(f"{t:>7} {prog.name:<18} {stats.retired[t]:>8} "
+              f"{got:>12} {ok}")
+    print(f"\ntotal: {stats.total_retired} instructions in "
+          f"{stats.cycles} cycles -> IPC {stats.ipc:.3f}\n")
+
+
+def ipc_scaling() -> None:
+    print("IPC vs thread count (spin loops, slow memories: fetch=2, "
+          "data=4 cycles):")
+    print(f"{'threads':>8} | {'cycles':>7} | {'IPC':>6} | speedup")
+    base_ipc = None
+    for n in (1, 2, 4, 8):
+        cpu = Processor(threads=n, meb="reduced", imem_latency=2,
+                        dmem_latency=4)
+        for t in range(n):
+            cpu.load_program(t, programs.spin(40).source)
+        stats = cpu.run()
+        if base_ipc is None:
+            base_ipc = stats.ipc
+        print(f"{n:>8} | {stats.cycles:>7} | {stats.ipc:>6.3f} | "
+              f"{stats.ipc / base_ipc:>6.2f}x")
+    print("\nThe shared pipeline stays busy with other threads while each "
+          "thread's\nfetch/memory access is in flight — the utilization "
+          "argument of the paper's Fig. 1(c).")
+
+
+def custom_program() -> None:
+    print("\ncustom assembly (call/return with jal/jalr):")
+    cpu = Processor(threads=1)
+    cpu.load_program(0, """
+        addi x10, x0, 6       ; argument n = 6
+        jal  x1, triangle     ; x2 = 1+2+...+n
+        sw   x2, x0, 0
+        halt
+    triangle:
+        addi x2, x0, 0
+    tloop:
+        beq  x10, x0, tdone
+        add  x2, x2, x10
+        addi x10, x10, -1
+        jal  x0, tloop
+    tdone:
+        jalr x0, x1, 0        ; return
+    """, base=0)
+    stats = cpu.run()
+    print(f"  triangle(6) = {cpu.mem_word(0, 0)} (expected 21), "
+          f"{stats.retired[0]} instructions retired")
+
+
+def main() -> None:
+    run_mixed_workload()
+    ipc_scaling()
+    custom_program()
+
+
+if __name__ == "__main__":
+    main()

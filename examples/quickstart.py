@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Quickstart: a 3-stage multithreaded elastic pipeline in ~40 lines.
+
+Builds the paper's basic structure — a chain of multithreaded elastic
+buffers (MEBs) shared by two threads — runs traffic through it with one
+thread stalling halfway, and prints the cycle-by-cycle channel activity.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.analysis import channel_stats, render_activity_table
+from repro.core import MTChannel, MTMonitor, MTSink, MTSource, ReducedMEB
+from repro.elastic import stall_window
+from repro.kernel import build
+
+
+def main() -> None:
+    threads = 2
+    # Channels carry one thread's data per cycle plus a valid/ready pair
+    # per thread.
+    chans = [MTChannel(f"ch{i}", threads=threads, width=32) for i in range(4)]
+
+    # Two independent item streams, one per thread.
+    source = MTSource("src", chans[0], items=[
+        [f"A{i}" for i in range(12)],
+        [f"B{i}" for i in range(12)],
+    ])
+
+    # Three reduced MEBs: one main slot per thread + one shared slot each.
+    mebs = [
+        ReducedMEB(f"meb{i}", chans[i], chans[i + 1]) for i in range(3)
+    ]
+
+    # Thread B's consumer stalls during cycles [8, 16).
+    sink = MTSink("snk", chans[-1], patterns=[None, stall_window(8, 16)])
+
+    monitors = [MTMonitor(f"mon{i}", ch) for i, ch in enumerate(chans)]
+    sim = build(*chans, source, *mebs, sink, *monitors)
+
+    sim.run(until=lambda _s: sink.count == 24, max_cycles=200)
+
+    print("Channel activity (lower-case* = presented but stalled):\n")
+    print(render_activity_table(
+        {"input": monitors[0], "mid": monitors[1], "output": monitors[-1]},
+        end=28,
+    ))
+
+    stats = channel_stats(monitors[-1])
+    print(f"finished in {sim.cycle} cycles")
+    for ts in stats.per_thread:
+        print(f"  thread {ts.thread}: {ts.transfers} items, "
+              f"throughput {ts.throughput:.2f}/cycle")
+    print(f"  channel utilization: {stats.utilization:.2f}")
+    print("\nper-thread order preserved:",
+          sink.values_for(0) == [f"A{i}" for i in range(12)]
+          and sink.values_for(1) == [f"B{i}" for i in range(12)])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""repro — reproduction of "Hardware Primitives for the Synthesis of
+Multithreaded Elastic Systems" (Dimitrakopoulos et al., DATE 2014).
+
+Package map
+-----------
+``repro.kernel``
+    Cycle-accurate structural RTL simulator (two-phase evaluation).
+``repro.elastic``
+    Single-thread elastic substrate: channels, 2-slot elastic buffers,
+    join/fork/branch/merge, variable-latency units, protocol monitors.
+``repro.core``
+    **The paper's contribution**: multithreaded elastic channels, the
+    full and reduced MEBs, M-Join/M-Fork/M-Branch/M-Merge, the thread
+    synchronization barrier, shared function units.
+``repro.netlist``
+    Dataflow-graph IR + elaboration to single- or multithreaded circuits.
+``repro.cost``
+    FPGA LE area and wire-delay timing models (the Table I substitution).
+``repro.apps.md5`` / ``repro.apps.processor``
+    The paper's two design examples, fully executable.
+``repro.analysis``
+    Throughput/equivalence measurement and figure rendering.
+
+Quick start::
+
+    from repro.core import MTChannel, MTSource, MTSink, ReducedMEB
+    from repro.kernel import build
+
+    a = MTChannel("a", threads=2)
+    b = MTChannel("b", threads=2)
+    src = MTSource("src", a, items=[[1, 2, 3], [10, 20]])
+    meb = ReducedMEB("meb", a, b)
+    snk = MTSink("snk", b)
+    sim = build(a, b, src, meb, snk)
+    sim.run(until=lambda s: snk.count == 5, max_cycles=100)
+    assert snk.values_for(0) == [1, 2, 3]
+"""
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "analysis",
+    "apps",
+    "core",
+    "cost",
+    "elastic",
+    "kernel",
+    "netlist",
+]

@@ -1,0 +1,41 @@
+"""Measurement and rendering utilities over simulation recordings."""
+
+from repro.analysis.equivalence import (
+    ConservationReport,
+    check_token_conservation,
+    latency_profile,
+    streams_equal,
+)
+from repro.analysis.figures import (
+    OccupancyProbe,
+    render_activity_table,
+    render_occupancy_table,
+    render_timeline,
+    thread_letter,
+)
+from repro.analysis.throughput import (
+    ChannelStats,
+    ThreadStats,
+    channel_stats,
+    fairness_index,
+    per_thread_throughputs,
+    steady_state_window,
+)
+
+__all__ = [
+    "ChannelStats",
+    "ConservationReport",
+    "OccupancyProbe",
+    "ThreadStats",
+    "channel_stats",
+    "check_token_conservation",
+    "fairness_index",
+    "latency_profile",
+    "per_thread_throughputs",
+    "render_activity_table",
+    "render_occupancy_table",
+    "render_timeline",
+    "steady_state_window",
+    "streams_equal",
+    "thread_letter",
+]

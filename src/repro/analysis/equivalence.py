@@ -1,0 +1,91 @@
+"""Trace-equivalence checking (paper §I).
+
+"Synchronous elastic circuits are behaviorally equivalent to conventional
+synchronous circuits with respect to the trace of valid data observed at
+the inputs and outputs" — these helpers make that notion executable:
+
+* :func:`streams_equal` — per-thread data sequences match a reference.
+* :func:`check_token_conservation` — everything injected at the input
+  monitor eventually appears at the output monitor, per thread, in order.
+* :func:`latency_profile` — per-token latency between two monitors.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Sequence
+
+from repro.core.monitor import MTMonitor
+
+
+@dataclasses.dataclass(frozen=True)
+class ConservationReport:
+    """Result of an input-vs-output token conservation check."""
+
+    ok: bool
+    per_thread_ok: tuple[bool, ...]
+    missing: tuple[tuple[int, int], ...]   # (thread, count not delivered)
+    reordered: tuple[int, ...]             # threads with order violations
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def streams_equal(
+    monitor: MTMonitor, reference: Sequence[Sequence[Any]]
+) -> bool:
+    """True when each thread's observed data equals the reference stream."""
+    if len(reference) != monitor.threads:
+        raise ValueError("reference must have one stream per thread")
+    return all(
+        monitor.values_for(t) == list(reference[t])
+        for t in range(monitor.threads)
+    )
+
+
+def check_token_conservation(
+    inp: MTMonitor, out: MTMonitor, allow_in_flight: int = 0
+) -> ConservationReport:
+    """Compare input and output transfer streams per thread.
+
+    ``allow_in_flight`` tolerates that many trailing tokens per thread
+    still inside the pipeline (for checks taken mid-run).
+    """
+    if inp.threads != out.threads:
+        raise ValueError("monitors watch channels of different thread counts")
+    per_ok: list[bool] = []
+    missing: list[tuple[int, int]] = []
+    reordered: list[int] = []
+    for t in range(inp.threads):
+        sent = inp.values_for(t)
+        got = out.values_for(t)
+        lag = len(sent) - len(got)
+        if lag < 0 or lag > allow_in_flight:
+            per_ok.append(False)
+            missing.append((t, lag))
+            continue
+        if got != sent[: len(got)]:
+            per_ok.append(False)
+            reordered.append(t)
+            continue
+        per_ok.append(True)
+        if lag:
+            missing.append((t, lag))
+    ok = all(per_ok)
+    return ConservationReport(
+        ok=ok,
+        per_thread_ok=tuple(per_ok),
+        missing=tuple(missing),
+        reordered=tuple(reordered),
+    )
+
+
+def latency_profile(inp: MTMonitor, out: MTMonitor, thread: int) -> list[int]:
+    """Cycle latency of each delivered token of *thread* between monitors.
+
+    Tokens are matched positionally (per-thread order is FIFO through any
+    elastic network, which :func:`check_token_conservation` verifies).
+    """
+    in_cycles = inp.transfer_cycles(thread)
+    out_cycles = out.transfer_cycles(thread)
+    return [o - i for i, o in zip(in_cycles, out_cycles)]

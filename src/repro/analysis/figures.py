@@ -1,0 +1,133 @@
+"""Renderers for the paper's figures as terminal tables.
+
+* :func:`render_activity_table` — the Fig.-5 style cycle-by-cycle view of
+  which thread occupies each channel (``A0``, ``B3``, ``-`` for idle,
+  lower-case for a presented-but-stalled item).
+* :func:`render_timeline` — the Fig.-1 style single-row timeline of what a
+  computation unit processes each cycle.
+* :func:`render_occupancy_table` — per-cycle buffer occupancy, for
+  visualizing how stalled items pile up in MEB slots.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Any, Callable, Mapping, Sequence
+
+from repro.core.monitor import MTMonitor
+
+#: Default thread labels: A, B, C, ...
+def thread_letter(t: int) -> str:
+    return chr(ord("A") + t)
+
+
+def _activity_cell(
+    entry: tuple[int | None, Any, bool],
+    label_fn: Callable[[int, Any], str],
+) -> str:
+    thread, data, transferred = entry
+    if thread is None:
+        return "-"
+    text = label_fn(thread, data)
+    return text if transferred else text.lower() + "*"
+
+
+def render_activity_table(
+    monitors: Mapping[str, MTMonitor],
+    start: int = 0,
+    end: int | None = None,
+    label_fn: Callable[[int, Any], str] | None = None,
+    cell_width: int = 5,
+) -> str:
+    """Cycle-by-cycle channel activity, one row per monitored channel.
+
+    Cells show the item moving on that channel that cycle (e.g. ``B3``);
+    a lower-cased cell with ``*`` marks a presented-but-stalled item and
+    ``-`` an idle cycle — matching how the paper's Fig. 5 annotates the
+    flow through the 2-stage MEB pipelines.
+    """
+    if label_fn is None:
+        label_fn = lambda t, d: str(d) if d is not None else thread_letter(t)
+    mon_list = list(monitors.items())
+    if not mon_list:
+        raise ValueError("need at least one monitor")
+    n_cycles = min(len(m.activity) for _n, m in mon_list)
+    if end is None:
+        end = n_cycles
+    end = min(end, n_cycles)
+    label_width = max(len(name) for name, _m in mon_list)
+    label_width = max(label_width, len("cycle"))
+    out = io.StringIO()
+    header = "cycle".ljust(label_width) + " |"
+    for c in range(start, end):
+        header += str(c).rjust(cell_width)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for name, mon in mon_list:
+        row = name.ljust(label_width) + " |"
+        for c in range(start, end):
+            row += _activity_cell(mon.activity[c], label_fn).rjust(cell_width)
+        out.write(row + "\n")
+    return out.getvalue()
+
+
+def render_timeline(
+    title: str,
+    entries: Sequence[str | None],
+    cell_width: int = 5,
+) -> str:
+    """One labelled row of per-cycle activity (Fig. 1 style)."""
+    out = io.StringIO()
+    header = "cycle".ljust(max(len(title), 5)) + " |"
+    for c in range(len(entries)):
+        header += str(c).rjust(cell_width)
+    out.write(header + "\n")
+    row = title.ljust(max(len(title), 5)) + " |"
+    for entry in entries:
+        row += (entry if entry is not None else "-").rjust(cell_width)
+    out.write(row + "\n")
+    return out.getvalue()
+
+
+def render_occupancy_table(
+    occupancy_log: Mapping[str, Sequence[int]],
+    start: int = 0,
+    end: int | None = None,
+    cell_width: int = 4,
+) -> str:
+    """Per-cycle occupancy counters, one row per buffer."""
+    rows = list(occupancy_log.items())
+    if not rows:
+        raise ValueError("need at least one occupancy series")
+    n = min(len(series) for _name, series in rows)
+    if end is None:
+        end = n
+    end = min(end, n)
+    label_width = max(max(len(name) for name, _s in rows), len("cycle"))
+    out = io.StringIO()
+    header = "cycle".ljust(label_width) + " |"
+    for c in range(start, end):
+        header += str(c).rjust(cell_width)
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for name, series in rows:
+        row = name.ljust(label_width) + " |"
+        for c in range(start, end):
+            row += str(series[c]).rjust(cell_width)
+        out.write(row + "\n")
+    return out.getvalue()
+
+
+class OccupancyProbe:
+    """Observer that logs a callable's value once per cycle.
+
+    Attach with ``sim.add_observer(probe)``; read ``probe.series``.
+    Typical use: ``OccupancyProbe(lambda: meb.total_occupancy())``.
+    """
+
+    def __init__(self, fn: Callable[[], Any]):
+        self._fn = fn
+        self.series: list[Any] = []
+
+    def __call__(self, _sim: Any) -> None:
+        self.series.append(self._fn())

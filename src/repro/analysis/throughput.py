@@ -1,0 +1,109 @@
+"""Throughput and utilization analysis over monitor recordings.
+
+Turns the raw transfer streams recorded by
+:class:`repro.core.monitor.MTMonitor` (and the single-thread
+:class:`repro.elastic.monitor.ChannelMonitor`) into the quantities the
+paper reasons about: per-thread throughput, channel utilization, and
+steady-state windows that exclude pipeline fill/drain transients.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Sequence
+
+from repro.core.monitor import MTMonitor
+
+
+@dataclasses.dataclass(frozen=True)
+class ThreadStats:
+    """Per-thread summary over an observation window."""
+
+    thread: int
+    transfers: int
+    throughput: float
+    first_cycle: int | None
+    last_cycle: int | None
+
+
+@dataclasses.dataclass(frozen=True)
+class ChannelStats:
+    """Whole-channel summary over an observation window."""
+
+    cycles: int
+    transfers: int
+    utilization: float
+    per_thread: tuple[ThreadStats, ...]
+
+    def thread(self, t: int) -> ThreadStats:
+        return self.per_thread[t]
+
+
+def channel_stats(
+    monitor: MTMonitor, start: int = 0, end: int | None = None
+) -> ChannelStats:
+    """Summarize a monitor's recording over cycles ``[start, end)``."""
+    if end is None:
+        end = monitor.cycles_observed
+    if end <= start:
+        raise ValueError(f"empty window [{start}, {end})")
+    span = end - start
+    per_thread = []
+    total = 0
+    for t in range(monitor.threads):
+        cycles = [
+            c for c, th, _d in monitor.transfers if th == t and start <= c < end
+        ]
+        per_thread.append(
+            ThreadStats(
+                thread=t,
+                transfers=len(cycles),
+                throughput=len(cycles) / span,
+                first_cycle=min(cycles) if cycles else None,
+                last_cycle=max(cycles) if cycles else None,
+            )
+        )
+        total += len(cycles)
+    return ChannelStats(
+        cycles=span,
+        transfers=total,
+        utilization=total / span,
+        per_thread=tuple(per_thread),
+    )
+
+
+def steady_state_window(
+    monitor: MTMonitor, warmup: int = 8, drain: int = 4
+) -> tuple[int, int]:
+    """A window that skips the pipeline-fill head and the drain tail.
+
+    The tail is clipped at the last observed transfer minus *drain* so a
+    finite workload's trailing idle cycles do not dilute throughput.
+    """
+    if not monitor.transfers:
+        return (0, max(1, monitor.cycles_observed))
+    last = max(c for c, _t, _d in monitor.transfers)
+    start = warmup
+    end = max(start + 1, last - drain)
+    return (start, end)
+
+
+def fairness_index(throughputs: Sequence[float]) -> float:
+    """Jain's fairness index over per-thread throughputs (1.0 = fair).
+
+    Used by the arbitration ablation: round-robin arbitration should score
+    ~1.0 across active threads, fixed priority should not.
+    """
+    values = [tp for tp in throughputs if tp > 0 or True]
+    if not values or all(v == 0 for v in values):
+        return 0.0
+    num = sum(values) ** 2
+    den = len(values) * sum(v * v for v in values)
+    return num / den
+
+
+def per_thread_throughputs(
+    monitor: MTMonitor, start: int = 0, end: int | None = None
+) -> list[float]:
+    stats = channel_stats(monitor, start, end)
+    return [ts.throughput for ts in stats.per_thread]

@@ -1,0 +1,1 @@
+"""Design examples built on the multithreaded elastic primitives."""

@@ -1,0 +1,48 @@
+"""MD5 design example: reference algorithm, elastic circuit, driver."""
+
+from repro.apps.md5.circuit import MD5Circuit, MD5Hasher
+from repro.apps.md5.datapath import (
+    MD5Token,
+    MessageStore,
+    round_datapath_luts,
+    round_logic,
+    step_luts,
+)
+from repro.apps.md5.reference import (
+    IV,
+    K,
+    N_ROUNDS,
+    S,
+    STEPS_PER_ROUND,
+    md5_digest,
+    md5_hex,
+    md5_round,
+    md5_step,
+    message_blocks,
+    pad_message,
+    process_block,
+    rotl32,
+)
+
+__all__ = [
+    "IV",
+    "K",
+    "MD5Circuit",
+    "MD5Hasher",
+    "MD5Token",
+    "MessageStore",
+    "N_ROUNDS",
+    "S",
+    "STEPS_PER_ROUND",
+    "md5_digest",
+    "md5_hex",
+    "md5_round",
+    "md5_step",
+    "message_blocks",
+    "pad_message",
+    "process_block",
+    "rotl32",
+    "round_datapath_luts",
+    "round_logic",
+    "step_luts",
+]

@@ -1,0 +1,187 @@
+"""The MD5 round datapath and its supporting stores.
+
+* :class:`MD5Token` — the payload circulating through the elastic loop:
+  the 128-bit working state, the token's round index, and a reference
+  into the message store (the 512-bit block itself stays in a RAM-like
+  store, mirroring FPGA practice where block RAM holds the message and
+  only the working state travels through pipeline buffers).
+* :class:`MessageStore` — per-(thread, block) storage of message words.
+* :func:`round_logic` — the combinational function applied per pass:
+  16 unrolled MD5 steps of the token's current round.
+* :func:`round_datapath_luts` — the LUT estimate for the unrolled round,
+  built from the primitive estimators of :mod:`repro.cost.model` and used
+  by the Table I benchmark.
+
+A faithfulness check: the round applied must equal the circuit's global
+round counter (maintained by the barrier), exactly as in the paper where
+the barrier release "allow[s] the round counter to be incremented"; a
+mismatch raises immediately.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps.md5 import reference as ref
+from repro.cost.model import adder_luts, logic_unit_luts, mux_tree_luts
+from repro.kernel.component import Component
+from repro.kernel.errors import SimulationError
+
+
+@dataclasses.dataclass(frozen=True)
+class MD5Token:
+    """Payload on the MD5 loop channels.
+
+    ``state`` is the working (a, b, c, d); ``round_idx`` counts completed
+    round passes (0..4); ``block_ref`` is the message-store slot;
+    ``step_idx`` is the intra-round progress (non-zero only in the
+    pipelined-round variant, where a round is split across stages).
+    """
+
+    state: tuple[int, int, int, int]
+    round_idx: int
+    block_ref: int
+    step_idx: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.round_idx >= ref.N_ROUNDS
+
+    #: Channel width in bits: 4x32 working state + 3-bit round + 9-bit
+    #: ref + 4-bit step.
+    WIDTH = 128 + 3 + 9 + 4
+
+
+class MessageStore(Component):
+    """Per-thread block storage (modelled as RAM, excluded from LE count).
+
+    Slot addressing is ``(thread, block_ref)``; the driver writes blocks
+    before injecting the corresponding token, the round logic reads them
+    combinationally.  Like the paper's Table I accounting for memories
+    ("the number of block RAMs ... are not included"), :meth:`area_items`
+    reports nothing — the RAM bits are tracked separately in
+    :attr:`ram_bits`.
+    """
+
+    def __init__(self, name: str, threads: int,
+                 parent: Component | None = None):
+        super().__init__(name, parent=parent)
+        self.threads = threads
+        self._blocks: dict[tuple[int, int], tuple[int, ...]] = {}
+
+    def write(self, thread: int, block_ref: int, block: tuple[int, ...]) -> None:
+        if len(block) != 16:
+            raise ValueError("an MD5 block is 16 words")
+        self._blocks[(thread, block_ref)] = tuple(block)
+
+    def read(self, thread: int, block_ref: int) -> tuple[int, ...]:
+        try:
+            return self._blocks[(thread, block_ref)]
+        except KeyError as exc:
+            raise SimulationError(
+                f"{self.path}: no block at (thread={thread}, "
+                f"ref={block_ref})"
+            ) from exc
+
+    def clear(self) -> None:
+        self._blocks.clear()
+
+    @property
+    def ram_bits(self) -> int:
+        return len(self._blocks) * 512
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        return []  # block RAM, excluded like the paper's memories
+
+
+def round_logic(
+    token: MD5Token,
+    thread: int,
+    store: MessageStore,
+    expected_round: int | None = None,
+) -> MD5Token:
+    """One pass through the unrolled 16-step round datapath.
+
+    ``expected_round`` is the circuit's global round counter; passing a
+    token whose own round differs means the barrier synchronization has
+    been violated.
+    """
+    if token.done:
+        raise SimulationError(
+            f"finished token (round {token.round_idx}) re-entered the "
+            "round datapath"
+        )
+    if expected_round is not None and token.round_idx != expected_round % ref.N_ROUNDS:
+        raise SimulationError(
+            f"round desynchronization: token in round {token.round_idx}, "
+            f"global counter at {expected_round % ref.N_ROUNDS} "
+            "(barrier invariant broken)"
+        )
+    block = store.read(thread, token.block_ref)
+    state = ref.md5_round(token.state, block, token.round_idx)
+    return MD5Token(state, token.round_idx + 1, token.block_ref)
+
+
+def partial_round_logic(
+    token: MD5Token,
+    thread: int,
+    store: MessageStore,
+    n_steps: int,
+    expected_round: int | None = None,
+) -> MD5Token:
+    """A pipelined slice of the round datapath: ``n_steps`` MD5 steps.
+
+    The paper notes the unrolled steps "could have been pipelined with
+    minimum changes due to elasticity" (§V-A); this is that variant.  A
+    stage starting a new round (``step_idx == 0``) performs the same
+    barrier-synchronization check as :func:`round_logic`; completing the
+    16th step advances ``round_idx`` and resets ``step_idx``.
+    """
+    if token.done:
+        raise SimulationError("finished token re-entered the round datapath")
+    if token.step_idx % n_steps != 0:
+        raise SimulationError(
+            f"token step {token.step_idx} misaligned with stage width "
+            f"{n_steps}"
+        )
+    if (
+        expected_round is not None
+        and token.step_idx == 0
+        and token.round_idx != expected_round % ref.N_ROUNDS
+    ):
+        raise SimulationError(
+            f"round desynchronization: token in round {token.round_idx}, "
+            f"global counter at {expected_round % ref.N_ROUNDS}"
+        )
+    block = store.read(thread, token.block_ref)
+    state = token.state
+    for step in range(token.step_idx, token.step_idx + n_steps):
+        state = ref.md5_step(state, block, token.round_idx, step)
+    next_step = token.step_idx + n_steps
+    if next_step >= ref.STEPS_PER_ROUND:
+        return MD5Token(state, token.round_idx + 1, token.block_ref, 0)
+    return MD5Token(state, token.round_idx, token.block_ref, next_step)
+
+
+def step_luts() -> int:
+    """LE estimate for one MD5 step of the unrolled round.
+
+    Per step: the boolean round function on 32 bits, a 3-operand adder
+    chain (a + f + K[i] + M[g] — K is a constant folded into the adder
+    tree), the b-addend adder, and the per-round selection muxes for the
+    round function output and the message word (4:1 each, since each
+    unrolled step position serves all four rounds).  Rotations are
+    constant per (round, step) and cost only routing, but the per-round
+    variation needs a 4:1 mux on the rotated value.
+    """
+    func = logic_unit_luts(32)               # F/G/H/I on 32 bits
+    adders = 3 * adder_luts(32)              # a+f, +M[g] (+K folded), b+rot
+    func_mux = mux_tree_luts(4, 32)          # select among F/G/H/I
+    msg_mux = mux_tree_luts(4, 32)           # per-round message word pick
+    rot_mux = mux_tree_luts(4, 32)           # per-round rotation amount
+    return func + adders + func_mux + msg_mux + rot_mux
+
+
+def round_datapath_luts() -> int:
+    """LUTs of the full 16-step unrolled round (paper §V-A datapath)."""
+    return ref.STEPS_PER_ROUND * step_luts()

@@ -1,0 +1,146 @@
+"""From-scratch MD5 (RFC 1321) — the functional reference and the shared
+constant tables used by the hardware datapath.
+
+The elastic MD5 circuit (:mod:`repro.apps.md5.circuit`) executes exactly
+the round function exposed here (:func:`md5_round`), so a digest produced
+by the circuit is checked bit-for-bit against :func:`md5_hex` — and this
+reference itself is checked against :mod:`hashlib` in the tests.
+
+The algorithm processes 512-bit blocks through 4 rounds of 16 steps; each
+round uses a different boolean function, message-word schedule and shift
+table, which is why the paper's multithreaded implementation needs the
+round-synchronizing barrier ("MD5 requires a different configuration for
+each round, all threads need to synchronize before moving to the next
+round", §V-A).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+
+MASK32 = 0xFFFFFFFF
+
+#: Initial hash state (A, B, C, D).
+IV: tuple[int, int, int, int] = (0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476)
+
+#: Per-step additive constants: K[i] = floor(abs(sin(i+1)) * 2^32).
+K: tuple[int, ...] = tuple(
+    int(abs(math.sin(i + 1)) * (1 << 32)) & MASK32 for i in range(64)
+)
+
+#: Per-step left-rotation amounts.
+S: tuple[int, ...] = (
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20, 5, 9, 14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21,
+)
+
+N_ROUNDS = 4
+STEPS_PER_ROUND = 16
+
+
+def rotl32(x: int, n: int) -> int:
+    """32-bit left rotation."""
+    x &= MASK32
+    return ((x << n) | (x >> (32 - n))) & MASK32
+
+
+def round_function(round_idx: int, b: int, c: int, d: int) -> int:
+    """The boolean mixing function of each round (F, G, H, I)."""
+    if round_idx == 0:
+        return (b & c) | (~b & d & MASK32)
+    if round_idx == 1:
+        return (d & b) | (~d & c & MASK32)
+    if round_idx == 2:
+        return b ^ c ^ d
+    if round_idx == 3:
+        return c ^ (b | (~d & MASK32))
+    raise ValueError(f"round index {round_idx} out of range")
+
+
+def message_index(round_idx: int, step: int) -> int:
+    """Which message word feeds step *step* of round *round_idx*."""
+    if round_idx == 0:
+        return step
+    if round_idx == 1:
+        return (5 * step + 1) % 16
+    if round_idx == 2:
+        return (3 * step + 5) % 16
+    if round_idx == 3:
+        return (7 * step) % 16
+    raise ValueError(f"round index {round_idx} out of range")
+
+
+def md5_step(
+    state: tuple[int, int, int, int],
+    block: tuple[int, ...],
+    round_idx: int,
+    step: int,
+) -> tuple[int, int, int, int]:
+    """One of the 64 MD5 steps on working state (a, b, c, d)."""
+    a, b, c, d = state
+    i = round_idx * STEPS_PER_ROUND + step
+    f = round_function(round_idx, b, c, d)
+    g = message_index(round_idx, step)
+    rotated = rotl32((a + f + K[i] + block[g]) & MASK32, S[i])
+    return (d, (b + rotated) & MASK32, b, c)
+
+
+def md5_round(
+    state: tuple[int, int, int, int],
+    block: tuple[int, ...],
+    round_idx: int,
+) -> tuple[int, int, int, int]:
+    """All 16 steps of one round — the paper's single-cycle unrolled
+    datapath (§V-A: "the 16 steps of each round are fully unrolled and
+    implemented in a single cycle")."""
+    for step in range(STEPS_PER_ROUND):
+        state = md5_step(state, block, round_idx, step)
+    return state
+
+
+def process_block(
+    h: tuple[int, int, int, int], block: tuple[int, ...]
+) -> tuple[int, int, int, int]:
+    """Run all 4 rounds on one block and apply the Davies–Meyer add."""
+    state = h
+    for round_idx in range(N_ROUNDS):
+        state = md5_round(state, block, round_idx)
+    return tuple((hv + sv) & MASK32 for hv, sv in zip(h, state))
+
+
+def pad_message(data: bytes) -> bytes:
+    """RFC 1321 padding: 0x80, zeros, 64-bit little-endian bit length."""
+    length_bits = (len(data) * 8) & 0xFFFFFFFFFFFFFFFF
+    padded = data + b"\x80"
+    padded += b"\x00" * ((56 - len(padded) % 64) % 64)
+    padded += struct.pack("<Q", length_bits)
+    return padded
+
+
+def message_blocks(data: bytes) -> list[tuple[int, ...]]:
+    """Split a padded message into 16-word little-endian blocks."""
+    padded = pad_message(data)
+    blocks = []
+    for off in range(0, len(padded), 64):
+        blocks.append(struct.unpack("<16I", padded[off : off + 64]))
+    return blocks
+
+
+def digest_bytes(h: tuple[int, int, int, int]) -> bytes:
+    return struct.pack("<4I", *h)
+
+
+def md5_digest(data: bytes) -> bytes:
+    """MD5 digest of *data* as 16 raw bytes."""
+    h = IV
+    for block in message_blocks(data):
+        h = process_block(h, block)
+    return digest_bytes(h)
+
+
+def md5_hex(data: bytes) -> str:
+    """MD5 digest of *data* as the usual 32-char hex string."""
+    return md5_digest(data).hex()

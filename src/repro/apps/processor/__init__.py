@@ -1,0 +1,50 @@
+"""Multithreaded pipelined elastic processor (paper §V-B)."""
+
+from repro.apps.processor.assembler import AssemblyError, assemble, disassemble
+from repro.apps.processor.core import PCUnit, Processor, RunStats
+from repro.apps.processor.isa import (
+    Format,
+    Instruction,
+    Op,
+    alu,
+    branch_taken,
+    decode,
+    encode,
+)
+from repro.apps.processor.memory import DataMemoryArray, InstructionMemory
+from repro.apps.processor.regfile import RegisterFileArray
+from repro.apps.processor.stages import (
+    DecodedToken,
+    ExecutedToken,
+    FetchedToken,
+    MemToken,
+    MTSequencedUnit,
+    PCToken,
+)
+from repro.apps.processor import programs
+
+__all__ = [
+    "AssemblyError",
+    "DataMemoryArray",
+    "DecodedToken",
+    "ExecutedToken",
+    "FetchedToken",
+    "Format",
+    "Instruction",
+    "InstructionMemory",
+    "MTSequencedUnit",
+    "MemToken",
+    "Op",
+    "PCToken",
+    "PCUnit",
+    "Processor",
+    "RegisterFileArray",
+    "RunStats",
+    "alu",
+    "assemble",
+    "branch_taken",
+    "decode",
+    "disassemble",
+    "encode",
+    "programs",
+]

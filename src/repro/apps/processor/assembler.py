@@ -1,0 +1,184 @@
+"""Two-pass assembler for the processor ISA.
+
+Syntax::
+
+    ; comment                 # or '#'
+    loop:                     ; label
+        addi x1, x0, 10
+        add  x3, x1, x2
+        beq  x1, x0, done     ; label or numeric offset operand
+        jal  x0, loop
+    done:
+        halt
+        .word 0xDEADBEEF      ; raw data
+
+Branch labels assemble to *word offsets* relative to the next pc
+(pc-relative, like the hardware expects); ``jal`` labels assemble to
+absolute word addresses.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.apps.processor.isa import FORMATS, Format, Instruction, Op, encode
+
+_LABEL_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_]*$")
+_REG_RE = re.compile(r"^[xr](\d+)$", re.IGNORECASE)
+
+
+class AssemblyError(Exception):
+    """Raised with the offending line number and message."""
+
+    def __init__(self, lineno: int, message: str):
+        self.lineno = lineno
+        super().__init__(f"line {lineno}: {message}")
+
+
+def _parse_reg(tok: str, lineno: int) -> int:
+    m = _REG_RE.match(tok)
+    if not m:
+        raise AssemblyError(lineno, f"expected register, got {tok!r}")
+    reg = int(m.group(1))
+    if reg >= 32:
+        raise AssemblyError(lineno, f"register x{reg} out of range")
+    return reg
+
+
+def _parse_int(tok: str, lineno: int) -> int:
+    try:
+        return int(tok, 0)
+    except ValueError as exc:
+        raise AssemblyError(lineno, f"expected integer, got {tok!r}") from exc
+
+
+def _tokenize(line: str) -> list[str]:
+    line = re.split(r"[;#]", line, maxsplit=1)[0]
+    return [t for t in re.split(r"[,\s]+", line.strip()) if t]
+
+
+def assemble(text: str, base: int = 0) -> list[int]:
+    """Assemble source text into a list of 32-bit words.
+
+    ``base`` is the byte address of the first word (used for absolute
+    jump-label resolution).
+    """
+    # Pass 1: label addresses.
+    labels: dict[str, int] = {}
+    records: list[tuple[int, list[str]]] = []  # (lineno, tokens)
+    addr = base
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        stripped = re.split(r"[;#]", raw, maxsplit=1)[0].strip()
+        if not stripped:
+            continue
+        while ":" in stripped:
+            label, _colon, rest = stripped.partition(":")
+            label = label.strip()
+            if not _LABEL_RE.match(label):
+                raise AssemblyError(lineno, f"bad label {label!r}")
+            if label in labels:
+                raise AssemblyError(lineno, f"duplicate label {label!r}")
+            labels[label] = addr
+            stripped = rest.strip()
+        if not stripped:
+            continue
+        tokens = _tokenize(stripped)
+        records.append((lineno, tokens))
+        addr += 4
+
+    # Pass 2: encode.
+    words: list[int] = []
+    addr = base
+    for lineno, tokens in records:
+        mnemonic = tokens[0].lower()
+        args = tokens[1:]
+        if mnemonic == ".word":
+            if len(args) != 1:
+                raise AssemblyError(lineno, ".word takes one value")
+            words.append(_parse_int(args[0], lineno) & 0xFFFFFFFF)
+            addr += 4
+            continue
+        try:
+            op = Op[mnemonic.upper()]
+        except KeyError as exc:
+            raise AssemblyError(lineno, f"unknown mnemonic {mnemonic!r}") from exc
+        instr = _encode_instruction(op, args, labels, addr, lineno)
+        words.append(encode(instr))
+        addr += 4
+    return words
+
+
+def _operand_value(tok: str, labels: dict[str, int], lineno: int,
+                   pc_relative_to: int | None) -> int:
+    """An immediate operand: integer literal or label."""
+    if tok in labels:
+        target = labels[tok]
+        if pc_relative_to is not None:
+            return (target - pc_relative_to) // 4
+        return target // 4
+    return _parse_int(tok, lineno)
+
+
+def _encode_instruction(
+    op: Op, args: list[str], labels: dict[str, int], addr: int, lineno: int
+) -> Instruction:
+    fmt = FORMATS[op]
+    try:
+        if fmt is Format.NONE:
+            if args:
+                raise AssemblyError(lineno, f"{op.name} takes no operands")
+            return Instruction(op)
+        if fmt is Format.R:
+            if len(args) != 3:
+                raise AssemblyError(lineno, f"{op.name} needs rd, rs1, rs2")
+            return Instruction(
+                op,
+                rd=_parse_reg(args[0], lineno),
+                rs1=_parse_reg(args[1], lineno),
+                rs2=_parse_reg(args[2], lineno),
+            )
+        if fmt is Format.B:
+            if len(args) != 3:
+                raise AssemblyError(lineno, f"{op.name} needs rs1, rs2, target")
+            return Instruction(
+                op,
+                rs1=_parse_reg(args[0], lineno),
+                rs2=_parse_reg(args[1], lineno),
+                imm=_operand_value(args[2], labels, lineno,
+                                   pc_relative_to=addr + 4),
+            )
+        if op is Op.JAL:
+            # jal rd, target — the target label resolves to an absolute
+            # word address.
+            if len(args) != 2:
+                raise AssemblyError(lineno, "JAL needs rd, target")
+            return Instruction(
+                op,
+                rd=_parse_reg(args[0], lineno),
+                imm=_operand_value(args[1], labels, lineno,
+                                   pc_relative_to=None),
+            )
+        # I-type
+        if len(args) != 3:
+            raise AssemblyError(lineno, f"{op.name} needs rd, rs1, imm")
+        return Instruction(
+            op,
+            rd=_parse_reg(args[0], lineno),
+            rs1=_parse_reg(args[1], lineno),
+            imm=_operand_value(args[2], labels, lineno, pc_relative_to=None),
+        )
+    except ValueError as exc:
+        raise AssemblyError(lineno, str(exc)) from exc
+
+
+def disassemble(words: list[int]) -> list[str]:
+    """Best-effort textual form of encoded words (for debugging dumps)."""
+    from repro.apps.processor.isa import decode
+
+    out = []
+    for word in words:
+        try:
+            out.append(str(decode(word)))
+        except ValueError:
+            out.append(f".word {word:#010x}")
+    return out

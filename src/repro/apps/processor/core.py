@@ -1,0 +1,413 @@
+"""The multithreaded pipelined elastic processor (paper §V-B).
+
+Five stages connected into an elastic ring, with an MEB in place of every
+pipeline register::
+
+    ┌─► PC/WB unit ──► MEB ──► Fetch(IMem, VL) ──► MEB ──► Decode+RegRead
+    │                                                           │
+    │                                                          MEB
+    │                                                           │
+    └── Mem(DMem, VL) ◄── MEB ◄──────────────────── Execute(ALU, VL)
+
+* every thread owns a private program counter and register-file bank;
+* the instruction memory, data memory and execution unit are
+  variable-latency units (paper: "considered variable latency units");
+* one instruction per thread is in flight at a time (DESIGN.md §5), so
+  threads never see their own hazards while the MEBs keep the shared
+  stages busy with *other* threads — multithreading hiding latency
+  exactly as §I describes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+from repro.apps.processor import isa
+from repro.apps.processor.assembler import assemble
+from repro.apps.processor.memory import DataMemoryArray, InstructionMemory
+from repro.apps.processor.regfile import RegisterFileArray
+from repro.apps.processor.stages import (
+    DecodedToken,
+    ExecutedToken,
+    FetchedToken,
+    MemToken,
+    MTSequencedUnit,
+    PCToken,
+)
+from repro.core import (
+    FullMEB,
+    GrantPolicy,
+    MTChannel,
+    MTContextFunction,
+    MTMonitor,
+    MTVariableLatencyUnit,
+    ReducedMEB,
+    RoundRobinArbiter,
+)
+from repro.cost.model import (
+    adder_luts,
+    comparator_luts,
+    logic_unit_luts,
+    mux_tree_luts,
+    shifter_luts,
+)
+from repro.kernel import Component, Simulator
+from repro.kernel.errors import SimulationError
+from repro.kernel.values import X, as_bool
+
+MEB_KINDS = {"full": FullMEB, "reduced": ReducedMEB}
+
+#: Ops that write a destination register.
+_WRITES_RD = frozenset(
+    op for op, fmt in isa.FORMATS.items()
+    if fmt is isa.Format.R or (fmt is isa.Format.I and op is not isa.Op.SW)
+)
+
+
+def alu_luts() -> int:
+    """LE estimate for the shared execute datapath."""
+    return (
+        adder_luts(32)            # add/sub (shared adder)
+        + logic_unit_luts(32)     # and/or/xor
+        + shifter_luts(32)        # barrel shifter
+        + comparator_luts(32)     # slt/branch compare
+        + mux_tree_luts(6, 32)    # result selection
+        + adder_luts(32)          # next-pc / address adder
+    )
+
+
+def decode_luts() -> int:
+    """LE estimate for the decoder (control decode + immediate forms)."""
+    return 96 + mux_tree_luts(2, 32)
+
+
+class PCUnit(Component):
+    """Writeback stage fused with the per-thread program counters.
+
+    Holds one pending PC per live thread, dispatches fetch requests
+    through its arbiter (this is the "private program counter" file of
+    the paper), and retires incoming :class:`MemToken` results: register
+    writeback, next-PC update, or thread halt.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inp: MTChannel,
+        out: MTChannel,
+        regfile: RegisterFileArray,
+        policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        self.threads = out.threads
+        self.inp = inp
+        self.out = out
+        self.regfile = regfile
+        self.policy = policy
+        self.arbiter = RoundRobinArbiter(self.threads, rotate_on_stall=True)
+        inp.connect_consumer(self)
+        out.connect_producer(self)
+        self._start_pcs: dict[int, int] = {}
+        self._pending: list[int | None] = [None] * self.threads
+        self._alive: list[bool] = [False] * self.threads
+        self.retired: list[int] = [0] * self.threads
+        self._grant: int | None = None
+        self._next: tuple[list[int | None], list[bool], list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    def set_start(self, thread: int, pc: int) -> None:
+        """Arm *thread* to begin execution at byte address *pc*."""
+        self._start_pcs[thread] = pc
+        self._pending[thread] = pc
+        self._alive[thread] = True
+
+    @property
+    def all_halted(self) -> bool:
+        return not any(self._alive)
+
+    def alive(self, thread: int) -> bool:
+        return self._alive[thread]
+
+    # ------------------------------------------------------------------
+    def combinational(self) -> None:
+        requests_base = [pc is not None for pc in self._pending]
+        readies = [as_bool(sig.value) for sig in self.out.ready]
+        requests = self.policy.requests(requests_base, readies)
+        grant = self.arbiter.grant(requests)
+        self._grant = grant
+        for t in range(self.threads):
+            self.out.valid[t].set(grant == t)
+            self.inp.ready[t].set(True)  # retirement always accepted
+        if grant is not None:
+            self.out.data.set(PCToken(self._pending[grant]))
+        else:
+            self.out.data.set(X)
+
+    def capture(self) -> None:
+        pending = list(self._pending)
+        alive = list(self._alive)
+        retired = list(self.retired)
+        transferred = False
+        g = self._grant
+        if g is not None and as_bool(self.out.ready[g].value):
+            transferred = True
+            pending[g] = None  # token dispatched into the ring
+        t = self.inp.transfer_thread()
+        if t is not None:
+            token: MemToken = self.inp.data.value
+            instr = token.instr
+            if instr.op in _WRITES_RD:
+                self.regfile.write(t, instr.rd, token.value)
+            retired[t] += 1
+            if token.halt:
+                alive[t] = False
+                pending[t] = None
+            else:
+                if pending[t] is not None:
+                    raise SimulationError(
+                        f"{self.path}: thread {t} retired while a fetch "
+                        "was already pending (duplicate token)"
+                    )
+                pending[t] = token.next_pc
+        self.arbiter.note(g, transferred)
+        self._next = (pending, alive, retired)
+
+    def commit(self) -> None:
+        self.arbiter.commit()
+        if self._next is not None:
+            self._pending, self._alive, self.retired = self._next
+            self._next = None
+
+    def reset(self) -> None:
+        self.arbiter.reset()
+        self._pending = [None] * self.threads
+        self._alive = [False] * self.threads
+        for t, pc in self._start_pcs.items():
+            self._pending[t] = pc
+            self._alive[t] = True
+        self.retired = [0] * self.threads
+        self._grant = None
+        self._next = None
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        s = self.threads
+        items: list[tuple[str, int, int]] = [
+            ("ff", s, 32),        # private program counters
+            ("ff", s, 1),         # alive flags
+            ("mux2", s - 1, 32),  # pc selection tree
+            ("lut", 2 * s, 1),
+        ]
+        items.extend(self.arbiter.area_items())
+        return items
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Execution summary returned by :meth:`Processor.run`."""
+
+    cycles: int
+    retired: list[int]
+
+    @property
+    def total_retired(self) -> int:
+        return sum(self.retired)
+
+    @property
+    def ipc(self) -> float:
+        return self.total_retired / self.cycles if self.cycles else 0.0
+
+
+class Processor:
+    """Assembled multithreaded elastic processor."""
+
+    def __init__(
+        self,
+        threads: int = 8,
+        meb: str = "reduced",
+        policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
+        imem_latency: Any = 1,
+        dmem_latency: int = 2,
+        mul_latency: int = 3,
+        monitor: bool = False,
+        alu_in_dsp: bool = True,
+    ):
+        if meb not in MEB_KINDS:
+            raise ValueError(f"meb must be one of {sorted(MEB_KINDS)}")
+        self.threads = threads
+        self.meb_kind = meb
+        self.imem = InstructionMemory("imem")
+        self.dmem = DataMemoryArray("dmem", threads)
+        self.regfile = RegisterFileArray("regfile", threads)
+        self._dmem_latency = dmem_latency
+        self._mul_latency = mul_latency
+
+        ch = lambda name, width: MTChannel(name, threads, width)
+        self.c_pc = ch("c_pc", PCToken.WIDTH)
+        self.c_if = ch("c_if", PCToken.WIDTH)
+        self.c_fo = ch("c_fo", FetchedToken.WIDTH)
+        self.c_id = ch("c_id", FetchedToken.WIDTH)
+        self.c_do = ch("c_do", DecodedToken.WIDTH)
+        self.c_ex = ch("c_ex", DecodedToken.WIDTH)
+        self.c_eo = ch("c_eo", ExecutedToken.WIDTH)
+        self.c_mm = ch("c_mm", ExecutedToken.WIDTH)
+        self.c_mo = ch("c_mo", MemToken.WIDTH)
+
+        meb_cls = MEB_KINDS[meb]
+        self.pc_unit = PCUnit("pc_wb", self.c_mo, self.c_pc, self.regfile,
+                              policy=policy)
+        self.meb_if = meb_cls("meb_if", self.c_pc, self.c_if, policy=policy)
+        self.fetch = MTVariableLatencyUnit(
+            "fetch", self.c_if, self.c_fo,
+            fn=lambda tok: FetchedToken(tok.pc, self.imem.fetch(tok.pc)),
+            latency=imem_latency,
+        )
+        self.meb_id = meb_cls("meb_id", self.c_fo, self.c_id, policy=policy)
+        self.decode = MTContextFunction(
+            "decode", self.c_id, self.c_do, fn=self._decode,
+            area_luts=decode_luts(),
+        )
+        self.meb_ex = meb_cls("meb_ex", self.c_do, self.c_ex, policy=policy)
+        # The reference iDEA processor [10] maps its ALU onto a DSP block,
+        # which the paper's Table I excludes from the LE counts ("the DSP
+        # blocks are not included"); alu_in_dsp=True mirrors that
+        # accounting, alu_in_dsp=False folds the ALU into the LE total.
+        self.alu_in_dsp = alu_in_dsp
+        self.execute = MTVariableLatencyUnit(
+            "execute", self.c_ex, self.c_eo, fn=self._execute,
+            latency=self._exec_latency,
+            area_luts=0 if alu_in_dsp else alu_luts(),
+        )
+        self.meb_mem = meb_cls("meb_mem", self.c_eo, self.c_mm, policy=policy)
+        self.mem = MTSequencedUnit(
+            "mem", self.c_mm, self.c_mo, fn=self._mem_access,
+            latency=self._mem_latency,
+        )
+
+        parts: list[Component] = [
+            self.c_pc, self.c_if, self.c_fo, self.c_id, self.c_do, self.c_ex,
+            self.c_eo, self.c_mm, self.c_mo, self.imem, self.dmem,
+            self.regfile, self.pc_unit, self.meb_if, self.fetch, self.meb_id,
+            self.decode, self.meb_ex, self.execute, self.meb_mem, self.mem,
+        ]
+        self.monitors: dict[str, MTMonitor] = {}
+        if monitor:
+            for chan in (self.c_pc, self.c_do, self.c_mo):
+                mon = MTMonitor(f"mon_{chan.name}", chan)
+                self.monitors[chan.name] = mon
+                parts.append(mon)
+        self.sim = Simulator(max_settle_iterations=128)
+        for part in parts:
+            self.sim.add(part)
+        self.sim.reset()
+
+    # ------------------------------------------------------------------
+    # stage functions
+    # ------------------------------------------------------------------
+    def _decode(self, token: FetchedToken, thread: int) -> DecodedToken:
+        instr = isa.decode(token.word)
+        a = self.regfile.read(thread, instr.rs1)
+        if instr.format is isa.Format.I:
+            b = instr.imm
+        else:
+            b = self.regfile.read(thread, instr.rs2)
+        store_value = (
+            self.regfile.read(thread, instr.rd)
+            if instr.op is isa.Op.SW
+            else 0
+        )
+        return DecodedToken(token.pc, instr, a, b, store_value)
+
+    def _execute(self, token: DecodedToken) -> ExecutedToken:
+        instr = token.instr
+        op = instr.op
+        pc = token.pc
+        next_pc = pc + 4
+        value = 0
+        mem_addr: int | None = None
+        halt = False
+        if op is isa.Op.HALT:
+            halt = True
+        elif op is isa.Op.NOP:
+            pass
+        elif isa.is_branch(op):
+            if isa.branch_taken(op, token.a, token.b):
+                next_pc = pc + 4 + instr.imm * 4
+        elif op is isa.Op.JAL:
+            value = pc + 4
+            next_pc = instr.imm * 4
+        elif op is isa.Op.JALR:
+            value = pc + 4
+            next_pc = (token.a + instr.imm) & ~3 & isa.MASK32
+        elif isa.is_mem(op):
+            mem_addr = (token.a + instr.imm) & isa.MASK32
+        else:
+            value = isa.alu(op, token.a, token.b)
+        return ExecutedToken(pc, instr, value, next_pc, mem_addr,
+                             token.store_value, halt)
+
+    def _exec_latency(self, token: DecodedToken, _k: int) -> int:
+        return self._mul_latency if token.instr.op is isa.Op.MUL else 1
+
+    def _mem_access(self, token: ExecutedToken, thread: int) -> MemToken:
+        value = token.value
+        if token.instr.op is isa.Op.LW:
+            value = self.dmem.read(thread, token.mem_addr)
+        elif token.instr.op is isa.Op.SW:
+            self.dmem.write(thread, token.mem_addr, token.store_value)
+        return MemToken(token.pc, token.instr, value, token.next_pc,
+                        token.halt)
+
+    def _mem_latency(self, token: ExecutedToken, _k: int) -> int:
+        return self._dmem_latency if isa.is_mem(token.instr.op) else 1
+
+    # ------------------------------------------------------------------
+    # program loading and execution
+    # ------------------------------------------------------------------
+    def load_program(self, thread: int, source: str | list[int],
+                     base: int | None = None) -> int:
+        """Assemble/load a program and arm the thread's PC at its base.
+
+        Without an explicit ``base``, each thread gets a 4 KiB code
+        segment at ``thread * 0x1000``.  Returns the base address.
+        """
+        if base is None:
+            base = thread * 0x1000
+        words = assemble(source, base=base) if isinstance(source, str) else source
+        self.imem.load(words, base=base)
+        self.pc_unit.set_start(thread, base)
+        return base
+
+    def run(self, max_cycles: int = 50_000) -> RunStats:
+        """Run until every armed thread has halted."""
+        self.sim.run(until=lambda _s: self.pc_unit.all_halted,
+                     max_cycles=max_cycles)
+        return RunStats(cycles=self.sim.cycle, retired=list(self.pc_unit.retired))
+
+    def run_cycles(self, cycles: int) -> RunStats:
+        self.sim.run(cycles=cycles)
+        return RunStats(cycles=self.sim.cycle, retired=list(self.pc_unit.retired))
+
+    # ------------------------------------------------------------------
+    # state access
+    # ------------------------------------------------------------------
+    def reg(self, thread: int, index: int) -> int:
+        return self.regfile.read(thread, index)
+
+    def mem_word(self, thread: int, addr: int) -> int:
+        return self.dmem.read(thread, addr)
+
+    # ------------------------------------------------------------------
+    # area inventory for Table I
+    # ------------------------------------------------------------------
+    def area_components(self) -> list[Component]:
+        """LE-counted parts; memories/register file excluded (Table I)."""
+        return [
+            self.pc_unit, self.meb_if, self.fetch, self.meb_id, self.decode,
+            self.meb_ex, self.execute, self.meb_mem, self.mem,
+            self.imem, self.dmem, self.regfile,
+        ]
+
+    def meb_components(self) -> list[Component]:
+        return [self.meb_if, self.meb_id, self.meb_ex, self.meb_mem]

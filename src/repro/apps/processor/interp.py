@@ -1,0 +1,124 @@
+"""Golden-model ISA interpreter for differential testing.
+
+Executes programs at the architectural level (no pipeline, no elasticity,
+no timing) so the elastic processor can be checked instruction-for-
+instruction against an independent implementation of the ISA semantics.
+``tests/test_processor_differential.py`` drives both with random
+hypothesis-generated programs and compares final register files, data
+memory and retired-instruction counts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.apps.processor import isa
+from repro.apps.processor.isa import Instruction, Op
+
+
+class InterpreterError(Exception):
+    """Illegal execution (bad fetch, unaligned access, runaway program)."""
+
+
+@dataclasses.dataclass
+class InterpState:
+    """Architectural state of one hart."""
+
+    regs: list[int]
+    mem: dict[int, int]
+    pc: int
+    halted: bool = False
+    retired: int = 0
+
+
+class Interpreter:
+    """Single-thread architectural interpreter of the processor ISA."""
+
+    def __init__(self, program: dict[int, int] | list[int], base: int = 0):
+        """``program``: words list loaded at ``base``, or an addr->word map."""
+        if isinstance(program, dict):
+            self._imem = dict(program)
+        else:
+            self._imem = {base + 4 * i: w for i, w in enumerate(program)}
+        self.state = InterpState(regs=[0] * isa.N_REGS, mem={}, pc=base)
+
+    # ------------------------------------------------------------------
+    def _read_reg(self, index: int) -> int:
+        return 0 if index == 0 else self.state.regs[index]
+
+    def _write_reg(self, index: int, value: int) -> None:
+        if index != 0:
+            self.state.regs[index] = value & isa.MASK32
+
+    def _fetch(self, pc: int) -> Instruction:
+        if pc % 4 != 0:
+            raise InterpreterError(f"unaligned pc {pc:#x}")
+        try:
+            return isa.decode(self._imem[pc])
+        except KeyError as exc:
+            raise InterpreterError(f"fetch from unloaded pc {pc:#x}") from exc
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Execute one instruction."""
+        st = self.state
+        if st.halted:
+            return
+        instr = self._fetch(st.pc)
+        op = instr.op
+        next_pc = st.pc + 4
+        a = self._read_reg(instr.rs1)
+
+        if op is Op.HALT:
+            st.halted = True
+        elif op is Op.NOP:
+            pass
+        elif isa.is_branch(op):
+            b = self._read_reg(instr.rs2)
+            if isa.branch_taken(op, a, b):
+                next_pc = st.pc + 4 + instr.imm * 4
+        elif op is Op.JAL:
+            self._write_reg(instr.rd, st.pc + 4)
+            next_pc = instr.imm * 4
+        elif op is Op.JALR:
+            self._write_reg(instr.rd, st.pc + 4)
+            next_pc = (a + instr.imm) & ~3 & isa.MASK32
+        elif op is Op.LW:
+            addr = (a + instr.imm) & isa.MASK32
+            if addr % 4 != 0:
+                raise InterpreterError(f"unaligned load at {addr:#x}")
+            self._write_reg(instr.rd, st.mem.get(addr, 0))
+        elif op is Op.SW:
+            addr = (a + instr.imm) & isa.MASK32
+            if addr % 4 != 0:
+                raise InterpreterError(f"unaligned store at {addr:#x}")
+            st.mem[addr] = self._read_reg(instr.rd)
+        else:
+            b = (
+                instr.imm
+                if instr.format is isa.Format.I
+                else self._read_reg(instr.rs2)
+            )
+            self._write_reg(instr.rd, isa.alu(op, a, b))
+        st.retired += 1
+        st.pc = next_pc
+
+    def run(self, max_steps: int = 100_000) -> InterpState:
+        """Run until HALT (or raise after ``max_steps``)."""
+        for _ in range(max_steps):
+            if self.state.halted:
+                return self.state
+            self.step()
+        raise InterpreterError(f"no HALT within {max_steps} steps")
+
+    # ------------------------------------------------------------------
+    def reg(self, index: int) -> int:
+        return self._read_reg(index)
+
+    def mem_word(self, addr: int) -> int:
+        return self.state.mem.get(addr, 0)
+
+    def regfile(self) -> list[int]:
+        regs = list(self.state.regs)
+        regs[0] = 0
+        return regs

@@ -1,0 +1,222 @@
+"""Instruction set of the multithreaded elastic processor (paper §V-B).
+
+The paper builds on the iDEA soft processor's instruction set [10] — a
+small in-order 32-bit RISC.  We define an ISA of the same class: 32
+general registers (``x0`` hardwired to zero), ALU/shift/compare ops,
+immediate forms, word load/store, conditional branches and jump-and-link,
+plus ``HALT`` to retire a thread.
+
+Encoding (32 bits)::
+
+    R-type:  opcode[31:26] rd[25:21] rs1[20:16] rs2[15:11] zero[10:0]
+    I-type:  opcode[31:26] rd[25:21] rs1[20:16] imm16[15:0]   (signed)
+    B-type:  opcode[31:26] rs2[25:21] rs1[20:16] imm16[15:0]  (target/4)
+
+Encode/decode are exact inverses (property-tested).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+MASK32 = 0xFFFFFFFF
+WORD = 4
+
+
+class Format(enum.Enum):
+    R = "R"
+    I = "I"
+    B = "B"
+    NONE = "NONE"
+
+
+class Op(enum.Enum):
+    # R-type ALU
+    ADD = 0
+    SUB = 1
+    AND = 2
+    OR = 3
+    XOR = 4
+    SLL = 5
+    SRL = 6
+    SRA = 7
+    SLT = 8
+    SLTU = 9
+    MUL = 10
+    # I-type ALU
+    ADDI = 16
+    ANDI = 17
+    ORI = 18
+    XORI = 19
+    SLTI = 20
+    SLLI = 21
+    SRLI = 22
+    SRAI = 23
+    LUI = 24
+    # memory
+    LW = 32
+    SW = 33
+    # control flow
+    BEQ = 40
+    BNE = 41
+    BLT = 42
+    BGE = 43
+    JAL = 48
+    JALR = 49
+    # misc
+    NOP = 56
+    HALT = 57
+
+
+FORMATS: dict[Op, Format] = {
+    **{op: Format.R for op in (
+        Op.ADD, Op.SUB, Op.AND, Op.OR, Op.XOR, Op.SLL, Op.SRL, Op.SRA,
+        Op.SLT, Op.SLTU, Op.MUL,
+    )},
+    **{op: Format.I for op in (
+        Op.ADDI, Op.ANDI, Op.ORI, Op.XORI, Op.SLTI, Op.SLLI, Op.SRLI,
+        Op.SRAI, Op.LUI, Op.LW, Op.SW, Op.JAL, Op.JALR,
+    )},
+    **{op: Format.B for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE)},
+    Op.NOP: Format.NONE,
+    Op.HALT: Format.NONE,
+}
+
+N_REGS = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class Instruction:
+    """One decoded instruction."""
+
+    op: Op
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+
+    def __post_init__(self) -> None:
+        for field, value in (("rd", self.rd), ("rs1", self.rs1),
+                             ("rs2", self.rs2)):
+            if not 0 <= value < N_REGS:
+                raise ValueError(f"{field}={value} out of range")
+        if not -(1 << 15) <= self.imm < (1 << 15):
+            raise ValueError(f"imm={self.imm} does not fit in 16 bits")
+
+    @property
+    def format(self) -> Format:
+        return FORMATS[self.op]
+
+    def __str__(self) -> str:
+        fmt = self.format
+        if fmt is Format.R:
+            return f"{self.op.name.lower()} x{self.rd}, x{self.rs1}, x{self.rs2}"
+        if fmt is Format.I:
+            return f"{self.op.name.lower()} x{self.rd}, x{self.rs1}, {self.imm}"
+        if fmt is Format.B:
+            return f"{self.op.name.lower()} x{self.rs1}, x{self.rs2}, {self.imm}"
+        return self.op.name.lower()
+
+
+def _to_u16(imm: int) -> int:
+    return imm & 0xFFFF
+
+
+def _from_u16(bits: int) -> int:
+    return bits - 0x10000 if bits & 0x8000 else bits
+
+
+def encode(instr: Instruction) -> int:
+    """Encode to a 32-bit word."""
+    word = instr.op.value << 26
+    fmt = instr.format
+    if fmt is Format.R:
+        word |= instr.rd << 21 | instr.rs1 << 16 | instr.rs2 << 11
+    elif fmt is Format.I:
+        word |= instr.rd << 21 | instr.rs1 << 16 | _to_u16(instr.imm)
+    elif fmt is Format.B:
+        word |= instr.rs2 << 21 | instr.rs1 << 16 | _to_u16(instr.imm)
+    return word & MASK32
+
+
+def decode(word: int) -> Instruction:
+    """Decode a 32-bit word (inverse of :func:`encode`)."""
+    opcode = (word >> 26) & 0x3F
+    try:
+        op = Op(opcode)
+    except ValueError as exc:
+        raise ValueError(f"illegal opcode {opcode} in word {word:#010x}") from exc
+    fmt = FORMATS[op]
+    if fmt is Format.R:
+        return Instruction(op, rd=(word >> 21) & 31, rs1=(word >> 16) & 31,
+                           rs2=(word >> 11) & 31)
+    if fmt is Format.I:
+        return Instruction(op, rd=(word >> 21) & 31, rs1=(word >> 16) & 31,
+                           imm=_from_u16(word & 0xFFFF))
+    if fmt is Format.B:
+        return Instruction(op, rs2=(word >> 21) & 31, rs1=(word >> 16) & 31,
+                           imm=_from_u16(word & 0xFFFF))
+    return Instruction(op)
+
+
+def _signed32(x: int) -> int:
+    x &= MASK32
+    return x - (1 << 32) if x & (1 << 31) else x
+
+
+def alu(op: Op, a: int, b: int) -> int:
+    """The ALU function for R/I-type operations (b is rs2 or imm)."""
+    a &= MASK32
+    b &= MASK32
+    shift = b & 31
+    if op in (Op.ADD, Op.ADDI):
+        return (a + b) & MASK32
+    if op is Op.SUB:
+        return (a - b) & MASK32
+    if op in (Op.AND, Op.ANDI):
+        return a & b
+    if op in (Op.OR, Op.ORI):
+        return a | b
+    if op in (Op.XOR, Op.XORI):
+        return a ^ b
+    if op in (Op.SLL, Op.SLLI):
+        return (a << shift) & MASK32
+    if op in (Op.SRL, Op.SRLI):
+        return a >> shift
+    if op in (Op.SRA, Op.SRAI):
+        return _signed32(a) >> shift & MASK32 if shift else a
+    if op in (Op.SLT, Op.SLTI):
+        return 1 if _signed32(a) < _signed32(b) else 0
+    if op is Op.SLTU:
+        return 1 if a < b else 0
+    if op is Op.MUL:
+        return (a * b) & MASK32
+    if op is Op.LUI:
+        return (b << 16) & MASK32
+    raise ValueError(f"{op} is not an ALU operation")
+
+
+def branch_taken(op: Op, a: int, b: int) -> bool:
+    """Condition evaluation for B-type operations."""
+    if op is Op.BEQ:
+        return (a & MASK32) == (b & MASK32)
+    if op is Op.BNE:
+        return (a & MASK32) != (b & MASK32)
+    if op is Op.BLT:
+        return _signed32(a) < _signed32(b)
+    if op is Op.BGE:
+        return _signed32(a) >= _signed32(b)
+    raise ValueError(f"{op} is not a branch")
+
+
+def is_branch(op: Op) -> bool:
+    return FORMATS[op] is Format.B
+
+
+def is_jump(op: Op) -> bool:
+    return op in (Op.JAL, Op.JALR)
+
+
+def is_mem(op: Op) -> bool:
+    return op in (Op.LW, Op.SW)

@@ -1,0 +1,86 @@
+"""Instruction and data memories (variable-latency, RAM-excluded).
+
+The instruction memory is a single shared word-addressed space (each
+thread's program is loaded at its own base address); the data memory
+gives every thread a private address space, keeping threads fully
+independent as in the paper's processor where "each thread ... execute[s]
+its code independently".  Both are consumed through variable-latency
+elastic units, matching "the instruction and data memory ... are
+considered variable latency units" (§V-B).
+"""
+
+from __future__ import annotations
+
+from repro.apps.processor.isa import MASK32
+from repro.kernel.component import Component
+from repro.kernel.errors import SimulationError
+
+
+def _check_aligned(addr: int, who: str) -> None:
+    if addr % 4 != 0:
+        raise SimulationError(f"{who}: unaligned word access at {addr:#x}")
+    if addr < 0:
+        raise SimulationError(f"{who}: negative address {addr:#x}")
+
+
+class InstructionMemory(Component):
+    """Shared read-only word memory holding every thread's program."""
+
+    def __init__(self, name: str, parent: Component | None = None):
+        super().__init__(name, parent=parent)
+        self._words: dict[int, int] = {}
+
+    def load(self, words: list[int], base: int = 0) -> None:
+        _check_aligned(base, self.path)
+        for i, word in enumerate(words):
+            self._words[base + 4 * i] = word & MASK32
+
+    def fetch(self, addr: int) -> int:
+        _check_aligned(addr, self.path)
+        try:
+            return self._words[addr]
+        except KeyError as exc:
+            raise SimulationError(
+                f"{self.path}: fetch from unloaded address {addr:#x}"
+            ) from exc
+
+    def clear(self) -> None:
+        self._words.clear()
+
+    @property
+    def ram_bits(self) -> int:
+        return len(self._words) * 32
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        return []  # block RAM, excluded from LE totals
+
+
+class DataMemoryArray(Component):
+    """Private word-addressed data memory per thread (zero-initialized)."""
+
+    def __init__(self, name: str, threads: int,
+                 parent: Component | None = None):
+        super().__init__(name, parent=parent)
+        self.threads = threads
+        self._spaces: list[dict[int, int]] = [{} for _ in range(threads)]
+
+    def read(self, thread: int, addr: int) -> int:
+        _check_aligned(addr, self.path)
+        return self._spaces[thread].get(addr, 0)
+
+    def write(self, thread: int, addr: int, value: int) -> None:
+        _check_aligned(addr, self.path)
+        self._spaces[thread][addr] = value & MASK32
+
+    def dump(self, thread: int) -> dict[int, int]:
+        return dict(self._spaces[thread])
+
+    def reset(self) -> None:
+        self._spaces = [{} for _ in range(self.threads)]
+
+    @property
+    def ram_bits(self) -> int:
+        return sum(len(s) for s in self._spaces) * 32
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        return []  # block RAM, excluded from LE totals

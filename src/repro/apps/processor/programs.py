@@ -1,0 +1,211 @@
+"""Sample workloads for the multithreaded elastic processor.
+
+Each program comes with a pure-Python oracle so tests can check the
+architectural state after execution.  The set deliberately exercises every
+instruction class: ALU, shifts, multiply (long-latency execute), loads and
+stores (variable-latency memory), branches, jumps, and halt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+
+@dataclasses.dataclass(frozen=True)
+class Program:
+    """Assembly source plus an oracle on final architectural state.
+
+    ``expect`` maps from parameters to the expected value; ``check`` says
+    where to look ("reg", index) or ("mem", byte address).
+    """
+
+    name: str
+    source: str
+    check: tuple[str, int]
+    expected: int
+
+
+def sum_to_n(n: int) -> Program:
+    """Sum 1..n by looping: result in x3 and mem[0]."""
+    source = f"""
+        addi x1, x0, {n}      ; counter
+        addi x3, x0, 0        ; accumulator
+    loop:
+        beq  x1, x0, done
+        add  x3, x3, x1
+        addi x1, x1, -1
+        jal  x0, loop
+    done:
+        sw   x3, x0, 0
+        halt
+    """
+    return Program("sum_to_n", source, ("mem", 0), sum(range(1, n + 1)))
+
+
+def fibonacci(k: int) -> Program:
+    """Iterative Fibonacci: fib(k) in x4 (fib(0)=0, fib(1)=1)."""
+    source = f"""
+        addi x1, x0, {k}
+        addi x3, x0, 0        ; fib(i)
+        addi x4, x0, 1        ; fib(i+1)
+    loop:
+        beq  x1, x0, done
+        add  x5, x3, x4
+        add  x3, x0, x4
+        add  x4, x0, x5
+        addi x1, x1, -1
+        jal  x0, loop
+    done:
+        add  x4, x0, x3
+        halt
+    """
+    fib = [0, 1]
+    for _ in range(max(0, k - 1)):
+        fib.append(fib[-1] + fib[-2])
+    return Program("fibonacci", source, ("reg", 4), fib[k] & 0xFFFFFFFF)
+
+
+def gcd(a: int, b: int) -> Program:
+    """Euclid by repeated subtraction: gcd in x1."""
+    source = f"""
+        addi x1, x0, {a}
+        addi x2, x0, {b}
+    loop:
+        beq  x2, x0, done
+        bge  x1, x2, reduce
+        add  x5, x0, x1       ; swap
+        add  x1, x0, x2
+        add  x2, x0, x5
+        jal  x0, loop
+    reduce:
+        sub  x1, x1, x2
+        jal  x0, loop
+    done:
+        halt
+    """
+    import math
+
+    return Program("gcd", source, ("reg", 1), math.gcd(a, b))
+
+
+def memcpy(values: list[int], src_base: int = 0x100,
+           dst_base: int = 0x200) -> tuple[Program, dict[int, int]]:
+    """Copy ``len(values)`` words; returns the program and the initial
+    data-memory image the caller must pre-seed."""
+    n = len(values)
+    source = f"""
+        addi x1, x0, {src_base}
+        addi x2, x0, {dst_base}
+        addi x3, x0, {n}
+    loop:
+        beq  x3, x0, done
+        lw   x4, x1, 0
+        sw   x4, x2, 0
+        addi x1, x1, 4
+        addi x2, x2, 4
+        addi x3, x3, -1
+        jal  x0, loop
+    done:
+        halt
+    """
+    image = {src_base + 4 * i: v & 0xFFFFFFFF for i, v in enumerate(values)}
+    program = Program(
+        "memcpy", source, ("mem", dst_base + 4 * (n - 1)),
+        values[-1] & 0xFFFFFFFF,
+    )
+    return program, image
+
+
+def dot_product(xs: list[int], ys: list[int]) -> tuple[Program, dict[int, int]]:
+    """Σ xs[i]*ys[i] via MUL (exercises the long-latency execute path)."""
+    if len(xs) != len(ys):
+        raise ValueError("vectors must have equal length")
+    n = len(xs)
+    x_base, y_base = 0x300, 0x400
+    source = f"""
+        addi x1, x0, {x_base}
+        addi x2, x0, {y_base}
+        addi x3, x0, {n}
+        addi x4, x0, 0        ; accumulator
+    loop:
+        beq  x3, x0, done
+        lw   x5, x1, 0
+        lw   x6, x2, 0
+        mul  x7, x5, x6
+        add  x4, x4, x7
+        addi x1, x1, 4
+        addi x2, x2, 4
+        addi x3, x3, -1
+        jal  x0, loop
+    done:
+        sw   x4, x0, 16
+        halt
+    """
+    image = {x_base + 4 * i: v & 0xFFFFFFFF for i, v in enumerate(xs)}
+    image.update({y_base + 4 * i: v & 0xFFFFFFFF for i, v in enumerate(ys)})
+    expected = sum(x * y for x, y in zip(xs, ys)) & 0xFFFFFFFF
+    return Program("dot_product", source, ("mem", 16), expected), image
+
+
+def shift_playground(value: int) -> Program:
+    """Exercises every shift and bitwise op; result signature in x10."""
+    source = f"""
+        addi x1, x0, {value & 0x7FF}
+        slli x2, x1, 3
+        srli x3, x2, 1
+        lui  x4, x0, 1
+        or   x5, x3, x4
+        xori x6, x5, 0x2A
+        andi x7, x6, 0x3FF
+        sub  x8, x6, x7
+        sra  x9, x8, x1
+        add  x10, x7, x9
+        halt
+    """
+    v = value & 0x7FF
+    x2 = (v << 3) & 0xFFFFFFFF
+    x3 = x2 >> 1
+    x4 = 1 << 16
+    x5 = x3 | x4
+    x6 = x5 ^ 0x2A
+    x7 = x6 & 0x3FF
+    x8 = (x6 - x7) & 0xFFFFFFFF
+
+    def sra32(x, n):
+        n &= 31
+        s = x - (1 << 32) if x & (1 << 31) else x
+        return (s >> n) & 0xFFFFFFFF
+
+    x9 = sra32(x8, v)
+    x10 = (x7 + x9) & 0xFFFFFFFF
+    return Program("shift_playground", source, ("reg", 10), x10)
+
+
+def spin(n: int) -> Program:
+    """Busy loop of ~4n instructions; used for utilization experiments."""
+    source = f"""
+        addi x1, x0, {n}
+    loop:
+        beq  x1, x0, done
+        addi x2, x2, 1
+        addi x1, x1, -1
+        jal  x0, loop
+    done:
+        halt
+    """
+    return Program("spin", source, ("reg", 2), n)
+
+
+#: A ready-made mixed workload, one entry per typical thread.
+def standard_mix() -> list[Program]:
+    return [
+        sum_to_n(10),
+        fibonacci(12),
+        gcd(126, 84),
+        shift_playground(37),
+        spin(15),
+        sum_to_n(7),
+        fibonacci(9),
+        gcd(81, 27),
+    ]

@@ -1,0 +1,50 @@
+"""Per-thread architectural state: register files.
+
+Paper §V-B: "Each thread sees a different copy of the register file and
+has a private program counter."  The register file array holds one 32x32
+bank per thread; like the paper's Table I accounting, its storage is
+excluded from the LE totals ("the multithreaded register file ... [is]
+not included").
+"""
+
+from __future__ import annotations
+
+from repro.apps.processor.isa import MASK32, N_REGS
+from repro.kernel.component import Component
+
+
+class RegisterFileArray(Component):
+    """One 32-register bank per thread; ``x0`` reads as zero everywhere."""
+
+    def __init__(self, name: str, threads: int,
+                 parent: Component | None = None):
+        super().__init__(name, parent=parent)
+        self.threads = threads
+        self._banks: list[list[int]] = [
+            [0] * N_REGS for _ in range(threads)
+        ]
+
+    def read(self, thread: int, reg: int) -> int:
+        if reg == 0:
+            return 0
+        return self._banks[thread][reg]
+
+    def write(self, thread: int, reg: int, value: int) -> None:
+        if reg == 0:
+            return  # x0 is hardwired to zero
+        self._banks[thread][reg] = value & MASK32
+
+    def dump(self, thread: int) -> list[int]:
+        bank = list(self._banks[thread])
+        bank[0] = 0
+        return bank
+
+    def reset(self) -> None:
+        self._banks = [[0] * N_REGS for _ in range(self.threads)]
+
+    @property
+    def ram_bits(self) -> int:
+        return self.threads * N_REGS * 32
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        return []  # block-RAM backed, excluded like the paper's Table I

@@ -1,0 +1,199 @@
+"""Pipeline stage tokens and the sequenced (side-effecting) stage unit.
+
+The pipeline circulates **one token per thread** around an elastic ring
+(DESIGN.md §5: this removes intra-thread hazards by construction while
+matching the paper's "all threads are eligible to move forward in the
+pipeline as long as they contain a valid instruction").  Tokens morph as
+they pass each stage:
+
+``PCToken -> FetchedToken -> DecodedToken -> ExecutedToken -> MemToken``
+
+:class:`MTSequencedUnit` complements
+:class:`~repro.core.function.MTVariableLatencyUnit` for stages with side
+effects (data-memory writes, register writeback): its ``fn`` runs exactly
+once per accepted item, during the capture phase, where state mutation is
+legal — never inside combinational evaluation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable
+
+from repro.apps.processor.isa import Instruction
+from repro.core.mtchannel import MTChannel
+from repro.elastic.function import LatencyPolicy
+from repro.kernel.component import Component
+from repro.kernel.errors import SimulationError
+from repro.kernel.values import X, as_bool
+
+
+# ----------------------------------------------------------------------
+# stage payloads
+# ----------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class PCToken:
+    """Fetch request: the thread's program counter."""
+
+    pc: int
+
+    WIDTH = 32
+
+
+@dataclasses.dataclass(frozen=True)
+class FetchedToken:
+    """Fetch response: pc + raw instruction word."""
+
+    pc: int
+    word: int
+
+    WIDTH = 64
+
+
+@dataclasses.dataclass(frozen=True)
+class DecodedToken:
+    """Decoded instruction with register operands read."""
+
+    pc: int
+    instr: Instruction
+    a: int          # rs1 value
+    b: int          # rs2 value or immediate, per instruction format
+    store_value: int  # value to store for SW (rd-field register)
+
+    WIDTH = 32 + 32 + 96  # pc + operands + decoded fields
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutedToken:
+    """Execute results: ALU value, branch decision, memory request."""
+
+    pc: int
+    instr: Instruction
+    value: int          # ALU result / link value
+    next_pc: int        # resolved next program counter
+    mem_addr: int | None
+    store_value: int
+    halt: bool
+
+    WIDTH = 32 + 32 + 32 + 32 + 8
+
+
+@dataclasses.dataclass(frozen=True)
+class MemToken:
+    """Memory stage output: final writeback value."""
+
+    pc: int
+    instr: Instruction
+    value: int
+    next_pc: int
+    halt: bool
+
+    WIDTH = 32 + 32 + 32 + 8
+
+
+# ----------------------------------------------------------------------
+# sequenced unit
+# ----------------------------------------------------------------------
+
+class MTSequencedUnit(Component):
+    """Variable-latency MT unit whose ``fn(data, thread)`` may mutate state.
+
+    Same external timing contract as
+    :class:`~repro.core.function.MTVariableLatencyUnit` (accept at *t*,
+    result valid from *t+L*), but the function is evaluated exactly once,
+    at acceptance, inside the capture phase.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inp: MTChannel,
+        out: MTChannel,
+        fn: Callable[[Any, int], Any],
+        latency: LatencyPolicy = 1,
+        area_luts: int = 0,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if inp.threads != out.threads:
+            raise SimulationError(f"{name}: thread-count mismatch")
+        self.threads = inp.threads
+        self.inp = inp
+        self.out = out
+        self.fn = fn
+        self._latency_policy = latency
+        self._area_luts = int(area_luts)
+        inp.connect_consumer(self)
+        out.connect_producer(self)
+        self._busy = False
+        self._owner: int | None = None
+        self._remaining = 0
+        self._result: Any = X
+        self._accepted = 0
+        self._next: tuple[bool, int | None, int, Any, int] | None = None
+
+    def _latency_for(self, data: Any) -> int:
+        policy = self._latency_policy
+        lat = policy(data, self._accepted) if callable(policy) else policy
+        if lat < 1:
+            raise SimulationError(f"{self.path}: latency must be >= 1")
+        return int(lat)
+
+    @property
+    def done(self) -> bool:
+        return self._busy and self._remaining == 0
+
+    def combinational(self) -> None:
+        draining = self.done and as_bool(self.out.ready[self._owner].value)
+        accepting = (not self._busy) or draining
+        for t in range(self.threads):
+            self.inp.ready[t].set(accepting)
+            self.out.valid[t].set(self.done and self._owner == t)
+        self.out.data.set(self._result if self.done else X)
+
+    def capture(self) -> None:
+        busy, owner = self._busy, self._owner
+        remaining, result = self._remaining, self._result
+        accepted = self._accepted
+        if self.done and as_bool(self.out.ready[self._owner].value):
+            busy, owner, result = False, None, X
+        if not busy:
+            t = self.inp.transfer_thread()
+            if t is not None:
+                data = self.inp.data.value
+                remaining = self._latency_for(data) - 1
+                result = self.fn(data, t)  # the one-and-only evaluation
+                busy, owner = True, t
+                accepted += 1
+        elif remaining > 0:
+            remaining -= 1
+        self._next = (busy, owner, remaining, result, accepted)
+
+    def commit(self) -> None:
+        if self._next is not None:
+            (self._busy, self._owner, self._remaining, self._result,
+             self._accepted) = self._next
+            self._next = None
+
+    def reset(self) -> None:
+        self._busy = False
+        self._owner = None
+        self._remaining = 0
+        self._result = X
+        self._accepted = 0
+        self._next = None
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        import math
+
+        width = self.out.width
+        owner_bits = max(1, math.ceil(math.log2(max(2, self.threads))))
+        items: list[tuple[str, int, int]] = [
+            ("ff", 1, width),
+            ("ff", 1, 4 + owner_bits),
+            ("lut", 4 + self.threads, 1),
+        ]
+        if self._area_luts:
+            items.append(("lut", self._area_luts, 1))
+        return items

@@ -1,0 +1,47 @@
+"""The paper's core contribution: multithreaded elastic primitives.
+
+Multithreaded channels (:class:`MTChannel`), the full and reduced
+multithreaded elastic buffers (:class:`FullMEB`, :class:`ReducedMEB`),
+the per-thread control operators (:class:`MJoin`, :class:`MFork`,
+:class:`MBranch`, :class:`MMerge`), the synchronization barrier
+(:class:`Barrier`), shared function units and traffic endpoints.
+"""
+
+from repro.core.arbiter import FixedPriorityArbiter, GrantPolicy, RoundRobinArbiter
+from repro.core.barrier import FREE, IDLE, WAIT, Barrier
+from repro.core.endpoints import MTSink, MTSource
+from repro.core.function import MTContextFunction, MTFunction, MTVariableLatencyUnit
+from repro.core.meb import EMPTY, FULL, HALF, FullMEB, ReducedMEB
+from repro.core.monitor import MTMonitor
+from repro.core.mtchannel import MTChannel, mt_channels, trace_mt_channel
+from repro.core.operators import MBranch, MFork, MJoin, MMerge
+from repro.core.structural import StructuralFullMEB
+
+__all__ = [
+    "Barrier",
+    "EMPTY",
+    "FREE",
+    "FULL",
+    "FixedPriorityArbiter",
+    "FullMEB",
+    "GrantPolicy",
+    "HALF",
+    "IDLE",
+    "MBranch",
+    "MFork",
+    "MJoin",
+    "MMerge",
+    "MTChannel",
+    "MTContextFunction",
+    "MTFunction",
+    "MTMonitor",
+    "MTSink",
+    "MTSource",
+    "MTVariableLatencyUnit",
+    "ReducedMEB",
+    "RoundRobinArbiter",
+    "StructuralFullMEB",
+    "WAIT",
+    "mt_channels",
+    "trace_mt_channel",
+]

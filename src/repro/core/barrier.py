@@ -1,0 +1,183 @@
+"""Thread synchronization barrier (paper §IV-C, Fig. 8).
+
+The barrier sits on a multithreaded elastic channel and blocks the data
+flow until every participating thread has *arrived* (presented valid
+data).  Implementation mirrors the paper's Fig. 8:
+
+* a per-thread FSM with states IDLE → WAIT → FREE,
+* a counter of arrived threads, compared against the participant count,
+* a global ``go`` flag that flips when the last thread arrives; threads
+  whose local ``lgo`` snapshot differs from ``go`` move to FREE.
+
+While a thread is IDLE or WAIT the barrier keeps its ``ready`` low, so the
+waiting data items stay parked in the upstream MEB; arrival is detected
+from ``valid`` alone, which is why the upstream MEB must keep presenting
+waiting threads (the fallback grant policy with rotate-on-stall, see
+:mod:`repro.core.arbiter`).  Once FREE, a thread's handshake passes
+through transparently until its transfer completes, returning it to IDLE
+"waiting for the barrier to re-open".
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.mtchannel import MTChannel
+from repro.kernel.component import Component
+from repro.kernel.errors import SimulationError
+from repro.kernel.values import as_bool
+
+IDLE = "IDLE"
+WAIT = "WAIT"
+FREE = "FREE"
+
+
+class Barrier(Component):
+    """MT-elastic barrier: releases all participants together.
+
+    Parameters
+    ----------
+    participants:
+        Thread indices that take part in the synchronization.  Defaults to
+        all threads of the channel.  Non-participating threads pass
+        through unsynchronized.
+    on_release:
+        Optional callback invoked (during commit) every time the barrier
+        opens — the MD5 circuit uses it to advance its global round
+        counter, the paper's "allowing the round counter to be
+        incremented".
+    """
+
+    def __init__(
+        self,
+        name: str,
+        up: MTChannel,
+        down: MTChannel,
+        participants: Sequence[int] | None = None,
+        on_release: Callable[[int], None] | None = None,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if up.threads != down.threads:
+            raise SimulationError(
+                f"{name}: thread-count mismatch {up.threads} vs {down.threads}"
+            )
+        self.threads = up.threads
+        self.up = up
+        self.down = down
+        if participants is None:
+            participants = list(range(self.threads))
+        self.participants = sorted(set(participants))
+        if not self.participants:
+            raise ValueError("barrier needs at least one participant")
+        for t in self.participants:
+            if not 0 <= t < self.threads:
+                raise ValueError(f"participant {t} out of range")
+        self.limit = len(self.participants)
+        self._on_release = on_release
+        up.connect_consumer(self)
+        down.connect_producer(self)
+        # Registered state.
+        self._fsm: list[str] = [IDLE] * self.threads
+        self._count = 0
+        self._go = False
+        self._releases = 0
+        self._next: tuple[list[str], int, bool] | None = None
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def thread_state(self, thread: int) -> str:
+        return self._fsm[thread]
+
+    @property
+    def count(self) -> int:
+        """Number of participants currently waiting at the barrier."""
+        return self._count
+
+    @property
+    def go(self) -> bool:
+        """The global go flag (flips on every release, paper Fig. 8)."""
+        return self._go
+
+    @property
+    def releases(self) -> int:
+        """How many times the barrier has opened since reset."""
+        return self._releases
+
+    def is_open_for(self, thread: int) -> bool:
+        return thread not in self.participants or self._fsm[thread] == FREE
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def combinational(self) -> None:
+        for t in range(self.threads):
+            passing = self.is_open_for(t)
+            vin = as_bool(self.up.valid[t].value)
+            rin = as_bool(self.down.ready[t].value)
+            self.down.valid[t].set(vin and passing)
+            self.up.ready[t].set(rin and passing)
+        self.down.data.set(self.up.data.value)
+
+    def capture(self) -> None:
+        fsm = list(self._fsm)
+        count = self._count
+        released = False
+        # Transfers first: FREE threads whose item passed return to IDLE.
+        for t in self.participants:
+            if fsm[t] == FREE and self.up.transfers(t):
+                fsm[t] = IDLE
+        # Arrivals: an IDLE participant presenting valid data moves to
+        # WAIT and bumps the counter (paper: load lgo(i), cntEn(i)).
+        # Note `self._fsm` (pre-transition state) gates arrival detection
+        # so the item that just passed is not double counted.
+        for t in self.participants:
+            if self._fsm[t] == IDLE and as_bool(self.up.valid[t].value):
+                fsm[t] = WAIT
+                count += 1
+        if count >= self.limit:
+            # Last thread arrived: counter resets, go flips, every WAIT
+            # thread is released.
+            count = 0
+            released = True
+            for t in self.participants:
+                if fsm[t] == WAIT:
+                    fsm[t] = FREE
+        self._next = (fsm, count, released)
+
+    def commit(self) -> None:
+        if self._next is None:
+            return
+        fsm, count, released = self._next
+        self._next = None
+        self._fsm = fsm
+        self._count = count
+        if released:
+            self._go = not self._go
+            self._releases += 1
+            if self._on_release is not None:
+                self._on_release(self._releases)
+
+    def reset(self) -> None:
+        self._fsm = [IDLE] * self.threads
+        self._count = 0
+        self._go = False
+        self._releases = 0
+        self._next = None
+
+    # ------------------------------------------------------------------
+    # cost model
+    # ------------------------------------------------------------------
+    def area_items(self) -> list[tuple[str, int, int]]:
+        import math
+
+        s = len(self.participants)
+        counter_bits = max(1, math.ceil(math.log2(s + 1)))
+        return [
+            ("ff", s, 2),                  # per-thread FSM
+            ("ff", s, 1),                  # lgo snapshots
+            ("ff", 1, counter_bits),       # arrival counter
+            ("ff", 1, 1),                  # go flag
+            ("lut", 3 * s + counter_bits, 1),
+        ]

@@ -1,0 +1,211 @@
+"""Multithreaded traffic endpoints: sources and sinks for MT channels.
+
+An :class:`MTSource` holds an independent item stream per thread and
+injects at most one thread per cycle (the MT channel carries one), picking
+among pending threads with the same round-robin + downstream-ready masking
+an MEB uses.  An :class:`MTSink` applies an independent readiness (stall)
+pattern per thread — the mechanism behind the paper's Fig. 5 experiment
+where "thread B stalls" for a window while thread A keeps draining.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+from repro.core.arbiter import GrantPolicy, RoundRobinArbiter
+from repro.core.mtchannel import MTChannel
+from repro.elastic.endpoints import Pattern, _pattern_fn
+from repro.kernel.component import Component
+from repro.kernel.values import X, as_bool
+
+
+class MTSource(Component):
+    """Injects per-thread item streams into an MT channel.
+
+    Parameters
+    ----------
+    items:
+        One iterable of items per thread (length must equal the channel's
+        thread count).  A thread with an empty list simply never injects.
+    patterns:
+        Optional per-thread injection gates; a thread only competes for
+        the channel in cycles where its gate is open.
+    policy:
+        Grant policy for choosing among pending threads (default: masked
+        by downstream ready with fallback, like the MEBs).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        channel: MTChannel,
+        items: Sequence[Iterable[Any]],
+        patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
+        policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        self.channel = channel
+        self.threads = channel.threads
+        if len(items) != self.threads:
+            raise ValueError(
+                f"{name}: need one item stream per thread "
+                f"({self.threads}), got {len(items)}"
+            )
+        self._items: list[list[Any]] = [list(seq) for seq in items]
+        self._gates: list[Callable[[int], bool]] = []
+        for t in range(self.threads):
+            if patterns is None:
+                pat: Pattern = None
+            elif isinstance(patterns, Mapping):
+                pat = patterns.get(t)
+            else:
+                pat = patterns[t]
+            self._gates.append(_pattern_fn(pat))
+        self.policy = policy
+        self.arbiter = RoundRobinArbiter(self.threads, rotate_on_stall=True)
+        channel.connect_producer(self)
+        # Registered state.
+        self._index = [0] * self.threads
+        self._cycle = 0
+        self._blocked: set[int] = set()
+        self._chosen: int | None = None
+        self._next: tuple[list[int], int] | None = None
+        self.sent: list[tuple[int, int, Any]] = []
+
+    # ------------------------------------------------------------------
+    # external control
+    # ------------------------------------------------------------------
+    def push(self, thread: int, item: Any) -> None:
+        """Append an item to a thread's stream (usable mid-simulation)."""
+        self._items[thread].append(item)
+
+    def block(self, thread: int) -> None:
+        """Stop injecting for *thread* until :meth:`unblock` (flow gating)."""
+        self._blocked.add(thread)
+
+    def unblock(self, thread: int) -> None:
+        self._blocked.discard(thread)
+
+    def pending(self, thread: int) -> int:
+        return len(self._items[thread]) - self._index[thread]
+
+    @property
+    def exhausted(self) -> bool:
+        return all(self.pending(t) == 0 for t in range(self.threads))
+
+    def sent_by_thread(self, thread: int) -> list[Any]:
+        return [d for _c, t, d in self.sent if t == thread]
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def _eligible(self) -> list[bool]:
+        return [
+            self.pending(t) > 0
+            and t not in self._blocked
+            and self._gates[t](self._cycle)
+            for t in range(self.threads)
+        ]
+
+    def combinational(self) -> None:
+        eligible = self._eligible()
+        readies = [as_bool(sig.value) for sig in self.channel.ready]
+        requests = self.policy.requests(eligible, readies)
+        chosen = self.arbiter.grant(requests)
+        self._chosen = chosen
+        for t in range(self.threads):
+            self.channel.valid[t].set(chosen == t)
+        if chosen is not None:
+            self.channel.data.set(self._items[chosen][self._index[chosen]])
+        else:
+            self.channel.data.set(X)
+
+    def capture(self) -> None:
+        index = list(self._index)
+        transferred = False
+        if self._chosen is not None and as_bool(
+            self.channel.ready[self._chosen].value
+        ):
+            transferred = True
+            self.sent.append(
+                (self._cycle, self._chosen, self.channel.data.value)
+            )
+            index[self._chosen] += 1
+        self.arbiter.note(self._chosen, transferred)
+        self._next = (index, self._cycle + 1)
+
+    def commit(self) -> None:
+        self.arbiter.commit()
+        if self._next is not None:
+            self._index, self._cycle = self._next
+            self._next = None
+
+    def reset(self) -> None:
+        self.arbiter.reset()
+        self._index = [0] * self.threads
+        self._cycle = 0
+        self._chosen = None
+        self._next = None
+        self.sent = []
+
+
+class MTSink(Component):
+    """Consumes an MT channel under independent per-thread stall patterns."""
+
+    def __init__(
+        self,
+        name: str,
+        channel: MTChannel,
+        patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        self.channel = channel
+        self.threads = channel.threads
+        self._gates: list[Callable[[int], bool]] = []
+        for t in range(self.threads):
+            if patterns is None:
+                pat: Pattern = None
+            elif isinstance(patterns, Mapping):
+                pat = patterns.get(t)
+            else:
+                pat = patterns[t]
+            self._gates.append(_pattern_fn(pat))
+        channel.connect_consumer(self)
+        self._cycle = 0
+        self._next_cycle: int | None = None
+        self.received: list[tuple[int, int, Any]] = []
+
+    @property
+    def count(self) -> int:
+        return len(self.received)
+
+    def count_for(self, thread: int) -> int:
+        return sum(1 for _c, t, _d in self.received if t == thread)
+
+    def values_for(self, thread: int) -> list[Any]:
+        return [d for _c, t, d in self.received if t == thread]
+
+    def cycles_for(self, thread: int) -> list[int]:
+        return [c for c, t, _d in self.received if t == thread]
+
+    def combinational(self) -> None:
+        for t in range(self.threads):
+            self.channel.ready[t].set(self._gates[t](self._cycle))
+
+    def capture(self) -> None:
+        t = self.channel.transfer_thread()
+        if t is not None:
+            self.received.append((self._cycle, t, self.channel.data.value))
+        self._next_cycle = self._cycle + 1
+
+    def commit(self) -> None:
+        if self._next_cycle is not None:
+            self._cycle = self._next_cycle
+            self._next_cycle = None
+
+    def reset(self) -> None:
+        self._cycle = 0
+        self._next_cycle = None
+        self.received = []

@@ -1,0 +1,222 @@
+"""Shared multithreaded function units.
+
+The whole point of multithreaded elasticity (paper §I) is that one copy of
+the datapath logic serves all threads in a time-multiplexed way.  These
+units implement that sharing on MT channels:
+
+* :class:`MTFunction` — combinational logic shared by all threads
+  (handshakes pass through per thread, data is transformed in place).
+* :class:`MTVariableLatencyUnit` — a single-occupancy variable-latency
+  unit (the processor's memories and execution units): it accepts the
+  active thread's item, remembers the owning thread, and presents the
+  result on that thread's valid wire when done.
+* :class:`MTContextFunction` — like :class:`MTFunction` but the function
+  also receives the thread index, for per-thread context such as the
+  processor's per-thread register files.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.mtchannel import MTChannel
+from repro.elastic.function import LatencyPolicy
+from repro.kernel.component import Component
+from repro.kernel.errors import SimulationError
+from repro.kernel.values import X, as_bool
+
+
+class MTFunction(Component):
+    """Combinational datapath logic shared by all threads."""
+
+    def __init__(
+        self,
+        name: str,
+        inp: MTChannel,
+        out: MTChannel,
+        fn: Callable[[Any], Any],
+        area_luts: int = 0,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if inp.threads != out.threads:
+            raise SimulationError(f"{name}: thread-count mismatch")
+        self.threads = inp.threads
+        self.inp = inp
+        self.out = out
+        self.fn = fn
+        self._area_luts = int(area_luts)
+        inp.connect_consumer(self)
+        out.connect_producer(self)
+
+    def combinational(self) -> None:
+        active = self.inp.active_thread()
+        for t in range(self.threads):
+            self.out.valid[t].set(active == t)
+            self.inp.ready[t].set(as_bool(self.out.ready[t].value))
+        self.out.data.set(
+            self.fn(self.inp.data.value) if active is not None else X
+        )
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        return [("lut", self._area_luts, 1)] if self._area_luts else []
+
+
+class MTContextFunction(MTFunction):
+    """Combinational logic that also sees the active thread index.
+
+    Used for per-thread architectural context (register files, PCs): the
+    datapath is shared, the context is selected by the thread id carried
+    on the active valid wire — paper §V-B, "each thread sees a different
+    copy of the register file".
+    """
+
+    def combinational(self) -> None:
+        active = self.inp.active_thread()
+        for t in range(self.threads):
+            self.out.valid[t].set(active == t)
+            self.inp.ready[t].set(as_bool(self.out.ready[t].value))
+        self.out.data.set(
+            self.fn(self.inp.data.value, active) if active is not None else X
+        )
+
+
+class MTVariableLatencyUnit(Component):
+    """Single-occupancy variable-latency unit shared by all threads.
+
+    Timing: an item of thread *t* accepted in cycle *c* with latency *L*
+    (≥ 1) presents its result on ``valid[t]`` from cycle *c+L* until the
+    downstream takes it.  While occupied, no thread is ready upstream —
+    other threads' items wait in the surrounding MEBs, which is exactly
+    how multithreading "hides the latency of each operation" (paper §I):
+    the *channel* keeps moving other threads while this unit is busy.
+
+    With ``bypass=True`` (the default) the unit accepts a new item in the
+    same cycle its result drains downstream, sustaining one item per L
+    cycles; with ``bypass=False`` an idle handoff cycle separates items
+    (and ``ready`` has no combinational dependence on downstream
+    ``ready``).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inp: MTChannel,
+        out: MTChannel,
+        fn: Callable[[Any], Any],
+        latency: LatencyPolicy = 1,
+        area_luts: int = 0,
+        bypass: bool = True,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if inp.threads != out.threads:
+            raise SimulationError(f"{name}: thread-count mismatch")
+        self.threads = inp.threads
+        self.inp = inp
+        self.out = out
+        self.fn = fn
+        self.bypass = bypass
+        self._latency_policy = latency
+        self._latency_iter = None
+        self._area_luts = int(area_luts)
+        inp.connect_consumer(self)
+        out.connect_producer(self)
+        # Registered state.
+        self._busy = False
+        self._owner: int | None = None
+        self._remaining = 0
+        self._result: Any = X
+        self._accepted = 0
+        self._next: tuple[bool, int | None, int, Any, int] | None = None
+
+    def _latency_for(self, data: Any) -> int:
+        policy = self._latency_policy
+        if isinstance(policy, int):
+            lat = policy
+        elif callable(policy):
+            lat = policy(data, self._accepted)
+        else:
+            if self._latency_iter is None:
+                self._latency_iter = iter(policy)
+            try:
+                lat = next(self._latency_iter)
+            except StopIteration as exc:
+                raise SimulationError(
+                    f"{self.path}: latency iterable exhausted"
+                ) from exc
+        if lat < 1:
+            raise SimulationError(f"{self.path}: latency must be >= 1, got {lat}")
+        return int(lat)
+
+    @property
+    def done(self) -> bool:
+        return self._busy and self._remaining == 0
+
+    @property
+    def owner(self) -> int | None:
+        return self._owner
+
+    def combinational(self) -> None:
+        draining = (
+            self.bypass
+            and self.done
+            and as_bool(self.out.ready[self._owner].value)
+        )
+        accepting = (not self._busy) or draining
+        for t in range(self.threads):
+            self.inp.ready[t].set(accepting)
+            self.out.valid[t].set(self.done and self._owner == t)
+        self.out.data.set(self._result if self.done else X)
+
+    def capture(self) -> None:
+        busy, owner = self._busy, self._owner
+        remaining, result = self._remaining, self._result
+        accepted = self._accepted
+        if self.done and as_bool(self.out.ready[self._owner].value):
+            busy, owner, result = False, None, X
+        if not busy:
+            t = self.inp.transfer_thread()
+            if t is not None:
+                data = self.inp.data.value
+                remaining = self._latency_for(data) - 1
+                result = self.fn(data)
+                busy, owner = True, t
+                accepted += 1
+        elif remaining > 0:
+            remaining -= 1
+        self._next = (busy, owner, remaining, result, accepted)
+
+    def commit(self) -> None:
+        if self._next is not None:
+            (
+                self._busy,
+                self._owner,
+                self._remaining,
+                self._result,
+                self._accepted,
+            ) = self._next
+            self._next = None
+
+    def reset(self) -> None:
+        self._busy = False
+        self._owner = None
+        self._remaining = 0
+        self._result = X
+        self._accepted = 0
+        self._next = None
+        self._latency_iter = None
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        import math
+
+        width = self.out.width
+        owner_bits = max(1, math.ceil(math.log2(self.threads)))
+        items: list[tuple[str, int, int]] = [
+            ("ff", 1, width),
+            ("ff", 1, 4 + owner_bits),
+            ("lut", 4 + self.threads, 1),
+        ]
+        if self._area_luts:
+            items.append(("lut", self._area_luts, 1))
+        return items

@@ -1,0 +1,400 @@
+"""Multithreaded elastic buffers: the paper's central primitives (§III, §IV-A).
+
+* :class:`FullMEB` — the baseline of Fig. 4: one 2-slot elastic buffer per
+  thread plus an output arbiter and mux.  ``2·S`` data slots for ``S``
+  threads; every thread can always overlap a stall with a refill, so a
+  lone active thread keeps 100% throughput no matter what the other
+  threads do.
+
+* :class:`ReducedMEB` — the proposed buffer of Fig. 6: one main register
+  per thread plus a **single auxiliary register dynamically shared by all
+  threads** (``S + 1`` slots).  Each thread runs the 3-state
+  EMPTY/HALF/FULL elastic control FSM; a 2-state FSM on the shared slot
+  guarantees that only one thread is in FULL at a time.  Under uniform
+  utilization each active thread still gets ``1/M`` throughput; the only
+  degradation (paper §III-A, Fig. 5(b)) is the 50% case when every other
+  thread is blocked and the shared slots up to the source are all held by
+  a blocked thread.
+
+Both expose the same interface: an upstream :class:`MTChannel` whose
+``ready[i]`` they drive and a downstream :class:`MTChannel` whose
+``valid[i]``/``data`` they drive.  ``ready[i]`` and the per-thread
+occupancies are functions of registered state only, so MEB-to-MEB links
+have no backward combinational paths.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.arbiter import GrantPolicy, RoundRobinArbiter
+from repro.core.mtchannel import MTChannel
+from repro.kernel.component import Component
+from repro.kernel.errors import ProtocolError, SimulationError
+from repro.kernel.values import X, as_bool
+
+#: Per-thread elastic control states (paper Fig. 6).
+EMPTY = "EMPTY"
+HALF = "HALF"
+FULL = "FULL"
+
+
+class _MEBBase(Component):
+    """Shared scaffolding: channels, arbiter, output stage, input checks."""
+
+    def __init__(
+        self,
+        name: str,
+        up: MTChannel,
+        down: MTChannel,
+        policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
+        rotate_on_stall: bool = True,
+        latch_style: bool = False,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if up.threads != down.threads:
+            raise SimulationError(
+                f"{name}: thread-count mismatch {up.threads} vs {down.threads}"
+            )
+        self.threads = up.threads
+        self.up = up
+        self.down = down
+        self.policy = policy
+        # Paper §III: MEBs "can be designed in a modular manner either
+        # with regular edge-triggered flip flops or level sensitive
+        # latches".  The cycle behaviour is identical; only the storage
+        # primitive reported to the cost model changes.
+        self.latch_style = latch_style
+        self.arbiter = RoundRobinArbiter(self.threads, rotate_on_stall)
+        up.connect_consumer(self)
+        down.connect_producer(self)
+        self._grant: int | None = None
+
+    @property
+    def _storage_kind(self) -> str:
+        return "latch" if self.latch_style else "ff"
+
+    # -- subclass contract -------------------------------------------------
+    def occupancy(self, thread: int) -> int:
+        raise NotImplementedError
+
+    def head(self, thread: int) -> Any:
+        raise NotImplementedError
+
+    def can_accept(self, thread: int) -> bool:
+        raise NotImplementedError
+
+    # -- common occupancy helpers ------------------------------------------
+    def total_occupancy(self) -> int:
+        return sum(self.occupancy(i) for i in range(self.threads))
+
+    def occupied_threads(self) -> list[int]:
+        return [i for i in range(self.threads) if self.occupancy(i) > 0]
+
+    # -- evaluation ----------------------------------------------------------
+    def combinational(self) -> None:
+        valids = [self.occupancy(i) > 0 for i in range(self.threads)]
+        readies = [as_bool(sig.value) for sig in self.down.ready]
+        requests = self.policy.requests(valids, readies)
+        grant = self.arbiter.grant(requests)
+        self._grant = grant
+        for i in range(self.threads):
+            self.down.valid[i].set(grant == i)
+            self.up.ready[i].set(self.can_accept(i))
+        self.down.data.set(self.head(grant) if grant is not None else X)
+
+    def _input_thread(self) -> int | None:
+        """The (single) thread transferring in this cycle, with checks."""
+        incoming = [
+            i
+            for i in range(self.threads)
+            if as_bool(self.up.valid[i].value)
+        ]
+        if len(incoming) > 1:
+            raise ProtocolError(
+                f"{self.path}: {len(incoming)} threads valid on "
+                f"{self.up.path} in one cycle (MT channels carry one)"
+            )
+        if incoming and as_bool(self.up.ready[incoming[0]].value):
+            return incoming[0]
+        return None
+
+    def _output_transferred(self) -> bool:
+        grant = self._grant
+        return grant is not None and as_bool(self.down.ready[grant].value)
+
+    def commit(self) -> None:
+        self.arbiter.commit()
+
+    def reset(self) -> None:
+        self.arbiter.reset()
+        self._grant = None
+
+
+class FullMEB(_MEBBase):
+    """Baseline MEB: a private 2-slot FIFO per thread (paper Fig. 4)."""
+
+    SLOTS_PER_THREAD = 2
+
+    def __init__(
+        self,
+        name: str,
+        up: MTChannel,
+        down: MTChannel,
+        policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
+        rotate_on_stall: bool = True,
+        latch_style: bool = False,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, up, down, policy, rotate_on_stall,
+                         latch_style=latch_style, parent=parent)
+        self._queues: list[list[Any]] = [[] for _ in range(self.threads)]
+        self._next_queues: list[list[Any]] | None = None
+
+    # -- storage interface ---------------------------------------------------
+    def occupancy(self, thread: int) -> int:
+        return len(self._queues[thread])
+
+    def head(self, thread: int) -> Any:
+        return self._queues[thread][0]
+
+    def can_accept(self, thread: int) -> bool:
+        return len(self._queues[thread]) < self.SLOTS_PER_THREAD
+
+    def thread_state(self, thread: int) -> str:
+        return (EMPTY, HALF, FULL)[len(self._queues[thread])]
+
+    def contents(self, thread: int) -> list[Any]:
+        return list(self._queues[thread])
+
+    @property
+    def total_slots(self) -> int:
+        return self.SLOTS_PER_THREAD * self.threads
+
+    # -- evaluation ------------------------------------------------------------
+    def capture(self) -> None:
+        queues = [list(q) for q in self._queues]
+        transferred = self._output_transferred()
+        if transferred:
+            assert self._grant is not None
+            queues[self._grant].pop(0)
+        enq = self._input_thread()
+        if enq is not None:
+            if len(queues[enq]) >= self.SLOTS_PER_THREAD:
+                raise SimulationError(
+                    f"{self.path}: enqueue into full per-thread EB {enq}"
+                )
+            queues[enq].append(self.up.data.value)
+        self._next_queues = queues
+        self.arbiter.note(self._grant, transferred)
+
+    def commit(self) -> None:
+        super().commit()
+        if self._next_queues is not None:
+            self._queues = self._next_queues
+            self._next_queues = None
+
+    def reset(self) -> None:
+        super().reset()
+        self._queues = [[] for _ in range(self.threads)]
+        self._next_queues = None
+
+    # -- cost model --------------------------------------------------------------
+    def area_items(self) -> list[tuple[str, int, int]]:
+        width = self.down.width
+        s = self.threads
+        items: list[tuple[str, int, int]] = [
+            (self._storage_kind, 2 * s, width),  # two data slots per thread
+            ("mux2", s, width),          # head select inside each EB
+            ("mux2", s - 1, width),      # output thread mux tree
+            ("ff", s, 2),                # per-thread occupancy FSM
+            ("lut", 3 * s, 1),           # per-thread handshake control
+        ]
+        items.extend(self.arbiter.area_items())
+        return items
+
+
+class ReducedMEB(_MEBBase):
+    """The proposed MEB: one slot per thread + one shared slot (Fig. 6).
+
+    State per thread: ``main[i]`` register and the EMPTY/HALF/FULL FSM.
+    State for the shared slot: item + owning thread (the FSM's
+    ``Empty``/``Full``).  The invariant tying them together — thread *i*
+    is FULL iff it owns the occupied shared slot — is asserted after every
+    commit.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        up: MTChannel,
+        down: MTChannel,
+        policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
+        rotate_on_stall: bool = True,
+        latch_style: bool = False,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, up, down, policy, rotate_on_stall,
+                         latch_style=latch_style, parent=parent)
+        self._main: list[Any] = [X] * self.threads
+        self._state: list[str] = [EMPTY] * self.threads
+        self._shared_item: Any = X
+        self._shared_owner: int | None = None
+        self._next: (
+            tuple[list[Any], list[str], Any, int | None] | None
+        ) = None
+
+    # -- storage interface ---------------------------------------------------
+    @property
+    def shared_full(self) -> bool:
+        return self._shared_owner is not None
+
+    @property
+    def shared_owner(self) -> int | None:
+        return self._shared_owner
+
+    def thread_state(self, thread: int) -> str:
+        return self._state[thread]
+
+    def occupancy(self, thread: int) -> int:
+        return {EMPTY: 0, HALF: 1, FULL: 2}[self._state[thread]]
+
+    def head(self, thread: int) -> Any:
+        return self._main[thread]
+
+    def can_accept(self, thread: int) -> bool:
+        # Paper §IV-A: EMPTY threads always accept (into their main
+        # register); HALF threads accept only while the shared slot is
+        # free (they would claim it and go FULL).
+        state = self._state[thread]
+        if state == EMPTY:
+            return True
+        if state == HALF:
+            return not self.shared_full
+        return False
+
+    def contents(self, thread: int) -> list[Any]:
+        state = self._state[thread]
+        if state == EMPTY:
+            return []
+        if state == HALF:
+            return [self._main[thread]]
+        return [self._main[thread], self._shared_item]
+
+    @property
+    def total_slots(self) -> int:
+        return self.threads + 1
+
+    # -- evaluation ------------------------------------------------------------
+    def capture(self) -> None:
+        main = list(self._main)
+        state = list(self._state)
+        shared_item = self._shared_item
+        shared_owner = self._shared_owner
+
+        transferred = self._output_transferred()
+        enq = self._input_thread()
+
+        if transferred:
+            g = self._grant
+            assert g is not None
+            if state[g] == FULL:
+                # Refill the main register from the shared slot; the slot
+                # itself frees up.  No thread can write the shared slot in
+                # this same cycle because ready-for-HALF required it free
+                # at the (registered) start of the cycle — exactly the
+                # paper's "the shared buffer cannot receive a new word in
+                # the same cycle".
+                if shared_owner != g:
+                    raise SimulationError(
+                        f"{self.path}: FULL thread {g} does not own the "
+                        f"shared slot (owner={shared_owner})"
+                    )
+                main[g] = shared_item
+                shared_item, shared_owner = X, None
+                state[g] = HALF
+            elif state[g] == HALF:
+                if enq == g:
+                    # Simultaneous dequeue+enqueue: the freed main register
+                    # takes the new word directly; state stays HALF.
+                    main[g] = self.up.data.value
+                    enq = None
+                else:
+                    main[g] = X
+                    state[g] = EMPTY
+            else:  # pragma: no cover - grant implies occupancy
+                raise SimulationError(f"{self.path}: granted EMPTY thread {g}")
+
+        if enq is not None:
+            if state[enq] == EMPTY:
+                main[enq] = self.up.data.value
+                state[enq] = HALF
+            elif state[enq] == HALF:
+                if shared_owner is not None:
+                    raise SimulationError(
+                        f"{self.path}: thread {enq} claimed an occupied "
+                        f"shared slot"
+                    )
+                shared_item = self.up.data.value
+                shared_owner = enq
+                state[enq] = FULL
+            else:
+                raise SimulationError(
+                    f"{self.path}: enqueue into FULL thread {enq}"
+                )
+
+        self._next = (main, state, shared_item, shared_owner)
+        self.arbiter.note(self._grant, transferred)
+
+    def commit(self) -> None:
+        super().commit()
+        if self._next is not None:
+            self._main, self._state, self._shared_item, self._shared_owner = (
+                self._next
+            )
+            self._next = None
+            self._check_invariants()
+
+    def _check_invariants(self) -> None:
+        full_threads = [
+            i for i in range(self.threads) if self._state[i] == FULL
+        ]
+        if len(full_threads) > 1:
+            raise SimulationError(
+                f"{self.path}: threads {full_threads} simultaneously FULL"
+            )
+        if full_threads:
+            if self._shared_owner != full_threads[0]:
+                raise SimulationError(
+                    f"{self.path}: FULL thread {full_threads[0]} but shared "
+                    f"owner is {self._shared_owner}"
+                )
+        elif self._shared_owner is not None:
+            raise SimulationError(
+                f"{self.path}: shared slot owned by {self._shared_owner} "
+                f"but no thread is FULL"
+            )
+
+    def reset(self) -> None:
+        super().reset()
+        self._main = [X] * self.threads
+        self._state = [EMPTY] * self.threads
+        self._shared_item = X
+        self._shared_owner = None
+        self._next = None
+
+    # -- cost model --------------------------------------------------------------
+    def area_items(self) -> list[tuple[str, int, int]]:
+        width = self.down.width
+        s = self.threads
+        items: list[tuple[str, int, int]] = [
+            (self._storage_kind, s + 1, width),  # S mains + shared slot
+            ("mux2", s, width),          # refill path main[i] <- shared
+            ("mux2", s - 1, width),      # output thread mux tree
+            ("ff", s, 2),                # per-thread EMPTY/HALF/FULL FSM
+            ("ff", 1, 1),                # shared-slot FSM
+            ("lut", 4 * s + 2, 1),       # goFull/goHalf aggregation + control
+        ]
+        items.extend(self.arbiter.area_items())
+        return items

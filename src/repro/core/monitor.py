@@ -1,0 +1,112 @@
+"""Protocol monitors and activity recorders for MT channels.
+
+:class:`MTMonitor` enforces the structural invariant of the multithreaded
+elastic protocol — at most one ``valid(i)`` per cycle — and records every
+transfer with its thread, which the analysis layer turns into per-thread
+throughput, channel utilization and the Fig.-5-style activity tables.
+
+Unlike the single-thread monitor, *valid withdrawal* is legal here: the
+MEB arbiter may present a different thread each cycle, so a stalled
+``valid(i)`` may drop when the arbiter moves on.  What must still hold is
+per-thread token conservation, which the recorded transfer streams let
+tests assert end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.mtchannel import MTChannel
+from repro.kernel.component import Component
+
+
+class MTMonitor(Component):
+    """Passive checker/recorder for one multithreaded channel."""
+
+    def __init__(
+        self,
+        name: str,
+        channel: MTChannel,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        self.channel = channel
+        self.threads = channel.threads
+        # Registered observation state.
+        self._cycle = 0
+        self._next_cycle: int | None = None
+        #: per-cycle activity: (thread or None, data, transferred)
+        self.activity: list[tuple[int | None, Any, bool]] = []
+        #: transfers: (cycle, thread, data)
+        self.transfers: list[tuple[int, int, Any]] = []
+
+    # ------------------------------------------------------------------
+    # statistics
+    # ------------------------------------------------------------------
+    @property
+    def cycles_observed(self) -> int:
+        return self._cycle
+
+    def transfer_count(self, thread: int | None = None) -> int:
+        if thread is None:
+            return len(self.transfers)
+        return sum(1 for _c, t, _d in self.transfers if t == thread)
+
+    def values_for(self, thread: int) -> list[Any]:
+        return [d for _c, t, d in self.transfers if t == thread]
+
+    def transfer_cycles(self, thread: int) -> list[int]:
+        return [c for c, t, _d in self.transfers if t == thread]
+
+    def throughput(self, thread: int | None = None) -> float:
+        """Transfers per cycle, overall or for one thread."""
+        if not self._cycle:
+            return 0.0
+        return self.transfer_count(thread) / self._cycle
+
+    def throughput_window(
+        self, start: int, end: int, thread: int | None = None
+    ) -> float:
+        """Transfers per cycle within ``[start, end)``."""
+        if end <= start:
+            return 0.0
+        n = sum(
+            1
+            for c, t, _d in self.transfers
+            if start <= c < end and (thread is None or t == thread)
+        )
+        return n / (end - start)
+
+    def utilization(self) -> float:
+        """Fraction of observed cycles in which any transfer happened."""
+        if not self._cycle:
+            return 0.0
+        return len(self.transfers) / self._cycle
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def capture(self) -> None:
+        # active_thread() raises ProtocolError on a non-one-hot valid
+        # vector, making this monitor the protocol assertion point.
+        active = self.channel.active_thread()
+        data = self.channel.data.value if active is not None else None
+        transferred = (
+            active is not None and self.channel.transfers(active)
+        )
+        self.activity.append((active, data, transferred))
+        if transferred:
+            assert active is not None
+            self.transfers.append((self._cycle, active, data))
+        self._next_cycle = self._cycle + 1
+
+    def commit(self) -> None:
+        if self._next_cycle is not None:
+            self._cycle = self._next_cycle
+            self._next_cycle = None
+
+    def reset(self) -> None:
+        self._cycle = 0
+        self._next_cycle = None
+        self.activity = []
+        self.transfers = []

@@ -1,0 +1,137 @@
+"""Multithreaded elastic channels (paper §III).
+
+An MT elastic channel carries the data of **one** thread per cycle plus as
+many ``valid(i)/ready(i)`` handshake pairs as the number of threads the
+system supports.  The structural invariant — at most one ``valid(i)``
+asserted per cycle — is enforced by :meth:`MTChannel.active_thread` and by
+the protocol monitors.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.kernel.component import Component
+from repro.kernel.errors import ProtocolError
+from repro.kernel.values import as_bool, onehot_index
+
+
+class MTChannel(Component):
+    """A time-multiplexed elastic channel for ``threads`` concurrent threads.
+
+    Signals:
+
+    * ``valid[i]`` / ``ready[i]`` — one handshake pair per thread.
+    * ``data`` — shared data bus, meaningful for the single active thread.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        threads: int,
+        width: int = 32,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if threads < 1:
+            raise ValueError("an MT channel needs at least one thread")
+        self.threads = int(threads)
+        self.width = int(width)
+        self.valid = [
+            self.signal(f"valid{i}", width=1, init=False)
+            for i in range(self.threads)
+        ]
+        self.ready = [
+            self.signal(f"ready{i}", width=1, init=False)
+            for i in range(self.threads)
+        ]
+        self.data = self.signal("data", width=self.width)
+
+    # ------------------------------------------------------------------
+    # connection bookkeeping
+    # ------------------------------------------------------------------
+    def connect_producer(self, component: Component) -> "MTChannel":
+        for sig in self.valid:
+            sig.set_driver(component)
+        self.data.set_driver(component)
+        return self
+
+    def connect_consumer(self, component: Component) -> "MTChannel":
+        for sig in self.ready:
+            sig.set_driver(component)
+        return self
+
+    # ------------------------------------------------------------------
+    # settled-value helpers
+    # ------------------------------------------------------------------
+    def valids(self) -> list[bool]:
+        return [as_bool(sig.value) for sig in self.valid]
+
+    def readies(self) -> list[bool]:
+        return [as_bool(sig.value) for sig in self.ready]
+
+    def active_thread(self) -> int | None:
+        """Index of the thread presenting data this cycle (None if idle).
+
+        Raises :class:`ProtocolError` when the one-valid-per-cycle
+        invariant of the MT protocol is violated.
+        """
+        try:
+            return onehot_index(self.valids())
+        except ValueError as exc:
+            raise ProtocolError(f"{self.path}: {exc}") from exc
+
+    def transfer_thread(self) -> int | None:
+        """Thread completing a transfer this cycle, or None."""
+        active = self.active_thread()
+        if active is not None and as_bool(self.ready[active].value):
+            return active
+        return None
+
+    def transfers(self, thread: int) -> bool:
+        """True when *thread* moves a data item across this cycle."""
+        return as_bool(self.valid[thread].value) and as_bool(
+            self.ready[thread].value
+        )
+
+    def payload(self) -> Any:
+        return self.data.value
+
+    def __repr__(self) -> str:
+        return (
+            f"<MTChannel {self.path} threads={self.threads} "
+            f"width={self.width}>"
+        )
+
+
+def mt_channels(
+    prefix: str, count: int, threads: int, width: int = 32
+) -> list[MTChannel]:
+    """Create *count* MT channels named ``{prefix}0 .. {prefix}{count-1}``."""
+    return [
+        MTChannel(f"{prefix}{i}", threads=threads, width=width)
+        for i in range(count)
+    ]
+
+
+def trace_mt_channel(sim, channel: MTChannel, prefix: str | None = None):
+    """Attach a :class:`~repro.kernel.trace.TraceRecorder` to *channel*.
+
+    Records every per-thread valid/ready pair plus the shared data bus,
+    so an MT channel's handshake activity can be rendered as an ASCII
+    waveform or dumped to VCD like any single-thread channel.
+    """
+    from repro.kernel.trace import TraceRecorder
+
+    if prefix is None:
+        prefix = channel.name
+    signals = []
+    labels = []
+    for i in range(channel.threads):
+        signals.append(channel.valid[i])
+        labels.append(f"{prefix}.v{i}")
+        signals.append(channel.ready[i])
+        labels.append(f"{prefix}.r{i}")
+    signals.append(channel.data)
+    labels.append(f"{prefix}.data")
+    return TraceRecorder(signals, labels=labels).attach(sim)

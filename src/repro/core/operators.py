@@ -1,0 +1,274 @@
+"""Multithreaded elastic control operators (paper §IV-B, Fig. 7).
+
+Each operator replicates the handshake logic of its single-thread
+counterpart once per thread, exactly as the paper describes ("the
+handshake signals of both inputs are first gathered per thread and then
+connected to the baseline single-thread join and fork operators"), while
+the data path stays shared.
+
+The M-Merge additionally arbitrates *between paths* when two paths present
+different threads in the same cycle — a situation that arises as soon as
+more than one thread is in flight and that the output channel's
+one-valid-per-cycle invariant forbids from passing through unfiltered.
+The paper's figure elides this; DESIGN.md §5 records the decision.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.core.arbiter import RoundRobinArbiter
+from repro.core.mtchannel import MTChannel
+from repro.kernel.component import Component
+from repro.kernel.errors import ProtocolError, SimulationError
+from repro.kernel.values import X, as_bool
+
+
+def _check_same_threads(channels: Sequence[MTChannel], who: str) -> int:
+    threads = {ch.threads for ch in channels}
+    if len(threads) != 1:
+        raise SimulationError(f"{who}: thread-count mismatch {sorted(threads)}")
+    return threads.pop()
+
+
+class MJoin(Component):
+    """Per-thread join of N multithreaded channels (Fig. 7(a)).
+
+    Thread *t* transfers only in cycles where **every** input presents
+    thread *t*; upstream MEBs running the fallback grant policy converge
+    on a common thread during the settle phase (see
+    :mod:`repro.core.arbiter`).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[MTChannel],
+        out: MTChannel,
+        combine: Callable[..., Any] | None = None,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if len(inputs) < 2:
+            raise ValueError("MJoin needs at least two inputs")
+        self.threads = _check_same_threads([*inputs, out], name)
+        self.inputs = list(inputs)
+        self.out = out
+        self._combine = combine if combine is not None else lambda *xs: tuple(xs)
+        for ch in self.inputs:
+            ch.connect_consumer(self)
+        out.connect_producer(self)
+
+    def combinational(self) -> None:
+        valids = [
+            [as_bool(ch.valid[t].value) for t in range(self.threads)]
+            for ch in self.inputs
+        ]
+        joined_thread: int | None = None
+        for t in range(self.threads):
+            joined = all(v[t] for v in valids)
+            self.out.valid[t].set(joined)
+            if joined:
+                joined_thread = t
+        if joined_thread is not None:
+            self.out.data.set(
+                self._combine(*[ch.data.value for ch in self.inputs])
+            )
+        else:
+            self.out.data.set(X)
+        for k, ch in enumerate(self.inputs):
+            for t in range(self.threads):
+                others = all(
+                    v[t] for j, v in enumerate(valids) if j != k
+                )
+                ch.ready[t].set(
+                    as_bool(self.out.ready[t].value) and others
+                )
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        return [("lut", 2 * len(self.inputs) * self.threads, 1)]
+
+
+class MFork(Component):
+    """Per-thread lazy fork of one MT channel to N consumers (Fig. 7(b))."""
+
+    def __init__(
+        self,
+        name: str,
+        inp: MTChannel,
+        outputs: Sequence[MTChannel],
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if len(outputs) < 2:
+            raise ValueError("MFork needs at least two outputs")
+        self.threads = _check_same_threads([inp, *outputs], name)
+        self.inp = inp
+        self.outputs = list(outputs)
+        inp.connect_consumer(self)
+        for ch in self.outputs:
+            ch.connect_producer(self)
+
+    def combinational(self) -> None:
+        readies = [
+            [as_bool(ch.ready[t].value) for t in range(self.threads)]
+            for ch in self.outputs
+        ]
+        data = self.inp.data.value
+        active = self.inp.active_thread()
+        for t in range(self.threads):
+            in_valid = as_bool(self.inp.valid[t].value)
+            self.inp.ready[t].set(all(r[t] for r in readies))
+            for k, ch in enumerate(self.outputs):
+                others = all(
+                    r[t] for j, r in enumerate(readies) if j != k
+                )
+                ch.valid[t].set(in_valid and others)
+        for ch in self.outputs:
+            ch.data.set(data if active is not None else X)
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        return [("lut", 2 * len(self.outputs) * self.threads, 1)]
+
+
+class MBranch(Component):
+    """Condition-directed routing of an MT channel (Fig. 7(c)).
+
+    The active ``valid(i)`` bit of the input channel identifies which
+    thread the condition belongs to; the selected output's thread-*i*
+    handshake is wired through, all other outputs stay silent.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inp: MTChannel,
+        outputs: Sequence[MTChannel],
+        selector: Callable[[Any], int | bool],
+        route: Callable[[Any], Any] | None = None,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if len(outputs) < 2:
+            raise ValueError("MBranch needs at least two outputs")
+        self.threads = _check_same_threads([inp, *outputs], name)
+        self.inp = inp
+        self.outputs = list(outputs)
+        self._selector = selector
+        self._route = route if route is not None else lambda d: d
+        inp.connect_consumer(self)
+        for ch in self.outputs:
+            ch.connect_producer(self)
+
+    def combinational(self) -> None:
+        active = self.inp.active_thread()
+        for ch in self.outputs:
+            for t in range(self.threads):
+                ch.valid[t].set(False)
+            ch.data.set(X)
+        for t in range(self.threads):
+            self.inp.ready[t].set(False)
+        if active is None:
+            return
+        data = self.inp.data.value
+        sel = int(self._selector(data))
+        if not 0 <= sel < len(self.outputs):
+            raise ProtocolError(
+                f"{self.path}: selector returned {sel!r} for "
+                f"{len(self.outputs)} outputs"
+            )
+        target = self.outputs[sel]
+        target.valid[active].set(True)
+        target.data.set(self._route(data))
+        self.inp.ready[active].set(as_bool(target.ready[active].value))
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        return [("lut", 2 * len(self.outputs) * self.threads, 1)]
+
+
+class MMerge(Component):
+    """Merge mutually exclusive per-thread paths into one MT channel
+    (Fig. 7(d)).
+
+    Per thread, at most one path carries data (guaranteed by the paired
+    M-Branch).  Across threads, several paths may be active in the same
+    cycle with *different* threads; a path arbiter picks one so the output
+    stays one-valid-per-cycle, and the losing path simply keeps its data
+    (its ready stays low).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        inputs: Sequence[MTChannel],
+        out: MTChannel,
+        parent: Component | None = None,
+    ):
+        super().__init__(name, parent=parent)
+        if len(inputs) < 2:
+            raise ValueError("MMerge needs at least two inputs")
+        self.threads = _check_same_threads([*inputs, out], name)
+        self.inputs = list(inputs)
+        self.out = out
+        self.path_arbiter = RoundRobinArbiter(len(inputs), rotate_on_stall=True)
+        for ch in self.inputs:
+            ch.connect_consumer(self)
+        out.connect_producer(self)
+        self._winner: int | None = None
+
+    def combinational(self) -> None:
+        actives = [ch.active_thread() for ch in self.inputs]
+        # Same thread on two paths would mean the branch duplicated a token.
+        seen: dict[int, int] = {}
+        for k, t in enumerate(actives):
+            if t is None:
+                continue
+            if t in seen:
+                raise ProtocolError(
+                    f"{self.path}: thread {t} active on paths {seen[t]} and "
+                    f"{k} simultaneously"
+                )
+            seen[t] = k
+        requests = [t is not None for t in actives]
+        winner = self.path_arbiter.grant(requests)
+        self._winner = winner
+        for t in range(self.threads):
+            self.out.valid[t].set(
+                winner is not None and actives[winner] == t
+            )
+        self.out.data.set(
+            self.inputs[winner].data.value if winner is not None else X
+        )
+        for k, ch in enumerate(self.inputs):
+            for t in range(self.threads):
+                take = (
+                    winner == k
+                    and actives[k] == t
+                    and as_bool(self.out.ready[t].value)
+                )
+                ch.ready[t].set(take)
+
+    def capture(self) -> None:
+        transferred = False
+        if self._winner is not None:
+            t = self.inputs[self._winner].active_thread()
+            if t is not None and as_bool(self.out.ready[t].value):
+                transferred = True
+        self.path_arbiter.note(self._winner, transferred)
+
+    def commit(self) -> None:
+        self.path_arbiter.commit()
+
+    def reset(self) -> None:
+        self.path_arbiter.reset()
+        self._winner = None
+
+    def area_items(self) -> list[tuple[str, int, int]]:
+        n = len(self.inputs)
+        width = self.out.width
+        items: list[tuple[str, int, int]] = [
+            ("mux2", n - 1, width),
+            ("lut", 2 * n * self.threads, 1),
+        ]
+        items.extend(self.path_arbiter.area_items())
+        return items

@@ -1,0 +1,37 @@
+"""Structural FPGA area/timing cost model and Table-I reporting."""
+
+from repro.cost.model import (
+    DEFAULT_PRIMITIVE_LE,
+    AreaBreakdown,
+    AreaModel,
+    TimingModel,
+    adder_luts,
+    comparator_luts,
+    logic_unit_luts,
+    mux_tree_luts,
+    shifter_luts,
+)
+from repro.cost.report import (
+    ComparisonRow,
+    DesignCost,
+    average_savings,
+    savings_sweep_table,
+    table1,
+)
+
+__all__ = [
+    "AreaBreakdown",
+    "AreaModel",
+    "ComparisonRow",
+    "DEFAULT_PRIMITIVE_LE",
+    "DesignCost",
+    "TimingModel",
+    "adder_luts",
+    "average_savings",
+    "comparator_luts",
+    "logic_unit_luts",
+    "mux_tree_luts",
+    "savings_sweep_table",
+    "shifter_luts",
+    "table1",
+]

@@ -1,0 +1,173 @@
+"""FPGA area and timing cost model (the Table I substitution).
+
+The paper reports post-place-and-route FPGA results (logic elements and
+fmax).  We have no FPGA tools offline, so every component in this library
+reports a structural inventory via ``Component.area_items()`` — flip-flop
+bits, latch bits, 2:1-mux bits and control LUTs — and this module folds
+the inventory into logic-element (LE) counts, with a routing overhead
+factor, and into a clock-period estimate with an area-dependent wiring
+term.
+
+Why this preserves the paper's comparison: Table I contrasts *the same
+design* built with full vs. reduced MEBs.  The difference is dominated by
+storage (``2S`` vs ``S+1`` slots per buffered channel) and the associated
+muxing, which the structural inventory captures exactly.  Absolute LEs
+depend on a handful of calibration constants (documented in
+EXPERIMENTS.md together with paper-vs-measured tables); the *relative*
+savings and their growth with thread count are model outputs, not inputs.
+
+LE convention: one LE = one 4-input LUT + one flip-flop, the usual
+low-end-FPGA unit.  A register bit consumes the FF of one LE; a 2:1 mux
+bit or a control function consumes a LUT.  Wide muxes must be decomposed
+into ``mux2`` units by the component reporting them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import Iterable
+
+from repro.kernel.component import Component
+
+#: LE cost per unit of each primitive kind.  ``ff``/``latch``/``mux2``
+#: are per *bit* (count × width bits), ``lut`` is per LUT.
+DEFAULT_PRIMITIVE_LE: dict[str, float] = {
+    "ff": 1.0,
+    "latch": 1.0,
+    "mux2": 1.0,
+    "lut": 1.0,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class AreaBreakdown:
+    """Area of one component subtree, split by primitive kind."""
+
+    ff_bits: int
+    latch_bits: int
+    mux_bits: int
+    luts: int
+    total_le: float
+
+    def __add__(self, other: "AreaBreakdown") -> "AreaBreakdown":
+        return AreaBreakdown(
+            self.ff_bits + other.ff_bits,
+            self.latch_bits + other.latch_bits,
+            self.mux_bits + other.mux_bits,
+            self.luts + other.luts,
+            self.total_le + other.total_le,
+        )
+
+
+class AreaModel:
+    """Folds structural inventories into LE estimates.
+
+    Parameters
+    ----------
+    routing_overhead:
+        Multiplier on raw LE counts accounting for replication/duplication
+        introduced by place and route (default 1.08, a typical low single
+        digit percentage).
+    primitive_le:
+        Per-primitive LE costs; override to model a different device
+        family.
+    """
+
+    def __init__(
+        self,
+        routing_overhead: float = 1.08,
+        primitive_le: dict[str, float] | None = None,
+    ):
+        self.routing_overhead = float(routing_overhead)
+        self.primitive_le = dict(DEFAULT_PRIMITIVE_LE)
+        if primitive_le:
+            self.primitive_le.update(primitive_le)
+
+    # ------------------------------------------------------------------
+    def items_area(
+        self, items: Iterable[tuple[str, int, int]]
+    ) -> AreaBreakdown:
+        """Cost of a raw ``(kind, count, width)`` inventory."""
+        ff = latch = mux = luts = 0
+        raw = 0.0
+        for kind, count, width in items:
+            if kind not in self.primitive_le:
+                raise KeyError(f"unknown primitive kind {kind!r}")
+            units = count * width if kind != "lut" else count
+            raw += units * self.primitive_le[kind]
+            if kind == "ff":
+                ff += count * width
+            elif kind == "latch":
+                latch += count * width
+            elif kind == "mux2":
+                mux += count * width
+            else:
+                luts += count
+        return AreaBreakdown(ff, latch, mux, luts, raw * self.routing_overhead)
+
+    def component_area(self, component: Component) -> AreaBreakdown:
+        """Aggregate area over *component* and all its descendants."""
+        total = AreaBreakdown(0, 0, 0, 0, 0.0)
+        for comp in component.iter_tree():
+            total = total + self.items_area(comp.area_items())
+        return total
+
+    def total_le(self, components: Iterable[Component]) -> float:
+        return sum(self.component_area(c).total_le for c in components)
+
+
+class TimingModel:
+    """Clock-period estimate: logic depth plus area-dependent wiring.
+
+    ``period_ns = logic_depth_ns + wire_ns_per_sqrt_le * sqrt(area_le)``
+
+    The square-root term models average interconnect length growing with
+    the die-region diagonal occupied by the design — it is what makes the
+    reduced-MEB builds in Table I *slightly faster* ("the slightly higher
+    clock frequencies achieved are a result of the smaller wiring delays
+    due to lower area").
+    """
+
+    def __init__(self, wire_ns_per_sqrt_le: float = 0.55):
+        self.wire_ns_per_sqrt_le = float(wire_ns_per_sqrt_le)
+
+    def period_ns(self, logic_depth_ns: float, area_le: float) -> float:
+        if area_le < 0:
+            raise ValueError("area must be non-negative")
+        return logic_depth_ns + self.wire_ns_per_sqrt_le * math.sqrt(area_le)
+
+    def fmax_mhz(self, logic_depth_ns: float, area_le: float) -> float:
+        return 1000.0 / self.period_ns(logic_depth_ns, area_le)
+
+
+# ----------------------------------------------------------------------
+# Convenience estimators for common datapath blocks.  Components that
+# model pure combinational functions (adders, MD5 steps, ALUs) declare
+# their LUT budgets with these helpers so the numbers are traceable.
+# ----------------------------------------------------------------------
+
+def adder_luts(width: int) -> int:
+    """Ripple/carry-chain adder: one LUT per bit on LUT4 fabric."""
+    return width
+
+
+def logic_unit_luts(width: int) -> int:
+    """Bitwise logic function of up to 4 inputs: one LUT per bit."""
+    return width
+
+
+def mux_tree_luts(inputs: int, width: int) -> int:
+    """An ``inputs``:1 mux decomposed into 2:1 stages."""
+    return max(0, inputs - 1) * width
+
+
+def shifter_luts(width: int) -> int:
+    """Barrel shifter: log2(width) mux levels."""
+    levels = max(1, math.ceil(math.log2(width)))
+    return levels * width
+
+
+def comparator_luts(width: int) -> int:
+    """Equality/magnitude comparator tree."""
+    return max(1, width // 2)

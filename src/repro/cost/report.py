@@ -1,0 +1,100 @@
+"""Table-I style area/frequency reports.
+
+A :class:`DesignCost` bundles one design point (name, MEB kind, LE count,
+fmax); :func:`table1` renders the two-designs × two-MEB-kinds comparison
+in the layout of the paper's Table I, with a savings column appended.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+from typing import Sequence
+
+
+@dataclasses.dataclass(frozen=True)
+class DesignCost:
+    """One (design, MEB kind) implementation point."""
+
+    design: str
+    meb_kind: str          # "full" | "reduced"
+    area_le: float
+    fmax_mhz: float
+    ff_bits: int = 0
+    luts: int = 0
+
+    @property
+    def area_rounded(self) -> int:
+        return int(round(self.area_le / 10.0) * 10)
+
+
+@dataclasses.dataclass(frozen=True)
+class ComparisonRow:
+    """Full-vs-reduced comparison for one design."""
+
+    design: str
+    full: DesignCost
+    reduced: DesignCost
+
+    @property
+    def area_savings(self) -> float:
+        """Fractional LE savings of reduced over full."""
+        return 1.0 - self.reduced.area_le / self.full.area_le
+
+    @property
+    def speedup(self) -> float:
+        return self.reduced.fmax_mhz / self.full.fmax_mhz
+
+
+def average_savings(rows: Sequence[ComparisonRow]) -> float:
+    if not rows:
+        raise ValueError("no rows")
+    return sum(r.area_savings for r in rows) / len(rows)
+
+
+def table1(rows: Sequence[ComparisonRow], title: str | None = None) -> str:
+    """Render rows in the paper's Table I layout plus a savings column."""
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    header = (
+        f"{'Design':<14} | {'Full MEB':>22} | {'Reduced MEB':>22} | "
+        f"{'Savings':>8}"
+    )
+    sub = (
+        f"{'':<14} | {'Area(LE)':>10} {'Freq(MHz)':>11} | "
+        f"{'Area(LE)':>10} {'Freq(MHz)':>11} | {'':>8}"
+    )
+    out.write(header + "\n")
+    out.write(sub + "\n")
+    out.write("-" * len(header) + "\n")
+    for row in rows:
+        out.write(
+            f"{row.design:<14} | {row.full.area_rounded:>10} "
+            f"{row.full.fmax_mhz:>11.1f} | {row.reduced.area_rounded:>10} "
+            f"{row.reduced.fmax_mhz:>11.1f} | {row.area_savings:>7.1%}\n"
+        )
+    out.write("-" * len(header) + "\n")
+    out.write(f"Average area savings: {average_savings(rows):.1%}\n")
+    return out.getvalue()
+
+
+def savings_sweep_table(
+    design: str, points: Sequence[tuple[int, float, float]]
+) -> str:
+    """Render a thread-count sweep: (S, full LE, reduced LE) rows."""
+    out = io.StringIO()
+    header = (
+        f"{'Threads':>8} | {'Full LE':>10} | {'Reduced LE':>11} | "
+        f"{'Savings':>8}"
+    )
+    out.write(f"{design}: MEB area savings vs thread count\n")
+    out.write(header + "\n")
+    out.write("-" * len(header) + "\n")
+    for s, full_le, reduced_le in points:
+        savings = 1.0 - reduced_le / full_le
+        out.write(
+            f"{s:>8} | {full_le:>10.0f} | {reduced_le:>11.0f} | "
+            f"{savings:>7.1%}\n"
+        )
+    return out.getvalue()

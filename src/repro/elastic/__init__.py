@@ -1,0 +1,37 @@
+"""Single-thread elastic substrate (paper §II).
+
+Channels, 2-slot elastic buffers, join/fork/branch/merge operators,
+variable-latency function units, traffic endpoints and protocol monitors.
+The multithreaded primitives in :mod:`repro.core` are built by replicating
+and sharing these pieces.
+"""
+
+from repro.elastic.buffer import EMPTY, FULL, HALF, ElasticBuffer, LatchElasticBuffer
+from repro.elastic.channel import ElasticChannel, channels
+from repro.elastic.endpoints import Pattern, Sink, Source, duty_cycle, stall_window
+from repro.elastic.function import FunctionUnit, VariableLatencyUnit
+from repro.elastic.monitor import ChannelMonitor
+from repro.elastic.operators import Branch, EagerFork, Join, LazyFork, Merge
+
+__all__ = [
+    "Branch",
+    "ChannelMonitor",
+    "EagerFork",
+    "ElasticBuffer",
+    "ElasticChannel",
+    "EMPTY",
+    "FULL",
+    "FunctionUnit",
+    "HALF",
+    "Join",
+    "LatchElasticBuffer",
+    "LazyFork",
+    "Merge",
+    "Pattern",
+    "Sink",
+    "Source",
+    "VariableLatencyUnit",
+    "channels",
+    "duty_cycle",
+    "stall_window",
+]

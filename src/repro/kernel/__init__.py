@@ -1,0 +1,42 @@
+"""Cycle-accurate structural RTL simulation kernel.
+
+This package is the substrate everything else in :mod:`repro` stands on:
+a small synchronous-hardware simulator with two-phase evaluation
+(combinational fixed point, then race-free register capture/commit).  See
+:mod:`repro.kernel.simulator` for the evaluation model.
+"""
+
+from repro.kernel.component import Component
+from repro.kernel.errors import (
+    ConvergenceError,
+    KernelError,
+    ProtocolError,
+    SimulationError,
+    WiringError,
+)
+from repro.kernel.signal import Signal, const
+from repro.kernel.simulator import Simulator, build
+from repro.kernel.trace import TraceRecorder, trace_signals
+from repro.kernel.values import X, as_bool, bit, is_x, onehot_index, popcount, same_value
+
+__all__ = [
+    "Component",
+    "ConvergenceError",
+    "KernelError",
+    "ProtocolError",
+    "SimulationError",
+    "Signal",
+    "Simulator",
+    "TraceRecorder",
+    "WiringError",
+    "X",
+    "as_bool",
+    "bit",
+    "build",
+    "const",
+    "is_x",
+    "onehot_index",
+    "popcount",
+    "same_value",
+    "trace_signals",
+]

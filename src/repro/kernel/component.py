@@ -1,0 +1,141 @@
+"""Component base class: the structural unit of a simulated circuit.
+
+A component owns signals and implements up to three evaluation hooks:
+
+``combinational()``
+    Pure function from input-signal values to output-signal values.  Called
+    repeatedly by the settle loop until the whole design is stable, so it
+    must be idempotent and must not mutate registered state.
+
+``capture()``
+    Called once per cycle after the design has settled.  Reads settled
+    signal values and stores the *next* register state internally.  Must
+    not write any signal (this keeps register updates race-free regardless
+    of component ordering).
+
+``commit()``
+    Called once per cycle after every component has captured.  Applies the
+    stored next state and drives registered output signals.
+
+Components form a tree (``parent``/``children``) so hierarchical designs
+like the processor pipeline get readable hierarchical signal names and so
+the cost model can aggregate per-subtree.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.kernel.errors import WiringError
+from repro.kernel.signal import Signal
+from repro.kernel.values import X
+
+
+class Component:
+    """Base class for all simulated hardware blocks."""
+
+    def __init__(self, name: str, parent: "Component | None" = None):
+        self.name = name
+        self.parent = parent
+        self.children: list[Component] = []
+        self._signals: dict[str, Signal] = {}
+        if parent is not None:
+            parent._add_child(self)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def _add_child(self, child: "Component") -> None:
+        for existing in self.children:
+            if existing.name == child.name:
+                raise WiringError(
+                    f"component {self.name!r} already has a child named "
+                    f"{child.name!r}"
+                )
+        self.children.append(child)
+
+    @property
+    def path(self) -> str:
+        """Hierarchical dotted path from the root component."""
+        if self.parent is None:
+            return self.name
+        return f"{self.parent.path}.{self.name}"
+
+    def iter_tree(self) -> Iterator["Component"]:
+        """Yield this component and all descendants, depth-first."""
+        yield self
+        for child in self.children:
+            yield from child.iter_tree()
+
+    # ------------------------------------------------------------------
+    # signal management
+    # ------------------------------------------------------------------
+    def signal(self, name: str, width: int = 1, init: Any = X) -> Signal:
+        """Create and register a signal owned (not necessarily driven) here."""
+        if name in self._signals:
+            raise WiringError(
+                f"component {self.name!r} already owns a signal {name!r}"
+            )
+        sig = Signal(f"{self.path}.{name}", width=width, init=init)
+        self._signals[name] = sig
+        return sig
+
+    def output(self, name: str, width: int = 1, init: Any = X) -> Signal:
+        """Create a signal and mark this component as its driver."""
+        sig = self.signal(name, width=width, init=init)
+        sig.set_driver(self)
+        return sig
+
+    def adopt(self, sig: Signal, local_name: str | None = None) -> Signal:
+        """Register an externally created signal under this component."""
+        key = local_name if local_name is not None else sig.name
+        if key in self._signals:
+            raise WiringError(
+                f"component {self.name!r} already owns a signal {key!r}"
+            )
+        self._signals[key] = sig
+        return sig
+
+    def local_signals(self) -> dict[str, Signal]:
+        """Signals owned directly by this component (no descendants)."""
+        return dict(self._signals)
+
+    def all_signals(self) -> list[Signal]:
+        """Every signal owned by this component or any descendant."""
+        out: list[Signal] = []
+        for comp in self.iter_tree():
+            out.extend(comp._signals.values())
+        return out
+
+    # ------------------------------------------------------------------
+    # evaluation hooks (overridden by subclasses)
+    # ------------------------------------------------------------------
+    def combinational(self) -> None:
+        """Compute combinational outputs from current signal values."""
+
+    def capture(self) -> None:
+        """Latch next register state from settled signals (no signal writes)."""
+
+    def commit(self) -> None:
+        """Apply captured state; drive registered output signals."""
+
+    def reset(self) -> None:
+        """Return registered state to its power-on value."""
+
+    # ------------------------------------------------------------------
+    # cost-model hook
+    # ------------------------------------------------------------------
+    def area_items(self) -> list[tuple[str, int, int]]:
+        """Structural inventory for the cost model.
+
+        Returns a list of ``(kind, count, width)`` triples where *kind* is
+        one of the primitive names understood by
+        :class:`repro.cost.model.AreaModel` (``"ff"``, ``"mux2"``,
+        ``"lut"``, ...).  The default is an empty inventory; leaf
+        primitives override this.  Aggregation over a subtree is done by
+        the cost model, not here.
+        """
+        return []
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.path}>"

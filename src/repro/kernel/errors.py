@@ -1,0 +1,57 @@
+"""Exception hierarchy for the RTL simulation kernel.
+
+Every error raised by :mod:`repro.kernel` derives from :class:`KernelError`
+so callers can catch simulation problems without also catching unrelated
+Python errors.
+"""
+
+from __future__ import annotations
+
+
+class KernelError(Exception):
+    """Base class for all simulation-kernel errors."""
+
+
+class ConvergenceError(KernelError):
+    """Combinational logic failed to reach a fixed point.
+
+    Raised by :class:`repro.kernel.simulator.Simulator` when the settle loop
+    exceeds its iteration budget.  The attached ``unstable`` list names the
+    signals that were still changing, which almost always points at a
+    combinational cycle (for example an arbiter whose grant depends on a
+    downstream ready that depends on the grant).
+    """
+
+    def __init__(self, cycle: int, iterations: int, unstable: list[str]):
+        self.cycle = cycle
+        self.iterations = iterations
+        self.unstable = list(unstable)
+        names = ", ".join(self.unstable[:12])
+        if len(self.unstable) > 12:
+            names += ", ..."
+        super().__init__(
+            f"combinational settle did not converge at cycle {cycle} after "
+            f"{iterations} iterations; unstable signals: [{names}]"
+        )
+
+
+class ProtocolError(KernelError):
+    """An elastic-protocol invariant was violated.
+
+    Raised by the protocol monitors in :mod:`repro.elastic.monitor` and
+    :mod:`repro.core.monitor`, e.g. when data changes while ``valid`` is
+    high and ``ready`` is low, or when more than one thread asserts
+    ``valid`` on a multithreaded channel.
+    """
+
+
+class WiringError(KernelError):
+    """A structural problem in how components were connected.
+
+    Examples: a signal driven by two components, a port left unconnected at
+    elaboration time, or a channel connected to two consumers.
+    """
+
+
+class SimulationError(KernelError):
+    """A generic runtime failure during simulation (bad state, bad value)."""

@@ -1,0 +1,104 @@
+"""Signals: named value holders connecting components.
+
+A :class:`Signal` is the kernel's wire.  It has exactly one logical driver
+(enforced loosely through :meth:`Signal.set_driver`), a current value, and a
+declared bit-width used only by the cost model and the trace renderer.
+
+There is no event queue: the :class:`repro.kernel.simulator.Simulator`
+re-evaluates combinational processes until every signal is stable, so a
+signal is just a mutable cell with change tracking.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+from repro.kernel.errors import WiringError
+from repro.kernel.values import X, same_value
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.kernel.component import Component
+
+
+class Signal:
+    """A named wire carrying an arbitrary Python value.
+
+    Parameters
+    ----------
+    name:
+        Local name; the full hierarchical name is assigned when the owning
+        component is registered with a simulator.
+    width:
+        Declared bit-width.  Purely descriptive for control signals
+        (width 1); the cost model uses it for datapath sizing.
+    init:
+        Initial value (defaults to the unknown sentinel ``X``).
+    """
+
+    __slots__ = ("name", "width", "_value", "_driver", "_touched")
+
+    def __init__(self, name: str, width: int = 1, init: Any = X):
+        self.name = name
+        self.width = int(width)
+        self._value: Any = init
+        self._driver: "Component | None" = None
+        self._touched = False
+
+    # ------------------------------------------------------------------
+    # value access
+    # ------------------------------------------------------------------
+    @property
+    def value(self) -> Any:
+        """Current value of the signal."""
+        return self._value
+
+    def get(self) -> Any:
+        """Return the current value (alias of :attr:`value`)."""
+        return self._value
+
+    def set(self, value: Any) -> bool:
+        """Drive *value* onto the signal.
+
+        Returns True when the value actually changed, which the settle loop
+        uses to decide whether another iteration is needed.
+        """
+        if same_value(self._value, value):
+            return False
+        self._value = value
+        self._touched = True
+        return True
+
+    # ------------------------------------------------------------------
+    # change tracking (used by the simulator's settle loop)
+    # ------------------------------------------------------------------
+    def clear_touched(self) -> None:
+        self._touched = False
+
+    @property
+    def touched(self) -> bool:
+        return self._touched
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    def set_driver(self, component: "Component") -> None:
+        """Record the driving component, rejecting double drivers."""
+        if self._driver is not None and self._driver is not component:
+            raise WiringError(
+                f"signal {self.name!r} already driven by "
+                f"{self._driver.name!r}; cannot also be driven by "
+                f"{component.name!r}"
+            )
+        self._driver = component
+
+    @property
+    def driver(self) -> "Component | None":
+        return self._driver
+
+    def __repr__(self) -> str:
+        return f"Signal({self.name!r}, width={self.width}, value={self._value!r})"
+
+
+def const(name: str, value: Any, width: int = 1) -> Signal:
+    """Create a signal permanently holding *value* (a tie-off)."""
+    return Signal(name, width=width, init=value)

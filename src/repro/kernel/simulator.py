@@ -1,0 +1,210 @@
+"""Two-phase cycle-accurate simulator.
+
+Each simulated clock cycle runs:
+
+1. **Settle** — every component's ``combinational()`` is evaluated
+   repeatedly until no signal changes (a fixed point).  This models the
+   combinational logic between register stages, including the backward
+   combinational propagation of elastic ``ready`` signals through joins and
+   forks.  Failure to converge within ``max_settle_iterations`` raises
+   :class:`~repro.kernel.errors.ConvergenceError` naming the unstable
+   signals — the kernel's stand-in for a synthesis tool's combinational
+   loop check.
+2. **Observe** — registered probes (monitors, trace recorders, user
+   callbacks) sample the settled values.
+3. **Capture** — every component computes its next register state from the
+   settled values without writing any signal.
+4. **Commit** — every component applies the captured state and drives its
+   registered outputs.  Because capture and commit are split, register
+   updates are race-free regardless of component ordering, exactly like
+   nonblocking assignment in RTL.
+
+The simulator owns a flat list of components (the tree flattened in
+registration order) and a cycle counter.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.kernel.component import Component
+from repro.kernel.errors import ConvergenceError, SimulationError
+from repro.kernel.signal import Signal
+
+
+class Simulator:
+    """Drives a set of components through synchronous clock cycles.
+
+    Parameters
+    ----------
+    max_settle_iterations:
+        Upper bound on fixed-point iterations per cycle.  The elastic
+        networks in this repo settle in a handful of passes; the default
+        of 64 leaves generous headroom while still catching true
+        combinational loops quickly.
+    """
+
+    def __init__(self, max_settle_iterations: int = 64):
+        self.max_settle_iterations = int(max_settle_iterations)
+        self.cycle = 0
+        self._components: list[Component] = []
+        self._signals: list[Signal] = []
+        self._observers: list[Callable[["Simulator"], None]] = []
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(self, component: Component) -> Component:
+        """Register *component* (and its whole subtree) with the simulator."""
+        if self._finalized:
+            raise SimulationError("cannot add components after simulation start")
+        for comp in component.iter_tree():
+            self._components.append(comp)
+        return component
+
+    def add_observer(self, fn: Callable[["Simulator"], None]) -> None:
+        """Register a callback invoked after each cycle's settle phase."""
+        self._observers.append(fn)
+
+    def _finalize(self) -> None:
+        if self._finalized:
+            return
+        seen: set[int] = set()
+        signals: list[Signal] = []
+        for comp in self._components:
+            for sig in comp.local_signals().values():
+                if id(sig) not in seen:
+                    seen.add(id(sig))
+                    signals.append(sig)
+        self._signals = signals
+        self._finalized = True
+
+    # ------------------------------------------------------------------
+    # reset
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Reset all registered state and the cycle counter."""
+        self._finalize()
+        for comp in self._components:
+            comp.reset()
+        self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def settle(self) -> int:
+        """Run combinational evaluation to a fixed point.
+
+        Returns the number of iterations used.  Exposed publicly so tests
+        can inspect settled values mid-cycle without advancing the clock.
+        """
+        self._finalize()
+        from repro.kernel.values import same_value
+
+        for iteration in range(1, self.max_settle_iterations + 1):
+            # Convergence is judged on net change across the whole pass, so
+            # a component may harmlessly clear-then-set a signal within one
+            # evaluation (a common idiom in demux-style logic).
+            before = [sig.value for sig in self._signals]
+            for comp in self._components:
+                comp.combinational()
+            changed = [
+                sig.name
+                for sig, old in zip(self._signals, before)
+                if not same_value(sig.value, old)
+            ]
+            if not changed:
+                return iteration
+        raise ConvergenceError(self.cycle, self.max_settle_iterations, changed)
+
+    def step(self) -> None:
+        """Advance the simulation by one clock cycle."""
+        self.settle()
+        for observer in self._observers:
+            observer(self)
+        for comp in self._components:
+            comp.capture()
+        for comp in self._components:
+            comp.commit()
+        self.cycle += 1
+
+    def run(
+        self,
+        cycles: int | None = None,
+        until: Callable[["Simulator"], bool] | None = None,
+        max_cycles: int = 100_000,
+    ) -> int:
+        """Run for a fixed number of cycles or until a predicate holds.
+
+        Parameters
+        ----------
+        cycles:
+            Exact number of cycles to run (mutually exclusive with *until*).
+        until:
+            Stop as soon as the predicate returns True (checked after the
+            settle phase of each cycle, before state commit — i.e. the
+            condition is observed in the cycle in which it first holds).
+        max_cycles:
+            Safety bound for *until* runs; exceeding it raises
+            :class:`~repro.kernel.errors.SimulationError` so a deadlocked
+            elastic network fails a test instead of hanging it.
+
+        Returns the number of cycles executed by this call.
+        """
+        if (cycles is None) == (until is None):
+            raise ValueError("specify exactly one of 'cycles' or 'until'")
+        executed = 0
+        if cycles is not None:
+            for _ in range(cycles):
+                self.step()
+                executed += 1
+            return executed
+        assert until is not None
+        while executed < max_cycles:
+            self.settle()
+            if until(self):
+                return executed
+            for observer in self._observers:
+                observer(self)
+            for comp in self._components:
+                comp.capture()
+            for comp in self._components:
+                comp.commit()
+            self.cycle += 1
+            executed += 1
+        raise SimulationError(
+            f"'until' predicate not satisfied within {max_cycles} cycles "
+            f"(possible deadlock)"
+        )
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def components(self) -> list[Component]:
+        return list(self._components)
+
+    def find(self, path: str) -> Component:
+        """Look up a component by hierarchical dotted path."""
+        for comp in self._components:
+            if comp.path == path:
+                return comp
+        raise KeyError(f"no component with path {path!r}")
+
+    def signal_by_name(self, name: str) -> Signal:
+        """Look up a signal by its full hierarchical name."""
+        self._finalize()
+        for sig in self._signals:
+            if sig.name == name:
+                return sig
+        raise KeyError(f"no signal named {name!r}")
+
+
+def build(*components: Component, max_settle_iterations: int = 64) -> Simulator:
+    """Convenience constructor: make a simulator, add components, reset."""
+    sim = Simulator(max_settle_iterations=max_settle_iterations)
+    for comp in components:
+        sim.add(comp)
+    sim.reset()
+    return sim

@@ -1,0 +1,104 @@
+"""Value helpers for the simulation kernel.
+
+Signals in this kernel carry arbitrary Python objects.  Control signals
+(valids, readies, grants) use plain ``bool``/``int``; datapath signals may
+carry tuples, dataclasses, or whole message blocks.  The special sentinel
+:data:`X` models an unknown/don't-care value, mirroring the ``X`` of
+4-state RTL simulators: it is what every signal holds before its driver has
+run, and what a buffer's data output shows while it is empty.
+
+Keeping datapath values opaque is a deliberate design decision (see
+DESIGN.md §5): the paper's claims are about *control* behaviour at cycle
+granularity, so the kernel only needs exact control semantics, while the
+area/timing cost model consumes separately declared bit-widths.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class _Unknown:
+    """Singleton sentinel for an unknown signal value (RTL ``X``)."""
+
+    _instance: "_Unknown | None" = None
+
+    def __new__(cls) -> "_Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "X"
+
+    def __bool__(self) -> bool:
+        # An unknown value must never silently steer control flow.
+        raise ValueError("attempted boolean coercion of unknown value X")
+
+    def __reduce__(self):
+        return (_Unknown, ())
+
+
+#: The unknown-value sentinel.  Compare with ``is`` (it is a singleton).
+X = _Unknown()
+
+
+def is_x(value: Any) -> bool:
+    """Return True when *value* is the unknown sentinel :data:`X`."""
+    return value is X
+
+
+def as_bool(value: Any) -> bool:
+    """Coerce a control-signal value to bool, rejecting :data:`X`.
+
+    Control logic in the elastic primitives goes through this helper so a
+    signal that was never driven fails loudly instead of being silently
+    treated as False.
+    """
+    if value is X:
+        raise ValueError("control signal evaluated while X (undriven?)")
+    return bool(value)
+
+
+def bit(value: Any) -> int:
+    """Coerce a control-signal value to the integer 0 or 1."""
+    return 1 if as_bool(value) else 0
+
+
+def same_value(a: Any, b: Any) -> bool:
+    """Equality that treats :data:`X` specially and never raises.
+
+    Used by the settle loop to detect signal changes and by the protocol
+    monitors to check data stability.  Two ``X`` values compare equal; an
+    ``X`` never equals a concrete value.  Values that raise on ``==`` are
+    considered different (conservative: forces another settle iteration).
+    """
+    if a is X or b is X:
+        return a is b
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+def onehot_index(bits: list[bool]) -> int | None:
+    """Return the index of the single asserted bit, or None if all clear.
+
+    Raises :class:`ValueError` when more than one bit is asserted; the
+    multithreaded channel invariant (at most one ``valid(i)`` per cycle)
+    is enforced through this helper.
+    """
+    index: int | None = None
+    for i, b in enumerate(bits):
+        if b:
+            if index is not None:
+                raise ValueError(
+                    f"expected one-hot vector, bits {index} and {i} both set"
+                )
+            index = i
+    return index
+
+
+def popcount(bits: list[bool]) -> int:
+    """Number of asserted bits in a list of booleans."""
+    return sum(1 for b in bits if b)

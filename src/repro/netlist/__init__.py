@@ -1,0 +1,31 @@
+"""Dataflow-graph IR, validation and elaboration to elastic circuits."""
+
+from repro.netlist.elaborate import Elaboration, elaborate
+from repro.netlist.graph import DataflowGraph, Edge, Node, NodeKind
+from repro.netlist.render import cost_report, elaboration_cost, to_dot
+from repro.netlist.transform import (
+    break_cycles,
+    elasticize,
+    insert_edge_buffer,
+    pipeline_ops,
+)
+from repro.netlist.validate import GraphValidationError, ValidationIssue, validate
+
+__all__ = [
+    "DataflowGraph",
+    "Edge",
+    "Elaboration",
+    "GraphValidationError",
+    "Node",
+    "NodeKind",
+    "ValidationIssue",
+    "break_cycles",
+    "cost_report",
+    "elaborate",
+    "elaboration_cost",
+    "elasticize",
+    "insert_edge_buffer",
+    "pipeline_ops",
+    "to_dot",
+    "validate",
+]

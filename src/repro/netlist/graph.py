@@ -1,0 +1,187 @@
+"""Dataflow-graph intermediate representation for elastic synthesis.
+
+The paper positions its primitives as building blocks for "the automated
+synthesis of complex algorithms to their multithreaded elastic equivalent
+circuits" (§VI).  This module provides the front half of that flow: a
+small dataflow IR whose nodes are exactly the primitive vocabulary
+(buffers, operators, barrier, endpoints) and whose edges become elastic
+channels.  :mod:`repro.netlist.elaborate` lowers a validated graph to a
+simulatable circuit, single-threaded or multithreaded, with either MEB
+kind — so one graph description yields all four Table-I design points.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable
+
+from repro.kernel.errors import WiringError
+
+
+class NodeKind(enum.Enum):
+    SOURCE = "source"
+    SINK = "sink"
+    BUFFER = "buffer"
+    OP = "op"              # combinational function
+    VLU = "vlu"            # variable-latency unit
+    FORK = "fork"
+    JOIN = "join"
+    BRANCH = "branch"
+    MERGE = "merge"
+    BARRIER = "barrier"
+
+
+#: (inputs, outputs); None means "declared per node".
+_PORT_SHAPES: dict[NodeKind, tuple[int | None, int | None]] = {
+    NodeKind.SOURCE: (0, 1),
+    NodeKind.SINK: (1, 0),
+    NodeKind.BUFFER: (1, 1),
+    NodeKind.OP: (1, 1),
+    NodeKind.VLU: (1, 1),
+    NodeKind.FORK: (1, None),
+    NodeKind.JOIN: (None, 1),
+    NodeKind.BRANCH: (1, None),
+    NodeKind.MERGE: (None, 1),
+    NodeKind.BARRIER: (1, 1),
+}
+
+
+@dataclasses.dataclass
+class Node:
+    """One dataflow node; ``params`` hold kind-specific configuration.
+
+    Recognized params by kind:
+
+    * SOURCE: ``items`` (list, or list-of-lists per thread), ``patterns``
+    * SINK: ``patterns``
+    * OP: ``fn`` (callable), ``area_luts``
+    * VLU: ``fn``, ``latency``, ``area_luts``
+    * JOIN: ``combine``
+    * BRANCH: ``selector``, ``route``
+    * BARRIER: ``participants``, ``on_release``
+    """
+
+    name: str
+    kind: NodeKind
+    n_inputs: int
+    n_outputs: int
+    params: dict[str, Any] = dataclasses.field(default_factory=dict)
+
+
+@dataclasses.dataclass(frozen=True)
+class Edge:
+    """A directed connection between node ports; becomes one channel."""
+
+    src: str
+    src_port: int
+    dst: str
+    dst_port: int
+    width: int = 32
+
+    @property
+    def name(self) -> str:
+        return f"{self.src}.{self.src_port}->{self.dst}.{self.dst_port}"
+
+
+class DataflowGraph:
+    """A named collection of nodes and edges with builder helpers."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.nodes: dict[str, Node] = {}
+        self.edges: list[Edge] = []
+
+    # ------------------------------------------------------------------
+    # builders
+    # ------------------------------------------------------------------
+    def _add(
+        self,
+        name: str,
+        kind: NodeKind,
+        n_inputs: int | None = None,
+        n_outputs: int | None = None,
+        **params: Any,
+    ) -> Node:
+        if name in self.nodes:
+            raise WiringError(f"duplicate node name {name!r}")
+        shape_in, shape_out = _PORT_SHAPES[kind]
+        n_in = shape_in if shape_in is not None else n_inputs
+        n_out = shape_out if shape_out is not None else n_outputs
+        if n_in is None or n_out is None:
+            raise WiringError(
+                f"node {name!r} of kind {kind.value} needs explicit port "
+                "counts"
+            )
+        node = Node(name, kind, n_in, n_out, params)
+        self.nodes[name] = node
+        return node
+
+    def source(self, name: str, **params: Any) -> Node:
+        return self._add(name, NodeKind.SOURCE, **params)
+
+    def sink(self, name: str, **params: Any) -> Node:
+        return self._add(name, NodeKind.SINK, **params)
+
+    def buffer(self, name: str, **params: Any) -> Node:
+        return self._add(name, NodeKind.BUFFER, **params)
+
+    def op(self, name: str, fn: Callable[[Any], Any], **params: Any) -> Node:
+        return self._add(name, NodeKind.OP, fn=fn, **params)
+
+    def vlu(self, name: str, fn: Callable[[Any], Any], **params: Any) -> Node:
+        return self._add(name, NodeKind.VLU, fn=fn, **params)
+
+    def fork(self, name: str, n_outputs: int = 2, **params: Any) -> Node:
+        return self._add(name, NodeKind.FORK, n_outputs=n_outputs, **params)
+
+    def join(self, name: str, n_inputs: int = 2, **params: Any) -> Node:
+        return self._add(name, NodeKind.JOIN, n_inputs=n_inputs, **params)
+
+    def branch(self, name: str, selector: Callable[[Any], int],
+               n_outputs: int = 2, **params: Any) -> Node:
+        return self._add(
+            name, NodeKind.BRANCH, n_outputs=n_outputs, selector=selector,
+            **params,
+        )
+
+    def merge(self, name: str, n_inputs: int = 2, **params: Any) -> Node:
+        return self._add(name, NodeKind.MERGE, n_inputs=n_inputs, **params)
+
+    def barrier(self, name: str, **params: Any) -> Node:
+        return self._add(name, NodeKind.BARRIER, **params)
+
+    def connect(
+        self,
+        src: str,
+        dst: str,
+        src_port: int = 0,
+        dst_port: int = 0,
+        width: int = 32,
+    ) -> Edge:
+        """Connect ``src`` output port to ``dst`` input port."""
+        for node_name in (src, dst):
+            if node_name not in self.nodes:
+                raise WiringError(f"unknown node {node_name!r}")
+        edge = Edge(src, src_port, dst, dst_port, width)
+        self.edges.append(edge)
+        return edge
+
+    def chain(self, *names: str, width: int = 32) -> list[Edge]:
+        """Connect a linear chain of single-port nodes."""
+        return [
+            self.connect(a, b, width=width)
+            for a, b in zip(names, names[1:])
+        ]
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def in_edges(self, name: str) -> list[Edge]:
+        return [e for e in self.edges if e.dst == name]
+
+    def out_edges(self, name: str) -> list[Edge]:
+        return [e for e in self.edges if e.src == name]
+
+    def successors(self, name: str) -> list[str]:
+        return [e.dst for e in self.out_edges(name)]

@@ -1,0 +1,96 @@
+"""Rendering and costing of dataflow graphs and elaborated circuits.
+
+* :func:`to_dot` — Graphviz source for a :class:`DataflowGraph`, so a
+  synthesized architecture can be inspected visually (buffers drawn as
+  boxes, control operators as diamonds, endpoints as ovals).
+* :func:`elaboration_cost` — fold an elaborated circuit through the area
+  model, returning per-component and total LE numbers; with this, any
+  graph built through the public API gets Table-I style costing for free.
+"""
+
+from __future__ import annotations
+
+import io
+
+from repro.cost.model import AreaBreakdown, AreaModel
+from repro.netlist.elaborate import Elaboration
+from repro.netlist.graph import DataflowGraph, NodeKind
+
+_SHAPES: dict[NodeKind, str] = {
+    NodeKind.SOURCE: "oval",
+    NodeKind.SINK: "oval",
+    NodeKind.BUFFER: "box3d",
+    NodeKind.OP: "box",
+    NodeKind.VLU: "box",
+    NodeKind.FORK: "triangle",
+    NodeKind.JOIN: "invtriangle",
+    NodeKind.BRANCH: "diamond",
+    NodeKind.MERGE: "diamond",
+    NodeKind.BARRIER: "octagon",
+}
+
+
+def to_dot(graph: DataflowGraph, title: str | None = None) -> str:
+    """Graphviz ``digraph`` source for *graph*."""
+    out = io.StringIO()
+    out.write(f'digraph "{graph.name}" {{\n')
+    out.write("  rankdir=LR;\n")
+    if title:
+        out.write(f'  label="{title}";\n')
+    for name, node in graph.nodes.items():
+        shape = _SHAPES[node.kind]
+        extra = ""
+        if node.kind == NodeKind.BUFFER:
+            extra = ', style=filled, fillcolor="lightblue"'
+        elif node.kind == NodeKind.BARRIER:
+            extra = ', style=filled, fillcolor="orange"'
+        out.write(
+            f'  "{name}" [shape={shape}, '
+            f'label="{name}\\n({node.kind.value})"{extra}];\n'
+        )
+    for edge in graph.edges:
+        label = f"{edge.width}b"
+        if edge.src_port or edge.dst_port:
+            label += f" [{edge.src_port}->{edge.dst_port}]"
+        out.write(f'  "{edge.src}" -> "{edge.dst}" [label="{label}"];\n')
+    out.write("}\n")
+    return out.getvalue()
+
+
+def elaboration_cost(
+    elab: Elaboration, model: AreaModel | None = None
+) -> tuple[dict[str, AreaBreakdown], float]:
+    """Per-node area breakdowns and the circuit's total LE count.
+
+    Channels and monitors cost nothing; everything else is folded through
+    ``Component.area_items()``.
+    """
+    if model is None:
+        model = AreaModel()
+    per_node: dict[str, AreaBreakdown] = {}
+    total = 0.0
+    for name, comp in elab.components.items():
+        area = model.component_area(comp)
+        per_node[name] = area
+        total += area.total_le
+    return per_node, total
+
+
+def cost_report(elab: Elaboration, model: AreaModel | None = None) -> str:
+    """Human-readable per-node cost table for an elaborated circuit."""
+    per_node, total = elaboration_cost(elab, model)
+    out = io.StringIO()
+    out.write(
+        f"Cost of '{elab.graph_name}' ({elab.threads} thread(s))\n"
+    )
+    out.write(f"{'node':<20} | {'LE':>8} | {'ff bits':>8} | {'LUTs':>6}\n")
+    out.write("-" * 50 + "\n")
+    for name in sorted(per_node, key=lambda n: -per_node[n].total_le):
+        area = per_node[name]
+        out.write(
+            f"{name:<20} | {area.total_le:>8.0f} | {area.ff_bits:>8} | "
+            f"{area.luts:>6}\n"
+        )
+    out.write("-" * 50 + "\n")
+    out.write(f"{'total':<20} | {total:>8.0f}\n")
+    return out.getvalue()

@@ -1,0 +1,139 @@
+"""Graph transforms: automatic elasticization.
+
+The paper's framing (§I, §VI) is that elastic primitives enable the
+*synthesis* of elastic architectures from higher-level descriptions.
+These transforms supply the missing mechanical steps:
+
+* :func:`insert_edge_buffer` — split one edge with a named BUFFER node.
+* :func:`pipeline_ops` — place a buffer after every computation node
+  ("replace any simple data connection with an elastic channel [backed
+  by an EB]", §II), turning a combinational dataflow into a fully
+  pipelined elastic one.
+* :func:`break_cycles` — find every bufferless cycle and insert a buffer
+  on one of its edges, making an arbitrary graph legal for elaboration
+  (cycles need storage to hold the circulating token).
+
+All transforms mutate the graph in place and return it, so they chain.
+"""
+
+from __future__ import annotations
+
+from repro.netlist.graph import DataflowGraph, Edge, NodeKind
+
+#: Node kinds that already provide storage on a path.
+_STORAGE_KINDS = (NodeKind.BUFFER, NodeKind.VLU)
+
+
+def _fresh_name(graph: DataflowGraph, stem: str) -> str:
+    k = 0
+    while f"{stem}{k}" in graph.nodes:
+        k += 1
+    return f"{stem}{k}"
+
+
+def insert_edge_buffer(
+    graph: DataflowGraph, edge: Edge, name: str | None = None
+) -> str:
+    """Replace ``src -> dst`` with ``src -> buffer -> dst``.
+
+    Returns the buffer node's name.
+    """
+    if edge not in graph.edges:
+        raise ValueError(f"edge {edge.name} not in graph {graph.name!r}")
+    if name is None:
+        name = _fresh_name(graph, "autobuf")
+    graph.buffer(name)
+    graph.edges.remove(edge)
+    graph.connect(edge.src, name, src_port=edge.src_port, dst_port=0,
+                  width=edge.width)
+    graph.connect(name, edge.dst, src_port=0, dst_port=edge.dst_port,
+                  width=edge.width)
+    return name
+
+
+def pipeline_ops(graph: DataflowGraph) -> DataflowGraph:
+    """Insert a buffer after every OP output that is not already buffered.
+
+    The classic elasticization recipe: every computation's result lands
+    in an elastic buffer, so each OP becomes one pipeline stage.
+    """
+    for edge in list(graph.edges):
+        src_node = graph.nodes[edge.src]
+        dst_node = graph.nodes[edge.dst]
+        if (
+            src_node.kind is NodeKind.OP
+            and dst_node.kind not in _STORAGE_KINDS
+        ):
+            insert_edge_buffer(graph, edge)
+    return graph
+
+
+def _find_bufferless_cycle(graph: DataflowGraph) -> list[Edge] | None:
+    """One cycle (as an edge list) that contains no storage node."""
+    storage = {
+        name for name, node in graph.nodes.items()
+        if node.kind in _STORAGE_KINDS
+    }
+    adj: dict[str, list[Edge]] = {
+        name: [] for name in graph.nodes if name not in storage
+    }
+    for edge in graph.edges:
+        if edge.src in storage or edge.dst in storage:
+            continue
+        adj[edge.src].append(edge)
+
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {name: WHITE for name in adj}
+    parent_edge: dict[str, Edge] = {}
+
+    def dfs(start: str) -> list[Edge] | None:
+        stack: list[tuple[str, int]] = [(start, 0)]
+        color[start] = GRAY
+        while stack:
+            node, idx = stack[-1]
+            if idx < len(adj[node]):
+                stack[-1] = (node, idx + 1)
+                edge = adj[node][idx]
+                nxt = edge.dst
+                if color[nxt] == GRAY:
+                    # Reconstruct the cycle from the DFS stack.
+                    cycle = [edge]
+                    walker = node
+                    while walker != nxt:
+                        back = parent_edge[walker]
+                        cycle.append(back)
+                        walker = back.src
+                    cycle.reverse()
+                    return cycle
+                if color[nxt] == WHITE:
+                    color[nxt] = GRAY
+                    parent_edge[nxt] = edge
+                    stack.append((nxt, 0))
+            else:
+                color[node] = BLACK
+                stack.pop()
+        return None
+
+    for name in adj:
+        if color[name] == WHITE:
+            found = dfs(name)
+            if found is not None:
+                return found
+    return None
+
+
+def break_cycles(graph: DataflowGraph, max_iterations: int = 1000) -> DataflowGraph:
+    """Insert buffers until no bufferless cycle remains."""
+    for _ in range(max_iterations):
+        cycle = _find_bufferless_cycle(graph)
+        if cycle is None:
+            return graph
+        insert_edge_buffer(graph, cycle[0])
+    raise RuntimeError("break_cycles did not converge")  # pragma: no cover
+
+
+def elasticize(graph: DataflowGraph) -> DataflowGraph:
+    """Full elasticization: pipeline every OP, then break residual cycles."""
+    pipeline_ops(graph)
+    break_cycles(graph)
+    return graph

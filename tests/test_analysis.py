@@ -1,0 +1,186 @@
+"""Tests for the analysis layer: stats, equivalence, figure rendering."""
+
+import pytest
+
+from repro.analysis import (
+    OccupancyProbe,
+    channel_stats,
+    check_token_conservation,
+    fairness_index,
+    latency_profile,
+    per_thread_throughputs,
+    render_activity_table,
+    render_occupancy_table,
+    render_timeline,
+    steady_state_window,
+    streams_equal,
+    thread_letter,
+)
+from repro.core import FullMEB
+
+from tests.conftest import make_mt_pipeline
+
+
+def run_simple(n_items=10, threads=2):
+    items = [list(range(n_items)) for _ in range(threads)]
+    sim, src, sink, mebs, mons = make_mt_pipeline(
+        FullMEB, threads=threads, items=items, n_stages=2
+    )
+    sim.run(cycles=n_items * threads + 20)
+    return sim, src, sink, mebs, mons
+
+
+class TestChannelStats:
+    def test_counts_and_throughput(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=10)
+        stats = channel_stats(mons[-1], 0, 40)
+        assert stats.transfers == 20
+        assert stats.thread(0).transfers == 10
+        assert stats.thread(1).transfers == 10
+        assert stats.utilization == pytest.approx(0.5)
+
+    def test_empty_window_rejected(self):
+        _sim, _src, _snk, _mebs, mons = run_simple()
+        with pytest.raises(ValueError):
+            channel_stats(mons[-1], 5, 5)
+
+    def test_window_bounds_respected(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=10)
+        stats = channel_stats(mons[-1], 0, 4)
+        assert stats.cycles == 4
+        assert stats.transfers <= 4
+
+    def test_first_last_cycles(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=5)
+        stats = channel_stats(mons[-1])
+        ts = stats.thread(0)
+        assert ts.first_cycle is not None
+        assert ts.last_cycle >= ts.first_cycle
+
+    def test_idle_thread_stats(self):
+        sim, _src, sink, _mebs, mons = make_mt_pipeline(
+            FullMEB, threads=2, items=[[1, 2], []], n_stages=1
+        )
+        sim.run(cycles=10)
+        stats = channel_stats(mons[-1])
+        assert stats.thread(1).transfers == 0
+        assert stats.thread(1).first_cycle is None
+
+
+class TestSteadyStateWindow:
+    def test_window_excludes_head_and_tail(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=20)
+        start, end = steady_state_window(mons[-1], warmup=5, drain=3)
+        assert start == 5
+        assert end > start
+
+    def test_empty_monitor(self):
+        sim, _src, _snk, _mebs, mons = make_mt_pipeline(
+            FullMEB, threads=2, items=[[], []], n_stages=1
+        )
+        sim.run(cycles=5)
+        start, end = steady_state_window(mons[-1])
+        assert end > start
+
+
+class TestFairness:
+    def test_equal_shares_score_one(self):
+        assert fairness_index([0.25, 0.25, 0.25, 0.25]) == pytest.approx(1.0)
+
+    def test_monopoly_scores_1_over_n(self):
+        assert fairness_index([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_all_zero(self):
+        assert fairness_index([0.0, 0.0]) == 0.0
+
+    def test_round_robin_pipeline_is_fair(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=20, threads=2)
+        tps = per_thread_throughputs(mons[-1], 4, 30)
+        assert fairness_index(tps) > 0.98
+
+
+class TestEquivalence:
+    def test_streams_equal(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=6)
+        assert streams_equal(mons[-1], [list(range(6)), list(range(6))])
+        assert not streams_equal(mons[-1], [list(range(6)), [9, 9]])
+
+    def test_streams_equal_shape_check(self):
+        _sim, _src, _snk, _mebs, mons = run_simple()
+        with pytest.raises(ValueError):
+            streams_equal(mons[-1], [[1]])
+
+    def test_conservation_ok(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=8)
+        report = check_token_conservation(mons[0], mons[-1])
+        assert report.ok
+        assert bool(report)
+        assert report.missing == ()
+
+    def test_conservation_detects_in_flight(self):
+        sim, _src, _snk, _mebs, mons = make_mt_pipeline(
+            FullMEB, threads=2, items=[list(range(8)), []], n_stages=2,
+            sink_patterns=[lambda c: False, None],
+        )
+        sim.run(cycles=20)
+        strict = check_token_conservation(mons[0], mons[-1])
+        assert not strict.ok
+        relaxed = check_token_conservation(mons[0], mons[-1],
+                                           allow_in_flight=4)
+        assert relaxed.ok
+
+    def test_latency_profile(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=6)
+        lats = latency_profile(mons[0], mons[-1], thread=0)
+        assert len(lats) == 6
+        assert all(lat >= 2 for lat in lats)  # 2 MEB stages minimum
+
+
+class TestRendering:
+    def test_thread_letter(self):
+        assert thread_letter(0) == "A"
+        assert thread_letter(1) == "B"
+
+    def test_activity_table_contains_items(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=4)
+        art = render_activity_table(
+            {"in": mons[0], "out": mons[-1]}, start=0, end=10
+        )
+        assert "in" in art and "out" in art
+        assert "0" in art
+
+    def test_activity_table_marks_idle(self):
+        sim, _src, _snk, _mebs, mons = make_mt_pipeline(
+            FullMEB, threads=2, items=[[], []], n_stages=1
+        )
+        sim.run(cycles=3)
+        art = render_activity_table({"ch": mons[0]})
+        assert "-" in art
+
+    def test_activity_table_needs_monitor(self):
+        with pytest.raises(ValueError):
+            render_activity_table({})
+
+    def test_timeline(self):
+        art = render_timeline("unit", ["F1", None, "F2"])
+        assert "F1" in art and "-" in art
+
+    def test_occupancy_table(self):
+        art = render_occupancy_table({"meb0": [0, 1, 2, 2]})
+        assert "meb0" in art
+        assert "2" in art
+
+    def test_occupancy_table_needs_data(self):
+        with pytest.raises(ValueError):
+            render_occupancy_table({})
+
+    def test_occupancy_probe(self):
+        sim, _src, _snk, mebs, _mons = make_mt_pipeline(
+            FullMEB, threads=2, items=[[1, 2, 3], []], n_stages=1,
+            sink_patterns=[lambda c: False] * 2,
+        )
+        probe = OccupancyProbe(lambda: mebs[0].total_occupancy())
+        sim.add_observer(probe)
+        sim.run(cycles=6)
+        assert len(probe.series) == 6
+        assert probe.series[-1] == 2

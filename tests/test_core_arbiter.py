@@ -1,0 +1,134 @@
+"""Tests for grant policies and the round-robin arbiter."""
+
+import pytest
+
+from repro.core import FixedPriorityArbiter, GrantPolicy, RoundRobinArbiter
+
+
+class TestGrantPolicy:
+    def test_masked_requires_both(self):
+        req = GrantPolicy.MASKED.requests([True, True, False], [True, False, True])
+        assert req == [True, False, False]
+
+    def test_unmasked_ignores_ready(self):
+        req = GrantPolicy.UNMASKED.requests([True, False, True], [False, False, False])
+        assert req == [True, False, True]
+
+    def test_fallback_equals_masked_when_possible(self):
+        req = GrantPolicy.MASKED_FALLBACK.requests([True, True], [False, True])
+        assert req == [False, True]
+
+    def test_fallback_probes_when_nothing_ready(self):
+        req = GrantPolicy.MASKED_FALLBACK.requests([True, True], [False, False])
+        assert req == [True, True]
+
+    def test_fallback_empty_when_nothing_valid(self):
+        req = GrantPolicy.MASKED_FALLBACK.requests([False, False], [True, True])
+        assert req == [False, False]
+
+
+class TestRoundRobinArbiter:
+    def test_no_requests_no_grant(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([False] * 4) is None
+
+    def test_grants_from_pointer(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([True, True, True, True]) == 0
+
+    def test_pointer_advances_after_transfer(self):
+        arb = RoundRobinArbiter(3)
+        g = arb.grant([True, True, True])
+        arb.note(g, transferred=True)
+        arb.commit()
+        assert arb.grant([True, True, True]) == 1
+
+    def test_round_robin_is_fair(self):
+        arb = RoundRobinArbiter(3)
+        grants = []
+        for _ in range(9):
+            g = arb.grant([True, True, True])
+            grants.append(g)
+            arb.note(g, transferred=True)
+            arb.commit()
+        assert grants == [0, 1, 2] * 3
+
+    def test_skips_idle_requesters(self):
+        arb = RoundRobinArbiter(4)
+        assert arb.grant([False, False, True, False]) == 2
+
+    def test_wraps_around(self):
+        arb = RoundRobinArbiter(3)
+        g = arb.grant([False, False, True])
+        arb.note(g, transferred=True)
+        arb.commit()
+        assert arb.grant([True, False, False]) == 0
+
+    def test_rotate_on_stall_sweeps_waiters(self):
+        arb = RoundRobinArbiter(3, rotate_on_stall=True)
+        grants = []
+        for _ in range(3):
+            g = arb.grant([True, True, True])
+            grants.append(g)
+            arb.note(g, transferred=False)  # probing grants, no transfer
+            arb.commit()
+        assert grants == [0, 1, 2]
+
+    def test_no_rotation_without_flag(self):
+        arb = RoundRobinArbiter(3, rotate_on_stall=False)
+        for _ in range(3):
+            g = arb.grant([True, True, True])
+            arb.note(g, transferred=False)
+            arb.commit()
+        assert arb.grant([True, True, True]) == 0
+
+    def test_pointer_holds_when_idle(self):
+        arb = RoundRobinArbiter(3)
+        g = arb.grant([False, True, False])
+        arb.note(g, transferred=True)
+        arb.commit()
+        arb.note(None, transferred=False)
+        arb.commit()
+        assert arb.pointer == 2
+
+    def test_grant_is_pure(self):
+        arb = RoundRobinArbiter(3)
+        for _ in range(5):
+            assert arb.grant([True, False, True]) == 0
+
+    def test_request_length_checked(self):
+        arb = RoundRobinArbiter(3)
+        with pytest.raises(ValueError):
+            arb.grant([True])
+
+    def test_reset(self):
+        arb = RoundRobinArbiter(3)
+        g = arb.grant([True, True, True])
+        arb.note(g, True)
+        arb.commit()
+        arb.reset()
+        assert arb.pointer == 0
+
+    def test_needs_positive_size(self):
+        with pytest.raises(ValueError):
+            RoundRobinArbiter(0)
+
+
+class TestFixedPriorityArbiter:
+    def test_lowest_index_always_wins(self):
+        arb = FixedPriorityArbiter(3)
+        for _ in range(4):
+            g = arb.grant([True, True, True])
+            assert g == 0
+            arb.note(g, transferred=True)
+            arb.commit()
+
+    def test_starves_higher_indices(self):
+        arb = FixedPriorityArbiter(2)
+        grants = []
+        for _ in range(6):
+            g = arb.grant([True, True])
+            grants.append(g)
+            arb.note(g, True)
+            arb.commit()
+        assert grants == [0] * 6

@@ -1,0 +1,178 @@
+"""Tests for the thread synchronization barrier (paper §IV-C, Fig. 8)."""
+
+import pytest
+
+from repro.core import (
+    FREE,
+    IDLE,
+    WAIT,
+    Barrier,
+    FullMEB,
+    MTChannel,
+    MTMonitor,
+    MTSink,
+    MTSource,
+    ReducedMEB,
+)
+from repro.kernel import build
+
+from tests.conftest import MEB_CLASSES
+
+
+def make_barrier_system(meb_cls, items, threads, participants=None,
+                        src_patterns=None, on_release=None):
+    """source -> MEB -> barrier -> sink."""
+    c0 = MTChannel("c0", threads=threads)
+    c1 = MTChannel("c1", threads=threads)
+    c2 = MTChannel("c2", threads=threads)
+    src = MTSource("src", c0, items=items, patterns=src_patterns)
+    meb = meb_cls("meb", c0, c1)
+    bar = Barrier("bar", c1, c2, participants=participants,
+                  on_release=on_release)
+    sink = MTSink("snk", c2)
+    mon = MTMonitor("mon", c2)
+    sim = build(c0, c1, c2, src, meb, bar, sink, mon)
+    return sim, src, sink, bar, mon
+
+
+@pytest.mark.parametrize("meb_cls", MEB_CLASSES)
+class TestBarrierBasics:
+    def test_nothing_passes_until_all_arrive(self, meb_cls):
+        # Thread 2 injects late (cycle 12); nothing may pass before then.
+        items = [[f"T{t}"] for t in range(3)]
+        sim, _src, sink, _bar, _mon = make_barrier_system(
+            meb_cls, items, threads=3,
+            src_patterns=[None, None, lambda c: c >= 12],
+        )
+        sim.run(cycles=12)
+        assert sink.count == 0
+
+    def test_all_released_after_last_arrival(self, meb_cls):
+        items = [[f"T{t}"] for t in range(3)]
+        sim, _src, sink, bar, _mon = make_barrier_system(
+            meb_cls, items, threads=3,
+            src_patterns=[None, None, lambda c: c >= 12],
+        )
+        sim.run(until=lambda s: sink.count == 3, max_cycles=80)
+        assert sorted(d for _c, _t, d in sink.received) == ["T0", "T1", "T2"]
+        assert bar.releases == 1
+
+    def test_go_flag_flips_per_release(self, meb_cls):
+        items = [["a1", "a2"], ["b1", "b2"]]
+        sim, _src, sink, bar, _mon = make_barrier_system(
+            meb_cls, items, threads=2
+        )
+        assert bar.go is False
+        sim.run(until=lambda s: bar.releases == 1, max_cycles=60)
+        assert bar.go is True
+        sim.run(until=lambda s: bar.releases == 2, max_cycles=60)
+        assert bar.go is False
+
+    def test_multiple_rounds(self, meb_cls):
+        rounds = 4
+        items = [[f"A{r}" for r in range(rounds)],
+                 [f"B{r}" for r in range(rounds)]]
+        sim, _src, sink, bar, _mon = make_barrier_system(
+            meb_cls, items, threads=2
+        )
+        sim.run(until=lambda s: sink.count == 2 * rounds, max_cycles=300)
+        assert bar.releases == rounds
+        assert sink.values_for(0) == [f"A{r}" for r in range(rounds)]
+        assert sink.values_for(1) == [f"B{r}" for r in range(rounds)]
+
+    def test_counter_resets_on_release(self, meb_cls):
+        items = [["a"], ["b"]]
+        sim, _src, _sink, bar, _mon = make_barrier_system(
+            meb_cls, items, threads=2
+        )
+        sim.run(until=lambda s: bar.releases == 1, max_cycles=40)
+        assert bar.count == 0
+
+    def test_on_release_callback(self, meb_cls):
+        calls = []
+        items = [["a1", "a2"], ["b1", "b2"]]
+        sim, _src, sink, _bar, _mon = make_barrier_system(
+            meb_cls, items, threads=2, on_release=calls.append
+        )
+        sim.run(until=lambda s: sink.count == 4, max_cycles=120)
+        assert calls == [1, 2]
+
+
+class TestBarrierFSM:
+    def test_states_progress_idle_wait_free(self):
+        items = [["a"], ["b"]]
+        sim, _src, _sink, bar, _mon = make_barrier_system(
+            FullMEB, items, threads=2,
+            src_patterns=[None, lambda c: c >= 8],
+        )
+        assert bar.thread_state(0) == IDLE
+        # Thread 0 arrives early and waits.
+        sim.run(cycles=4)
+        assert bar.thread_state(0) == WAIT
+        assert bar.thread_state(1) == IDLE
+        assert bar.count == 1
+        # Thread 1 arrives; next cycle both are FREE (or already drained).
+        sim.run(until=lambda s: bar.thread_state(0) == FREE, max_cycles=20)
+        assert bar.thread_state(1) in (FREE, IDLE)
+
+    def test_thread_returns_to_idle_after_passing(self):
+        items = [["a"], ["b"]]
+        sim, _src, sink, bar, _mon = make_barrier_system(
+            FullMEB, items, threads=2
+        )
+        sim.run(until=lambda s: sink.count == 2, max_cycles=40)
+        sim.run(cycles=2)
+        assert bar.thread_state(0) == IDLE
+        assert bar.thread_state(1) == IDLE
+
+
+class TestPartialParticipation:
+    def test_nonparticipants_pass_freely(self):
+        # Threads 0,1 synchronize; thread 2 is independent and flows
+        # through even though the barrier is still waiting for thread 1.
+        items = [["a"], [], ["z1", "z2", "z3"]]
+        sim, _src, sink, bar, _mon = make_barrier_system(
+            FullMEB, items, threads=3, participants=[0, 1]
+        )
+        sim.run(cycles=30)
+        assert sink.values_for(2) == ["z1", "z2", "z3"]
+        assert sink.count_for(0) == 0  # still waiting for thread 1
+        assert bar.thread_state(0) == WAIT
+
+    def test_release_with_participant_subset(self):
+        items = [["a"], ["b"], ["z"]]
+        sim, _src, sink, bar, _mon = make_barrier_system(
+            FullMEB, items, threads=3, participants=[0, 1]
+        )
+        sim.run(until=lambda s: sink.count == 3, max_cycles=60)
+        assert bar.releases == 1
+
+    def test_empty_participants_rejected(self):
+        c1 = MTChannel("c1", threads=2)
+        c2 = MTChannel("c2", threads=2)
+        with pytest.raises(ValueError):
+            Barrier("bar", c1, c2, participants=[])
+
+    def test_out_of_range_participant_rejected(self):
+        c1 = MTChannel("c1", threads=2)
+        c2 = MTChannel("c2", threads=2)
+        with pytest.raises(ValueError):
+            Barrier("bar", c1, c2, participants=[0, 5])
+
+
+class TestBarrierReleaseTiming:
+    def test_release_is_simultaneous(self):
+        """All threads become FREE in the same cycle (the point of a
+        barrier): first pass cycles differ by at most the serialization
+        of the shared channel (S-1 cycles for S threads)."""
+        threads = 4
+        items = [[f"T{t}"] for t in range(threads)]
+        sim, _src, sink, bar, mon = make_barrier_system(
+            FullMEB, items, threads=threads,
+            src_patterns=[None, lambda c: c >= 3, lambda c: c >= 6,
+                          lambda c: c >= 9],
+        )
+        sim.run(until=lambda s: sink.count == threads, max_cycles=80)
+        first = min(c for c, _t, _d in sink.received)
+        last = max(c for c, _t, _d in sink.received)
+        assert last - first <= threads - 1

@@ -1,0 +1,144 @@
+"""Tests for MT traffic endpoints: MTSource and MTSink."""
+
+import pytest
+
+from repro.core import FullMEB, GrantPolicy, MTChannel, MTSink, MTSource
+from repro.kernel import build
+
+from tests.conftest import make_mt_pipeline
+
+
+def direct_link(items, src_patterns=None, sink_patterns=None,
+                policy=GrantPolicy.MASKED_FALLBACK):
+    ch = MTChannel("ch", threads=len(items), width=16)
+    src = MTSource("src", ch, items=items, patterns=src_patterns,
+                   policy=policy)
+    sink = MTSink("snk", ch, patterns=sink_patterns)
+    sim = build(ch, src, sink)
+    return sim, src, sink
+
+
+class TestMTSource:
+    def test_stream_count_must_match_threads(self):
+        ch = MTChannel("ch", threads=3)
+        with pytest.raises(ValueError):
+            MTSource("src", ch, items=[[1], [2]])
+
+    def test_one_item_per_cycle(self):
+        sim, _src, sink = direct_link([[1, 2], [3, 4]])
+        sim.run(cycles=4)
+        assert sink.count == 4  # exactly one transfer per cycle
+
+    def test_round_robin_interleaving(self):
+        sim, _src, sink = direct_link([[1, 2], [3, 4]])
+        sim.run(cycles=4)
+        threads = [t for _c, t, _d in sink.received]
+        assert threads == [0, 1, 0, 1]
+
+    def test_exhaustion(self):
+        sim, src, sink = direct_link([[1], [2]])
+        assert not src.exhausted
+        sim.run(cycles=3)
+        assert src.exhausted
+        assert src.pending(0) == 0
+
+    def test_push_mid_simulation(self):
+        sim, src, sink = direct_link([[], []])
+        sim.run(cycles=2)
+        assert sink.count == 0
+        src.push(1, "late")
+        sim.run(cycles=3)
+        assert sink.values_for(1) == ["late"]
+
+    def test_block_unblock(self):
+        sim, src, sink = direct_link([[1, 2, 3], []])
+        src.block(0)
+        sim.run(cycles=4)
+        assert sink.count == 0
+        src.unblock(0)
+        sim.run(cycles=4)
+        assert sink.values_for(0) == [1, 2, 3]
+
+    def test_per_thread_injection_patterns(self):
+        sim, _src, sink = direct_link(
+            [["a"], ["b"]],
+            src_patterns=[None, lambda c: c >= 5],
+        )
+        sim.run(cycles=5)
+        assert sink.values_for(0) == ["a"]
+        assert sink.count_for(1) == 0
+        sim.run(cycles=3)
+        assert sink.values_for(1) == ["b"]
+
+    def test_sent_records(self):
+        sim, src, _sink = direct_link([[1], [2]])
+        sim.run(cycles=3)
+        assert src.sent_by_thread(0) == [1]
+        assert src.sent_by_thread(1) == [2]
+        assert len(src.sent) == 2
+
+    def test_reset_restores_streams(self):
+        sim, src, sink = direct_link([[1, 2], []])
+        sim.run(cycles=3)
+        assert sink.count == 2
+        sim.reset()
+        sim.run(cycles=3)
+        assert sink.values_for(0) == [1, 2]
+
+    def test_unmasked_policy_presents_without_ready(self):
+        sim, src, sink = direct_link(
+            [[1], []], sink_patterns=[lambda c: False, None],
+            policy=GrantPolicy.UNMASKED,
+        )
+        sim.run(cycles=2)
+        sim.settle()
+        assert sim.signal_by_name("ch.valid0").value is True
+        assert sink.count == 0
+
+
+class TestMTSink:
+    def test_per_thread_stall_patterns(self):
+        sim, _src, sink = direct_link(
+            [[1, 2], [3, 4]],
+            sink_patterns=[None, lambda c: c >= 6],
+        )
+        sim.run(cycles=6)
+        assert sink.values_for(0) == [1, 2]
+        assert sink.count_for(1) == 0
+        sim.run(cycles=4)
+        assert sink.values_for(1) == [3, 4]
+
+    def test_received_carries_cycle_thread_data(self):
+        sim, _src, sink = direct_link([["x"], []])
+        sim.run(cycles=2)
+        cycle, thread, data = sink.received[0]
+        assert thread == 0
+        assert data == "x"
+        assert cycle >= 0
+
+    def test_cycles_for(self):
+        sim, _src, sink = direct_link([[1, 2], []])
+        sim.run(cycles=4)
+        assert sink.cycles_for(0) == [0, 1]
+
+    def test_reset_clears_received(self):
+        sim, _src, sink = direct_link([[1], []])
+        sim.run(cycles=2)
+        sim.reset()
+        assert sink.count == 0
+
+
+class TestEndToEndGating:
+    def test_dynamic_push_through_pipeline(self):
+        """Sources accept pushes while the pipeline is running — the MD5
+        driver's injection mechanism."""
+        sim, src, sink, _mebs, _mons = make_mt_pipeline(
+            FullMEB, threads=2, items=[[], []], n_stages=2
+        )
+        for wave in range(3):
+            src.push(0, f"a{wave}")
+            src.push(1, f"b{wave}")
+            sim.run(until=lambda s: sink.count == 2 * (wave + 1),
+                    max_cycles=50)
+        assert sink.values_for(0) == ["a0", "a1", "a2"]
+        assert sink.values_for(1) == ["b0", "b1", "b2"]

@@ -1,0 +1,161 @@
+"""Reproduction of the paper's Fig. 5 scenario as tests (§III-A).
+
+A 2-thread, 2-stage MEB pipeline. Both threads inject continuously;
+thread B's consumer stalls for a window, then releases.  The paper's
+analysis:
+
+* **Full MEBs** (Fig. 5(a)): while B is blocked everywhere, thread A still
+  gets 100% of the channel (each stage has two private A slots, so A can
+  overlap dequeue and refill every cycle).
+* **Reduced MEBs** (Fig. 5(b)): B's stalled items occupy the shared slots
+  of both stages; backpressure reaches the source and "injection for
+  thread B stops".  From then on thread A sees effectively one slot per
+  stage and gets **50%** throughput — "the only one in which the
+  difference between the full and the reduced MEB arises".
+* After B releases, both configurations return to 1/2-1/2 sharing, and
+  the delivered per-thread streams are identical.
+"""
+
+import pytest
+
+from repro.core import FullMEB, ReducedMEB
+from repro.elastic import stall_window
+
+from tests.conftest import MEB_CLASSES, make_mt_pipeline
+
+#: B's sink refuses during [STALL_START, STALL_END).
+STALL_START, STALL_END = 10, 40
+#: Measurement window deep inside the stall, after backpressure has
+#: propagated to the source (2 stages + source, a few cycles margin).
+MEASURE = (STALL_START + 10, STALL_END - 2)
+N_ITEMS = 60
+
+
+def run_fig5(meb_cls, n_stages=2):
+    items = [
+        [f"A{i}" for i in range(N_ITEMS)],
+        [f"B{i}" for i in range(N_ITEMS)],
+    ]
+    sim, src, sink, mebs, mons = make_mt_pipeline(
+        meb_cls,
+        threads=2,
+        items=items,
+        n_stages=n_stages,
+        sink_patterns=[None, stall_window(STALL_START, STALL_END)],
+    )
+    sim.run(cycles=STALL_END + 2 * N_ITEMS)
+    return sim, src, sink, mebs, mons
+
+
+class TestBeforeStall:
+    @pytest.mark.parametrize("meb_cls", MEB_CLASSES)
+    def test_uniform_sharing_half_throughput_each(self, meb_cls):
+        _sim, _src, _sink, _mebs, mons = run_fig5(meb_cls)
+        out = mons[-1]
+        warm = (4, STALL_START)
+        assert out.throughput_window(*warm, thread=0) == pytest.approx(
+            0.5, abs=0.1
+        )
+        assert out.throughput_window(*warm, thread=1) == pytest.approx(
+            0.5, abs=0.1
+        )
+
+
+class TestDuringStall:
+    def test_full_meb_keeps_thread_a_at_full_rate(self):
+        """Fig. 5(a): full MEBs let A use every cycle while B is blocked."""
+        _sim, _src, _sink, _mebs, mons = run_fig5(FullMEB)
+        tp_a = mons[-1].throughput_window(*MEASURE, thread=0)
+        assert tp_a == pytest.approx(1.0, abs=0.05)
+
+    def test_reduced_meb_halves_thread_a(self):
+        """Fig. 5(b): with shared slots held by blocked B, A gets 50%."""
+        _sim, _src, _sink, _mebs, mons = run_fig5(ReducedMEB)
+        tp_a = mons[-1].throughput_window(*MEASURE, thread=0)
+        assert tp_a == pytest.approx(0.5, abs=0.05)
+
+    def test_reduced_meb_b_injection_stops(self):
+        """Fig. 5(b): backpressure reaches the input and B stops entering."""
+        _sim, _src, _sink, _mebs, mons = run_fig5(ReducedMEB)
+        in_mon = mons[0]
+        b_in = [
+            c for c in in_mon.transfer_cycles(1) if MEASURE[0] <= c < MEASURE[1]
+        ]
+        assert b_in == []
+
+    def test_reduced_shared_slots_held_by_blocked_thread(self):
+        sim, _src, _sink, mebs, _mons = run_fig5(ReducedMEB)
+        # Re-run to mid-stall to inspect state.
+        sim.reset()
+        sim.run(cycles=MEASURE[0])
+        for meb in mebs:
+            assert meb.shared_full
+            assert meb.shared_owner == 1  # thread B owns every shared slot
+
+    def test_full_meb_b_keeps_two_slots_per_stage(self):
+        sim, _src, _sink, mebs, _mons = run_fig5(FullMEB)
+        sim.reset()
+        sim.run(cycles=MEASURE[0])
+        for meb in mebs:
+            assert meb.occupancy(1) == 2
+
+
+class TestAfterRelease:
+    @pytest.mark.parametrize("meb_cls", MEB_CLASSES)
+    def test_b_resumes_and_all_items_delivered(self, meb_cls):
+        _sim, _src, sink, _mebs, _mons = run_fig5(meb_cls)
+        assert sink.values_for(0) == [f"A{i}" for i in range(N_ITEMS)]
+        assert sink.values_for(1) == [f"B{i}" for i in range(N_ITEMS)]
+
+    def test_streams_identical_between_meb_kinds(self):
+        outputs = {}
+        for meb_cls in MEB_CLASSES:
+            _sim, _src, sink, _mebs, _mons = run_fig5(meb_cls)
+            outputs[meb_cls.__name__] = (
+                sink.values_for(0),
+                sink.values_for(1),
+            )
+        assert outputs["FullMEB"] == outputs["ReducedMEB"]
+
+
+class TestStallPropagationDepth:
+    """The 50% effect needs the stall to reach the source; with a short
+    stall the shared slots never all fill and A keeps full rate."""
+
+    def test_short_stall_does_not_halve_a(self):
+        items = [[f"A{i}" for i in range(40)], [f"B{i}" for i in range(40)]]
+        sim, _src, _sink, _mebs, mons = make_mt_pipeline(
+            ReducedMEB, threads=2, items=items, n_stages=2,
+            sink_patterns=[None, stall_window(10, 13)],
+        )
+        sim.run(cycles=120)
+        # Average A throughput over the whole run stays near 1/2 (the
+        # fair share), far above what a sustained-50%-of-50% would give.
+        tp_a = mons[-1].throughput_window(4, 80, thread=0)
+        assert tp_a > 0.45
+
+    def test_deeper_pipeline_takes_longer_to_degrade(self):
+        """With 4 stages there are more shared slots to fill before the
+        effect reaches the source, delaying A's slowdown."""
+        n_items = 80
+        items = [
+            [f"A{i}" for i in range(n_items)],
+            [f"B{i}" for i in range(n_items)],
+        ]
+        first_degraded = {}
+        for stages in (2, 4):
+            sim, _src, _sink, mebs, mons = make_mt_pipeline(
+                ReducedMEB, threads=2, items=items, n_stages=stages,
+                sink_patterns=[None, stall_window(10, 70)],
+            )
+            sim.run(cycles=80)
+            # The moment every stage's shared slot belongs to B.
+            sim.reset()
+            cycle = 0
+            while cycle < 70:
+                sim.step()
+                cycle += 1
+                if all(m.shared_owner == 1 for m in mebs):
+                    break
+            first_degraded[stages] = cycle
+        assert first_degraded[4] > first_degraded[2]

@@ -1,0 +1,261 @@
+"""Tests for M-Join, M-Fork, M-Branch, M-Merge (paper §IV-B, Fig. 7)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    FullMEB,
+    MBranch,
+    MFork,
+    MJoin,
+    MMerge,
+    MTChannel,
+    MTMonitor,
+    MTSink,
+    MTSource,
+    ReducedMEB,
+)
+from repro.kernel import ProtocolError, build
+
+from tests.conftest import MEB_CLASSES
+
+
+def mt_ch(name, threads=2, width=32):
+    return MTChannel(name, threads=threads, width=width)
+
+
+class TestMJoin:
+    def make(self, items_a, items_b, threads=2):
+        cha, chb, out = mt_ch("cha", threads), mt_ch("chb", threads), mt_ch("out", threads)
+        sa = MTSource("sa", cha, items=items_a)
+        sb = MTSource("sb", chb, items=items_b)
+        join = MJoin("join", [cha, chb], out)
+        sink = MTSink("snk", out)
+        sim = build(cha, chb, out, sa, sb, join, sink)
+        return sim, sink
+
+    def test_joins_matching_threads(self):
+        sim, sink = self.make([[1, 2], [5]], [[10, 20], [50]])
+        sim.run(until=lambda s: sink.count == 3, max_cycles=60)
+        assert sink.values_for(0) == [(1, 10), (2, 20)]
+        assert sink.values_for(1) == [(5, 50)]
+
+    def test_missing_partner_blocks_only_that_thread(self):
+        # Thread 1 has data on A but never on B; thread 0 flows normally.
+        sim, sink = self.make([[1, 2], [7]], [[10, 20], []])
+        sim.run(until=lambda s: sink.count_for(0) == 2, max_cycles=60)
+        assert sink.values_for(0) == [(1, 10), (2, 20)]
+        assert sink.count_for(1) == 0
+
+    def test_join_through_mebs_converges_on_common_thread(self):
+        """The agreement problem (DESIGN.md §5): two MEBs with fallback
+        arbitration feeding one M-Join must settle on a common thread and
+        drain everything."""
+        for meb_cls in MEB_CLASSES:
+            cha, chb = mt_ch("cha"), mt_ch("chb")
+            ba, bb = mt_ch("ba"), mt_ch("bb")
+            out = mt_ch("out")
+            sa = MTSource("sa", cha, items=[[1, 2, 3], [4, 5, 6]])
+            sb = MTSource("sb", chb, items=[[10, 20, 30], [40, 50, 60]])
+            ma = meb_cls("ma", cha, ba)
+            mb = meb_cls("mb", chb, bb)
+            join = MJoin("join", [ba, bb], out)
+            sink = MTSink("snk", out)
+            sim = build(cha, chb, ba, bb, out, sa, sb, ma, mb, join, sink)
+            sim.run(until=lambda s: sink.count == 6, max_cycles=300)
+            assert sink.values_for(0) == [(1, 10), (2, 20), (3, 30)]
+            assert sink.values_for(1) == [(4, 40), (5, 50), (6, 60)]
+
+    def test_three_input_join(self):
+        chs = [mt_ch(f"c{i}") for i in range(3)]
+        out = mt_ch("out")
+        srcs = [
+            MTSource(f"s{i}", ch, items=[[i * 10 + 1], [i * 10 + 2]])
+            for i, ch in enumerate(chs)
+        ]
+        join = MJoin("join", chs, out)
+        sink = MTSink("snk", out)
+        sim = build(*chs, out, *srcs, join, sink)
+        sim.run(until=lambda s: sink.count == 2, max_cycles=80)
+        assert sink.values_for(0) == [(1, 11, 21)]
+        assert sink.values_for(1) == [(2, 12, 22)]
+
+    def test_thread_count_mismatch_rejected(self):
+        cha = mt_ch("cha", threads=2)
+        chb = mt_ch("chb", threads=3)
+        out = mt_ch("out", threads=2)
+        from repro.kernel import SimulationError
+
+        with pytest.raises(SimulationError):
+            MJoin("join", [cha, chb], out)
+
+
+class TestMFork:
+    def test_duplicates_all_threads(self):
+        inp = mt_ch("inp")
+        outa, outb = mt_ch("oa"), mt_ch("ob")
+        src = MTSource("src", inp, items=[[1, 2], [3, 4]])
+        fork = MFork("fork", inp, [outa, outb])
+        ska = MTSink("ska", outa)
+        skb = MTSink("skb", outb)
+        sim = build(inp, outa, outb, src, fork, ska, skb)
+        sim.run(until=lambda s: ska.count == 4 and skb.count == 4,
+                max_cycles=60)
+        for sink in (ska, skb):
+            assert sink.values_for(0) == [1, 2]
+            assert sink.values_for(1) == [3, 4]
+
+    def test_stalled_branch_blocks_that_thread_only(self):
+        inp = mt_ch("inp")
+        outa, outb = mt_ch("oa"), mt_ch("ob")
+        src = MTSource("src", inp, items=[[1, 2], [3, 4]])
+        fork = MFork("fork", inp, [outa, outb])
+        ska = MTSink("ska", outa)
+        # B-side sink refuses thread 1 entirely.
+        skb = MTSink("skb", outb, patterns=[None, lambda c: False])
+        sim = build(inp, outa, outb, src, fork, ska, skb)
+        sim.run(until=lambda s: ska.count_for(0) == 2, max_cycles=60)
+        assert ska.values_for(0) == [1, 2]
+        assert ska.count_for(1) == 0  # lazy fork: thread 1 fully blocked
+
+
+class TestMBranch:
+    def test_routes_by_condition_per_thread(self):
+        inp = mt_ch("inp")
+        out_even, out_odd = mt_ch("oe"), mt_ch("oo")
+        src = MTSource("src", inp, items=[[2, 3, 4], [5, 6]])
+        br = MBranch("br", inp, [out_even, out_odd], selector=lambda d: d % 2)
+        ske = MTSink("ske", out_even)
+        sko = MTSink("sko", out_odd)
+        sim = build(inp, out_even, out_odd, src, br, ske, sko)
+        sim.run(until=lambda s: ske.count + sko.count == 5, max_cycles=60)
+        assert ske.values_for(0) == [2, 4]
+        assert sko.values_for(0) == [3]
+        assert ske.values_for(1) == [6]
+        assert sko.values_for(1) == [5]
+
+    def test_selector_bounds_checked(self):
+        inp = mt_ch("inp")
+        outs = [mt_ch("o0"), mt_ch("o1")]
+        src = MTSource("src", inp, items=[[9], []])
+        br = MBranch("br", inp, outs, selector=lambda d: 5)
+        sinks = [MTSink(f"sk{i}", ch) for i, ch in enumerate(outs)]
+        sim = build(inp, *outs, src, br, *sinks)
+        with pytest.raises(ProtocolError):
+            sim.run(cycles=3)
+
+    def test_route_transform(self):
+        inp = mt_ch("inp")
+        outs = [mt_ch("o0"), mt_ch("o1")]
+        src = MTSource("src", inp, items=[[(0, "x")], [(1, "y")]])
+        br = MBranch("br", inp, outs, selector=lambda d: d[0],
+                     route=lambda d: d[1])
+        sinks = [MTSink(f"sk{i}", ch) for i, ch in enumerate(outs)]
+        sim = build(inp, *outs, src, br, *sinks)
+        sim.run(until=lambda s: sinks[0].count + sinks[1].count == 2,
+                max_cycles=40)
+        assert sinks[0].values_for(0) == ["x"]
+        assert sinks[1].values_for(1) == ["y"]
+
+
+class TestMMerge:
+    def test_merges_exclusive_paths(self):
+        cha, chb, out = mt_ch("cha"), mt_ch("chb"), mt_ch("out")
+        # Path A carries thread 0 only, path B thread 1 only.
+        sa = MTSource("sa", cha, items=[[1, 2, 3], []])
+        sb = MTSource("sb", chb, items=[[], [10, 20, 30]])
+        mg = MMerge("mg", [cha, chb], out)
+        sink = MTSink("snk", out)
+        mon = MTMonitor("mon", out)
+        sim = build(cha, chb, out, sa, sb, mg, sink, mon)
+        sim.run(until=lambda s: sink.count == 6, max_cycles=60)
+        assert sink.values_for(0) == [1, 2, 3]
+        assert sink.values_for(1) == [10, 20, 30]
+
+    def test_output_stays_one_hot_under_contention(self):
+        """Both paths active with different threads: the path arbiter must
+        serialize them (the monitor raises if valid is ever multi-hot)."""
+        cha, chb, out = mt_ch("cha"), mt_ch("chb"), mt_ch("out")
+        sa = MTSource("sa", cha, items=[[i for i in range(10)], []])
+        sb = MTSource("sb", chb, items=[[], [100 + i for i in range(10)]])
+        mg = MMerge("mg", [cha, chb], out)
+        mon = MTMonitor("mon", out)
+        sink = MTSink("snk", out)
+        sim = build(cha, chb, out, sa, sb, mg, mon, sink)
+        sim.run(until=lambda s: sink.count == 20, max_cycles=120)
+        assert sink.values_for(0) == list(range(10))
+        assert sink.values_for(1) == [100 + i for i in range(10)]
+
+    def test_same_thread_on_two_paths_rejected(self):
+        cha, chb, out = mt_ch("cha"), mt_ch("chb"), mt_ch("out")
+        sa = MTSource("sa", cha, items=[[1], []])
+        sb = MTSource("sb", chb, items=[[2], []])
+        mg = MMerge("mg", [cha, chb], out)
+        sink = MTSink("snk", out)
+        sim = build(cha, chb, out, sa, sb, mg, sink)
+        with pytest.raises(ProtocolError):
+            sim.run(cycles=3)
+
+    def test_path_fairness(self):
+        """Round-robin between contending paths: both make progress."""
+        cha, chb, out = mt_ch("cha"), mt_ch("chb"), mt_ch("out")
+        sa = MTSource("sa", cha, items=[[i for i in range(20)], []])
+        sb = MTSource("sb", chb, items=[[], [i for i in range(20)]])
+        mg = MMerge("mg", [cha, chb], out)
+        mon = MTMonitor("mon", out)
+        sink = MTSink("snk", out)
+        sim = build(cha, chb, out, sa, sb, mg, mon, sink)
+        sim.run(cycles=20)
+        assert sink.count_for(0) >= 5
+        assert sink.count_for(1) >= 5
+
+
+class TestBranchMergeRoundTrip:
+    @pytest.mark.parametrize("meb_cls", MEB_CLASSES)
+    def test_if_then_else_with_buffered_arms(self, meb_cls):
+        threads = 2
+        inp = mt_ch("inp", threads)
+        t0, t1 = mt_ch("t0", threads), mt_ch("t1", threads)
+        b0, b1 = mt_ch("b0", threads), mt_ch("b1", threads)
+        out = mt_ch("out", threads)
+        items = [[3, 8, 1], [6, 7, 2]]
+        src = MTSource("src", inp, items=items)
+        br = MBranch("br", inp, [t0, t1], selector=lambda d: d % 2)
+        m0 = meb_cls("m0", t0, b0)
+        m1 = meb_cls("m1", t1, b1)
+        mg = MMerge("mg", [b0, b1], out)
+        mon = MTMonitor("mon", out)
+        sink = MTSink("snk", out)
+        sim = build(inp, t0, t1, b0, b1, out, src, br, m0, m1, mg, mon, sink)
+        sim.run(until=lambda s: sink.count == 6, max_cycles=200)
+        for t in range(threads):
+            evens = [v for v in sink.values_for(t) if v % 2 == 0]
+            odds = [v for v in sink.values_for(t) if v % 2 == 1]
+            assert evens == [v for v in items[t] if v % 2 == 0]
+            assert odds == [v for v in items[t] if v % 2 == 1]
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    a0=st.lists(st.integers(0, 99), min_size=0, max_size=6),
+    a1=st.lists(st.integers(0, 99), min_size=0, max_size=6),
+)
+def test_fork_join_diamond_property(a0, a1):
+    """Property: fork -> (MEB, MEB) -> join reconstructs each thread's
+    stream zipped with itself, for random per-thread streams."""
+    inp = mt_ch("inp")
+    fa, fb = mt_ch("fa"), mt_ch("fb")
+    ba, bb = mt_ch("ba"), mt_ch("bb")
+    out = mt_ch("out")
+    src = MTSource("src", inp, items=[a0, a1])
+    fork = MFork("fork", inp, [fa, fb])
+    ma = FullMEB("ma", fa, ba)
+    mb = ReducedMEB("mb", fb, bb)
+    join = MJoin("join", [ba, bb], out)
+    sink = MTSink("snk", out)
+    sim = build(inp, fa, fb, ba, bb, out, src, fork, ma, mb, join, sink)
+    total = len(a0) + len(a1)
+    sim.run(cycles=total * 6 + 40)
+    assert sink.values_for(0) == [(v, v) for v in a0]
+    assert sink.values_for(1) == [(v, v) for v in a1]

@@ -1,0 +1,194 @@
+"""Tests for the area/timing cost model — including the model-level form
+of the paper's Table I claims (reduced MEB smaller, savings grow with S).
+"""
+
+import pytest
+
+from repro.core import Barrier, FullMEB, MTChannel, ReducedMEB
+from repro.cost import (
+    AreaModel,
+    TimingModel,
+    adder_luts,
+    average_savings,
+    comparator_luts,
+    ComparisonRow,
+    DesignCost,
+    logic_unit_luts,
+    mux_tree_luts,
+    savings_sweep_table,
+    shifter_luts,
+    table1,
+)
+from repro.kernel import Component
+
+
+def make_meb(meb_cls, threads, width=32):
+    up = MTChannel("up", threads=threads, width=width)
+    down = MTChannel("down", threads=threads, width=width)
+    return meb_cls("meb", up, down)
+
+
+class TestAreaModel:
+    def test_ff_cost_scales_with_width(self):
+        model = AreaModel(routing_overhead=1.0)
+        area = model.items_area([("ff", 2, 32)])
+        assert area.total_le == 64
+        assert area.ff_bits == 64
+
+    def test_lut_cost_ignores_width_field(self):
+        model = AreaModel(routing_overhead=1.0)
+        area = model.items_area([("lut", 5, 1)])
+        assert area.total_le == 5
+        assert area.luts == 5
+
+    def test_routing_overhead_applied(self):
+        model = AreaModel(routing_overhead=1.5)
+        area = model.items_area([("ff", 1, 10)])
+        assert area.total_le == pytest.approx(15.0)
+
+    def test_unknown_primitive_rejected(self):
+        model = AreaModel()
+        with pytest.raises(KeyError):
+            model.items_area([("magic", 1, 1)])
+
+    def test_breakdown_addition(self):
+        model = AreaModel(routing_overhead=1.0)
+        a = model.items_area([("ff", 1, 8)])
+        b = model.items_area([("mux2", 1, 8)])
+        combined = a + b
+        assert combined.total_le == 16
+        assert combined.ff_bits == 8
+        assert combined.mux_bits == 8
+
+    def test_component_area_aggregates_subtree(self):
+        model = AreaModel(routing_overhead=1.0)
+
+        class Leaf(Component):
+            def area_items(self):
+                return [("ff", 1, 4)]
+
+        top = Component("top")
+        Leaf("a", parent=top)
+        Leaf("b", parent=top)
+        assert model.component_area(top).total_le == 8
+
+
+class TestMEBAreaClaims:
+    """Model-level versions of the paper's §III / Table I statements."""
+
+    @pytest.mark.parametrize("threads", [2, 4, 8, 16])
+    def test_reduced_meb_smaller_than_full(self, threads):
+        model = AreaModel()
+        full = model.component_area(make_meb(FullMEB, threads)).total_le
+        red = model.component_area(make_meb(ReducedMEB, threads)).total_le
+        assert red < full
+
+    def test_storage_counts_match_slot_arithmetic(self):
+        """Full buffers 2S words, reduced S+1 (paper §III-A)."""
+        width = 32
+        for s in (4, 8):
+            model = AreaModel(routing_overhead=1.0)
+            full = model.component_area(make_meb(FullMEB, s, width))
+            red = model.component_area(make_meb(ReducedMEB, s, width))
+            # Data storage bits dominate the ff count; subtract control.
+            assert full.ff_bits >= 2 * s * width
+            assert red.ff_bits >= (s + 1) * width
+            assert red.ff_bits < full.ff_bits
+
+    def test_savings_grow_with_thread_count(self):
+        """Paper §V-C: going from 8 to 16 threads raises the savings."""
+        model = AreaModel()
+
+        def savings(s):
+            full = model.component_area(make_meb(FullMEB, s)).total_le
+            red = model.component_area(make_meb(ReducedMEB, s)).total_le
+            return 1 - red / full
+
+        assert savings(16) > savings(8) > savings(4)
+
+    def test_barrier_area_scales_with_participants(self):
+        model = AreaModel()
+
+        def barrier_area(threads):
+            up = MTChannel("u", threads=threads)
+            down = MTChannel("d", threads=threads)
+            return model.component_area(
+                Barrier("b", up, down)
+            ).total_le
+
+        assert barrier_area(8) > barrier_area(2)
+
+
+class TestTimingModel:
+    def test_period_grows_with_area(self):
+        tm = TimingModel()
+        assert tm.period_ns(10, 10000) > tm.period_ns(10, 5000)
+
+    def test_fmax_inverse_of_period(self):
+        tm = TimingModel(wire_ns_per_sqrt_le=0.0)
+        assert tm.fmax_mhz(10.0, 0) == pytest.approx(100.0)
+
+    def test_reduced_design_is_faster(self):
+        """Smaller area => shorter wires => higher fmax (Table I shape)."""
+        tm = TimingModel()
+        assert tm.fmax_mhz(80.0, 11200) > tm.fmax_mhz(80.0, 12780)
+
+    def test_negative_area_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel().period_ns(1.0, -5)
+
+
+class TestEstimators:
+    def test_adder(self):
+        assert adder_luts(32) == 32
+
+    def test_logic_unit(self):
+        assert logic_unit_luts(32) == 32
+
+    def test_mux_tree(self):
+        assert mux_tree_luts(8, 32) == 7 * 32
+        assert mux_tree_luts(1, 32) == 0
+
+    def test_shifter(self):
+        assert shifter_luts(32) == 5 * 32
+
+    def test_comparator(self):
+        assert comparator_luts(32) == 16
+
+
+class TestReport:
+    def make_rows(self):
+        full = DesignCost("md5", "full", 12780, 11.0)
+        red = DesignCost("md5", "reduced", 11200, 12.0)
+        full_p = DesignCost("proc", "full", 6850, 60.0)
+        red_p = DesignCost("proc", "reduced", 5590, 68.0)
+        return [
+            ComparisonRow("md5", full, red),
+            ComparisonRow("proc", full_p, red_p),
+        ]
+
+    def test_savings_computation(self):
+        rows = self.make_rows()
+        assert rows[0].area_savings == pytest.approx(0.1236, abs=1e-3)
+        assert rows[1].area_savings == pytest.approx(0.1839, abs=1e-3)
+        # The paper's "average 15%".
+        assert average_savings(rows) == pytest.approx(0.1538, abs=1e-3)
+
+    def test_speedup(self):
+        rows = self.make_rows()
+        assert rows[0].speedup == pytest.approx(12 / 11)
+
+    def test_table_rendering(self):
+        text = table1(self.make_rows(), title="TABLE I")
+        assert "TABLE I" in text
+        assert "md5" in text and "proc" in text
+        assert "12780" in text
+        assert "Average area savings" in text
+
+    def test_average_needs_rows(self):
+        with pytest.raises(ValueError):
+            average_savings([])
+
+    def test_sweep_table(self):
+        text = savings_sweep_table("md5", [(8, 1000, 850), (16, 2000, 1500)])
+        assert "8" in text and "25.0%" in text

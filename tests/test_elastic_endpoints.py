@@ -1,0 +1,155 @@
+"""Tests for single-thread sources, sinks and the pattern helpers."""
+
+import pytest
+
+from repro.elastic import (
+    ChannelMonitor,
+    ElasticChannel,
+    Sink,
+    Source,
+    duty_cycle,
+    stall_window,
+)
+from repro.elastic.endpoints import _pattern_fn
+from repro.kernel import build
+
+
+def direct(items, src_pattern=None, sink_pattern=None, **src_kwargs):
+    ch = ElasticChannel("ch", width=16)
+    src = Source("src", ch, items=items, pattern=src_pattern, **src_kwargs)
+    sink = Sink("snk", ch, pattern=sink_pattern)
+    mon = ChannelMonitor("mon", ch)
+    sim = build(ch, src, sink, mon)
+    return sim, src, sink, mon
+
+
+class TestPatternHelpers:
+    def test_none_is_always_on(self):
+        fn = _pattern_fn(None)
+        assert all(fn(c) for c in range(10))
+
+    def test_sequence_is_cyclic(self):
+        fn = _pattern_fn([True, False])
+        assert [fn(c) for c in range(4)] == [True, False, True, False]
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            _pattern_fn([])
+
+    def test_callable_passthrough(self):
+        fn = _pattern_fn(lambda c: c > 2)
+        assert not fn(0)
+        assert fn(3)
+
+    def test_stall_window(self):
+        fn = stall_window(2, 4)
+        assert [fn(c) for c in range(6)] == [True, True, False, False,
+                                             True, True]
+
+    def test_duty_cycle(self):
+        fn = duty_cycle(1, 3)
+        assert [fn(c) for c in range(6)] == [True, False, False,
+                                             True, False, False]
+
+    def test_duty_cycle_phase(self):
+        fn = duty_cycle(1, 3, phase=1)
+        assert fn(2)
+        assert not fn(0)
+
+    def test_duty_cycle_bounds_checked(self):
+        with pytest.raises(ValueError):
+            duty_cycle(4, 3)
+        with pytest.raises(ValueError):
+            duty_cycle(1, 0)
+
+
+class TestSource:
+    def test_items_xor_generate(self):
+        ch = ElasticChannel("ch")
+        with pytest.raises(ValueError):
+            Source("s", ch, items=[1], generate=lambda k: k)
+        with pytest.raises(ValueError):
+            Source("s2", ElasticChannel("ch2"))
+
+    def test_generate_with_count(self):
+        ch = ElasticChannel("ch", width=8)
+        src = Source("src", ch, generate=lambda k: k * k, count=4)
+        sink = Sink("snk", ch)
+        sim = build(ch, src, sink)
+        sim.run(until=lambda s: sink.count == 4, max_cycles=20)
+        assert sink.values() == [0, 1, 4, 9]
+
+    def test_infinite_generate(self):
+        ch = ElasticChannel("ch", width=8)
+        src = Source("src", ch, generate=lambda k: k, count=None)
+        sink = Sink("snk", ch)
+        sim = build(ch, src, sink)
+        sim.run(cycles=10)
+        assert sink.count == 10
+        assert not src.exhausted
+        assert src.remaining is None
+
+    def test_push(self):
+        sim, src, sink, _mon = direct([])
+        sim.run(cycles=2)
+        src.push("later")
+        sim.run(cycles=2)
+        assert sink.values() == ["later"]
+
+    def test_push_rejected_for_generator_source(self):
+        ch = ElasticChannel("ch")
+        src = Source("src", ch, generate=lambda k: k, count=1)
+        with pytest.raises(ValueError):
+            src.push(5)
+
+    def test_offer_persists_through_pattern_gap(self):
+        # Gate opens only at cycle 0 of every 5; sink stalls 3 cycles:
+        # the offer must persist (monitor enforces) and transfer later.
+        sim, _src, sink, mon = direct(
+            [1], src_pattern=duty_cycle(1, 5),
+            sink_pattern=lambda c: c >= 3,
+        )
+        sim.run(until=lambda s: sink.count == 1, max_cycles=20)
+        assert mon.transfer_count == 1
+        assert sink.received == [(3, 1)]
+
+    def test_sent_records(self):
+        sim, src, _sink, _mon = direct([7, 8])
+        sim.run(cycles=3)
+        assert [d for _c, d in src.sent] == [7, 8]
+
+    def test_exhausted_and_remaining(self):
+        sim, src, _sink, _mon = direct([1, 2, 3])
+        assert src.remaining == 3
+        sim.run(cycles=5)
+        assert src.exhausted
+        assert src.remaining == 0
+
+
+class TestSink:
+    def test_limit_stops_acceptance(self):
+        sim, _src, sink, _mon = direct([1, 2, 3, 4])
+        sink._limit = 2
+        sim.run(cycles=10)
+        assert sink.count == 2
+
+    def test_limit_constructor(self):
+        ch = ElasticChannel("ch", width=8)
+        src = Source("src", ch, items=[1, 2, 3])
+        sink = Sink("snk", ch, limit=1)
+        sim = build(ch, src, sink)
+        sim.run(cycles=6)
+        assert sink.values() == [1]
+
+    def test_arrival_cycles(self):
+        sim, _src, sink, _mon = direct([5, 6])
+        sim.run(cycles=4)
+        assert sink.arrival_cycles() == [0, 1]
+
+    def test_reset(self):
+        sim, _src, sink, _mon = direct([1])
+        sim.run(cycles=2)
+        sim.reset()
+        assert sink.count == 0
+        sim.run(cycles=2)
+        assert sink.values() == [1]

@@ -1,0 +1,144 @@
+"""Tests for elastic function units and variable-latency units."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.elastic import (
+    ChannelMonitor,
+    ElasticBuffer,
+    ElasticChannel,
+    FunctionUnit,
+    Sink,
+    Source,
+    VariableLatencyUnit,
+)
+from repro.kernel import SimulationError, build
+
+
+def make_vlu(items, latency, sink_pattern=None):
+    inp = ElasticChannel("inp", width=8)
+    out = ElasticChannel("out", width=8)
+    src = Source("src", inp, items=items)
+    vlu = VariableLatencyUnit("vlu", inp, out, fn=lambda d: d + 100,
+                              latency=latency)
+    sink = Sink("snk", out, pattern=sink_pattern)
+    sim = build(inp, out, src, vlu, sink)
+    return sim, sink, vlu
+
+
+class TestFunctionUnit:
+    def test_combinational_transform(self):
+        inp = ElasticChannel("inp", width=8)
+        out = ElasticChannel("out", width=8)
+        src = Source("src", inp, items=[1, 2, 3])
+        fu = FunctionUnit("fu", inp, out, fn=lambda d: d * 10)
+        sink = Sink("snk", out)
+        sim = build(inp, out, src, fu, sink)
+        sim.run(until=lambda s: sink.count == 3, max_cycles=20)
+        assert sink.values() == [10, 20, 30]
+
+    def test_zero_latency(self):
+        inp = ElasticChannel("inp", width=8)
+        out = ElasticChannel("out", width=8)
+        src = Source("src", inp, items=[7])
+        fu = FunctionUnit("fu", inp, out, fn=lambda d: d)
+        sink = Sink("snk", out)
+        sim = build(inp, out, src, fu, sink)
+        sim.run(until=lambda s: sink.count == 1, max_cycles=10)
+        assert sink.arrival_cycles() == [0]
+
+    def test_backpressure_passes_through(self):
+        inp = ElasticChannel("inp", width=8)
+        out = ElasticChannel("out", width=8)
+        src = Source("src", inp, items=[1, 2])
+        fu = FunctionUnit("fu", inp, out, fn=lambda d: d)
+        sink = Sink("snk", out, pattern=lambda c: c >= 3)
+        sim = build(inp, out, src, fu, sink)
+        sim.run(until=lambda s: sink.count == 2, max_cycles=20)
+        assert sink.arrival_cycles() == [3, 4]
+
+
+class TestVariableLatencyUnit:
+    def test_fixed_latency_timing(self):
+        sim, sink, _vlu = make_vlu([5], latency=3)
+        sim.run(until=lambda s: sink.count == 1, max_cycles=20)
+        # Accepted at cycle 0, result visible at cycle 3.
+        assert sink.received == [(3, 105)]
+
+    def test_latency_one_gives_one_item_every_two_cycles(self):
+        sim, sink, _vlu = make_vlu([1, 2, 3], latency=1)
+        sim.run(until=lambda s: sink.count == 3, max_cycles=30)
+        # Single occupancy: accept at t, deliver at t+1, accept next at t+2.
+        assert sink.arrival_cycles() == [1, 3, 5]
+
+    def test_callable_latency_policy(self):
+        sim, sink, _vlu = make_vlu([1, 2], latency=lambda d, k: d)
+        sim.run(until=lambda s: sink.count == 2, max_cycles=30)
+        assert sink.values() == [101, 102]
+
+    def test_iterable_latency_policy(self):
+        sim, sink, _vlu = make_vlu([1, 2, 3], latency=iter([1, 4, 2]))
+        sim.run(until=lambda s: sink.count == 3, max_cycles=40)
+        assert sink.values() == [101, 102, 103]
+
+    def test_latency_iterable_exhaustion_raises(self):
+        sim, _sink, _vlu = make_vlu([1, 2, 3], latency=iter([1]))
+        with pytest.raises(SimulationError):
+            sim.run(cycles=20)
+
+    def test_zero_latency_rejected(self):
+        sim, _sink, _vlu = make_vlu([1], latency=0)
+        with pytest.raises(SimulationError):
+            sim.run(cycles=5)
+
+    def test_result_held_until_taken(self):
+        sim, sink, vlu = make_vlu([9], latency=2,
+                                  sink_pattern=lambda c: c >= 8)
+        sim.run(until=lambda s: sink.count == 1, max_cycles=20)
+        assert sink.received == [(8, 109)]
+
+    def test_not_ready_while_busy(self):
+        sim, _sink, vlu = make_vlu([1, 2], latency=5)
+        sim.run(cycles=3)
+        sim.settle()
+        assert vlu.inp.ready.value is False
+
+
+class TestElasticToleratesVariableLatency:
+    """Paper §I: elastic systems tolerate variable-latency computation.
+
+    A pipeline with a variable-latency middle unit must still deliver all
+    tokens, in order, with no protocol violations."""
+
+    def test_pipeline_with_variable_latency_middle(self):
+        c0 = ElasticChannel("c0", width=8)
+        c1 = ElasticChannel("c1", width=8)
+        c2 = ElasticChannel("c2", width=8)
+        c3 = ElasticChannel("c3", width=8)
+        src = Source("src", c0, items=list(range(6)))
+        eb_in = ElasticBuffer("ebi", c0, c1)
+        vlu = VariableLatencyUnit("vlu", c1, c2, fn=lambda d: d,
+                                  latency=lambda d, k: 1 + (k % 3))
+        eb_out = ElasticBuffer("ebo", c2, c3)
+        mon = ChannelMonitor("mon", c3)
+        sink = Sink("snk", c3)
+        sim = build(c0, c1, c2, c3, src, eb_in, vlu, eb_out, mon, sink)
+        sim.run(until=lambda s: sink.count == 6, max_cycles=100)
+        assert sink.values() == list(range(6))
+        assert mon.transfer_count == 6
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    latencies=st.lists(st.integers(min_value=1, max_value=5), min_size=1,
+                       max_size=10),
+    sink_bits=st.lists(st.booleans(), min_size=1, max_size=6),
+)
+def test_variable_latency_conserves_tokens(latencies, sink_bits):
+    """Property: any latency schedule delivers every token exactly once."""
+    n = len(latencies)
+    sim, sink, _vlu = make_vlu(list(range(n)), latency=iter(latencies),
+                               sink_pattern=sink_bits + [True])
+    sim.run(cycles=sum(latencies) * (len(sink_bits) + 2) + 8 * n + 20)
+    assert sink.values() == [100 + i for i in range(n)]

@@ -1,0 +1,245 @@
+"""Tests for single-thread join/fork/branch/merge (paper §II, Fig. 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.elastic import (
+    Branch,
+    ChannelMonitor,
+    EagerFork,
+    ElasticBuffer,
+    ElasticChannel,
+    Join,
+    LazyFork,
+    Merge,
+    Sink,
+    Source,
+)
+from repro.kernel import ProtocolError, build
+
+
+class TestJoin:
+    def make(self, items_a, items_b, pattern_a=None, pattern_b=None,
+             sink_pattern=None):
+        cha = ElasticChannel("cha", width=8)
+        chb = ElasticChannel("chb", width=8)
+        out = ElasticChannel("out", width=16)
+        src_a = Source("sa", cha, items=items_a, pattern=pattern_a)
+        src_b = Source("sb", chb, items=items_b, pattern=pattern_b)
+        join = Join("join", [cha, chb], out)
+        sink = Sink("snk", out, pattern=sink_pattern)
+        sim = build(cha, chb, out, src_a, src_b, join, sink)
+        return sim, sink
+
+    def test_pairs_aligned_in_order(self):
+        sim, sink = self.make([1, 2, 3], [10, 20, 30])
+        sim.run(until=lambda s: sink.count == 3, max_cycles=50)
+        assert sink.values() == [(1, 10), (2, 20), (3, 30)]
+
+    def test_slow_input_throttles_both(self):
+        sim, sink = self.make(
+            [1, 2, 3], [10, 20, 30], pattern_b=[True, False, False]
+        )
+        sim.run(until=lambda s: sink.count == 3, max_cycles=100)
+        assert sink.values() == [(1, 10), (2, 20), (3, 30)]
+
+    def test_custom_combine(self):
+        cha = ElasticChannel("cha", width=8)
+        chb = ElasticChannel("chb", width=8)
+        out = ElasticChannel("out", width=8)
+        src_a = Source("sa", cha, items=[1, 2])
+        src_b = Source("sb", chb, items=[10, 20])
+        join = Join("join", [cha, chb], out, combine=lambda a, b: a + b)
+        sink = Sink("snk", out)
+        sim = build(cha, chb, out, src_a, src_b, join, sink)
+        sim.run(until=lambda s: sink.count == 2, max_cycles=50)
+        assert sink.values() == [11, 22]
+
+    def test_three_way_join(self):
+        chs = [ElasticChannel(f"ch{i}", width=8) for i in range(3)]
+        out = ElasticChannel("out", width=24)
+        srcs = [
+            Source(f"s{i}", ch, items=[i * 10 + 1, i * 10 + 2])
+            for i, ch in enumerate(chs)
+        ]
+        join = Join("join", chs, out)
+        sink = Sink("snk", out)
+        sim = build(*chs, out, *srcs, join, sink)
+        sim.run(until=lambda s: sink.count == 2, max_cycles=50)
+        assert sink.values() == [(1, 11, 21), (2, 12, 22)]
+
+    def test_join_requires_two_inputs(self):
+        cha = ElasticChannel("cha")
+        out = ElasticChannel("out")
+        with pytest.raises(ValueError):
+            Join("join", [cha], out)
+
+
+@pytest.mark.parametrize("fork_cls", [LazyFork, EagerFork])
+class TestFork:
+    def make(self, fork_cls, items, pat_a=None, pat_b=None):
+        inp = ElasticChannel("inp", width=8)
+        outa = ElasticChannel("outa", width=8)
+        outb = ElasticChannel("outb", width=8)
+        src = Source("src", inp, items=items)
+        fork = fork_cls("fork", inp, [outa, outb])
+        snk_a = Sink("ska", outa, pattern=pat_a)
+        snk_b = Sink("skb", outb, pattern=pat_b)
+        sim = build(inp, outa, outb, src, fork, snk_a, snk_b)
+        return sim, snk_a, snk_b
+
+    def test_both_sinks_get_all_items(self, fork_cls):
+        sim, ska, skb = self.make(fork_cls, [1, 2, 3])
+        sim.run(until=lambda s: ska.count == 3 and skb.count == 3,
+                max_cycles=50)
+        assert ska.values() == [1, 2, 3]
+        assert skb.values() == [1, 2, 3]
+
+    def test_slow_consumer_throttles(self, fork_cls):
+        sim, ska, skb = self.make(fork_cls, [1, 2, 3],
+                                  pat_b=[True, False, False])
+        sim.run(until=lambda s: ska.count == 3 and skb.count == 3,
+                max_cycles=100)
+        assert ska.values() == [1, 2, 3]
+        assert skb.values() == [1, 2, 3]
+
+    def test_fork_requires_two_outputs(self, fork_cls):
+        inp = ElasticChannel("inp")
+        out = ElasticChannel("out")
+        with pytest.raises(ValueError):
+            fork_cls("fork", inp, [out])
+
+
+class TestEagerVsLazyFork:
+    def test_eager_fork_serves_fast_consumer_early(self):
+        """With consumer B stalled, eager delivers to A immediately but lazy
+        withholds; we observe it via A's arrival cycles."""
+        arrivals = {}
+        for cls in (LazyFork, EagerFork):
+            inp = ElasticChannel("inp", width=8)
+            outa = ElasticChannel("outa", width=8)
+            outb = ElasticChannel("outb", width=8)
+            src = Source("src", inp, items=[1])
+            fork = cls("fork", inp, [outa, outb])
+            ska = Sink("ska", outa)
+            skb = Sink("skb", outb, pattern=lambda c: c >= 4)
+            sim = build(inp, outa, outb, src, fork, ska, skb)
+            sim.run(until=lambda s: ska.count == 1 and skb.count == 1,
+                    max_cycles=50)
+            arrivals[cls.__name__] = ska.arrival_cycles()[0]
+        assert arrivals["EagerFork"] == 0
+        assert arrivals["LazyFork"] == 4
+
+
+class TestBranchMerge:
+    def make_if_then_else(self, items, sel, strict=True):
+        """branch -> (even path EB, odd path EB) -> merge."""
+        inp = ElasticChannel("inp", width=8)
+        t0 = ElasticChannel("t0", width=8)
+        t1 = ElasticChannel("t1", width=8)
+        b0 = ElasticChannel("b0", width=8)
+        b1 = ElasticChannel("b1", width=8)
+        out = ElasticChannel("out", width=8)
+        src = Source("src", inp, items=items)
+        branch = Branch("br", inp, [t0, t1], selector=sel)
+        eb0 = ElasticBuffer("eb0", t0, b0)
+        eb1 = ElasticBuffer("eb1", t1, b1)
+        merge = Merge("mg", [b0, b1], out, strict=strict)
+        sink = Sink("snk", out)
+        sim = build(inp, t0, t1, b0, b1, out, src, branch, eb0, eb1, merge,
+                    sink)
+        return sim, sink
+
+    def test_branch_routes_by_condition(self):
+        inp = ElasticChannel("inp", width=8)
+        outs = [ElasticChannel(f"o{i}", width=8) for i in range(2)]
+        src = Source("src", inp, items=[1, 2, 3, 4])
+        branch = Branch("br", inp, outs, selector=lambda d: d % 2)
+        sinks = [Sink(f"sk{i}", ch) for i, ch in enumerate(outs)]
+        sim = build(inp, *outs, src, branch, *sinks)
+        sim.run(until=lambda s: sinks[0].count + sinks[1].count == 4,
+                max_cycles=50)
+        assert sinks[0].values() == [2, 4]
+        assert sinks[1].values() == [1, 3]
+
+    def test_branch_selector_bounds_checked(self):
+        inp = ElasticChannel("inp", width=8)
+        outs = [ElasticChannel(f"o{i}", width=8) for i in range(2)]
+        src = Source("src", inp, items=[5])
+        branch = Branch("br", inp, outs, selector=lambda d: 7)
+        sinks = [Sink(f"sk{i}", ch) for i, ch in enumerate(outs)]
+        sim = build(inp, *outs, src, branch, *sinks)
+        with pytest.raises(ProtocolError):
+            sim.run(cycles=2)
+
+    def test_branch_route_transform(self):
+        inp = ElasticChannel("inp", width=8)
+        outs = [ElasticChannel(f"o{i}", width=8) for i in range(2)]
+        src = Source("src", inp, items=[(0, "a"), (1, "b")])
+        branch = Branch("br", inp, outs, selector=lambda d: d[0],
+                        route=lambda d: d[1])
+        sinks = [Sink(f"sk{i}", ch) for i, ch in enumerate(outs)]
+        sim = build(inp, *outs, src, branch, *sinks)
+        sim.run(until=lambda s: sinks[0].count + sinks[1].count == 2,
+                max_cycles=50)
+        assert sinks[0].values() == ["a"]
+        assert sinks[1].values() == ["b"]
+
+    def test_if_then_else_returns_all_items(self):
+        items = [3, 8, 1, 6, 7, 2]
+        sim, sink = self.make_if_then_else(items, sel=lambda d: d % 2)
+        sim.run(until=lambda s: sink.count == len(items), max_cycles=100)
+        assert sorted(sink.values()) == sorted(items)
+
+    def test_merge_strict_rejects_simultaneous_valids(self):
+        cha = ElasticChannel("cha", width=8)
+        chb = ElasticChannel("chb", width=8)
+        out = ElasticChannel("out", width=8)
+        sa = Source("sa", cha, items=[1])
+        sb = Source("sb", chb, items=[2])
+        merge = Merge("mg", [cha, chb], out, strict=True)
+        sink = Sink("snk", out)
+        sim = build(cha, chb, out, sa, sb, merge, sink)
+        with pytest.raises(ProtocolError):
+            sim.run(cycles=2)
+
+    def test_merge_nonstrict_serializes(self):
+        cha = ElasticChannel("cha", width=8)
+        chb = ElasticChannel("chb", width=8)
+        out = ElasticChannel("out", width=8)
+        sa = Source("sa", cha, items=[1, 3])
+        sb = Source("sb", chb, items=[2, 4])
+        merge = Merge("mg", [cha, chb], out, strict=False)
+        sink = Sink("snk", out)
+        sim = build(cha, chb, out, sa, sb, merge, sink)
+        sim.run(until=lambda s: sink.count == 4, max_cycles=50)
+        assert sorted(sink.values()) == [1, 2, 3, 4]
+
+
+@settings(max_examples=50, deadline=None)
+@given(items=st.lists(st.integers(min_value=0, max_value=99), min_size=1,
+                      max_size=20))
+def test_branch_merge_loopback_conserves_tokens(items):
+    """Property: an if-then-else with buffered arms never loses/dups data."""
+    inp = ElasticChannel("inp", width=8)
+    t0 = ElasticChannel("t0", width=8)
+    t1 = ElasticChannel("t1", width=8)
+    b0 = ElasticChannel("b0", width=8)
+    b1 = ElasticChannel("b1", width=8)
+    out = ElasticChannel("out", width=8)
+    src = Source("src", inp, items=items)
+    branch = Branch("br", inp, [t0, t1], selector=lambda d: d % 2)
+    eb0 = ElasticBuffer("eb0", t0, b0)
+    eb1 = ElasticBuffer("eb1", t1, b1)
+    merge = Merge("mg", [b0, b1], out, strict=False)
+    mon = ChannelMonitor("mon", out)
+    sink = Sink("snk", out)
+    sim = build(inp, t0, t1, b0, b1, out, src, branch, eb0, eb1, merge, mon,
+                sink)
+    sim.run(cycles=len(items) * 4 + 20)
+    assert sorted(sink.values()) == sorted(items)
+    evens = [v for v in sink.values() if v % 2 == 0]
+    odds = [v for v in sink.values() if v % 2 == 1]
+    assert evens == [v for v in items if v % 2 == 0]
+    assert odds == [v for v in items if v % 2 == 1]

@@ -1,0 +1,283 @@
+"""Tests for the dataflow IR, validation, and elaboration."""
+
+import pytest
+
+from repro.netlist import (
+    DataflowGraph,
+    GraphValidationError,
+    NodeKind,
+    elaborate,
+    validate,
+)
+from repro.kernel.errors import WiringError
+
+
+def linear_graph(items=((1, 2, 3),), threads=1):
+    g = DataflowGraph("pipe")
+    g.source("src", items=list(items) if threads > 1 else list(items[0]))
+    g.buffer("b0")
+    g.op("inc", fn=lambda d: d + 1, area_luts=8)
+    g.buffer("b1")
+    g.sink("snk")
+    g.chain("src", "b0", "inc", "b1", "snk")
+    return g
+
+
+class TestGraphBuilding:
+    def test_duplicate_node_rejected(self):
+        g = DataflowGraph("g")
+        g.buffer("b")
+        with pytest.raises(WiringError):
+            g.buffer("b")
+
+    def test_connect_unknown_node_rejected(self):
+        g = DataflowGraph("g")
+        g.buffer("b")
+        with pytest.raises(WiringError):
+            g.connect("b", "nope")
+
+    def test_chain_builds_edges(self):
+        g = linear_graph()
+        assert len(g.edges) == 4
+
+    def test_queries(self):
+        g = linear_graph()
+        assert g.successors("src") == ["b0"]
+        assert len(g.in_edges("snk")) == 1
+        assert len(g.out_edges("src")) == 1
+
+
+class TestValidation:
+    def test_valid_graph_passes(self):
+        issues = validate(linear_graph())
+        assert not any(i.severity == "error" for i in issues)
+
+    def test_unconnected_port_caught(self):
+        g = DataflowGraph("g")
+        g.source("src", items=[1])
+        g.buffer("b")
+        g.connect("src", "b")
+        # buffer output dangling
+        with pytest.raises(GraphValidationError) as exc:
+            validate(g)
+        assert "unconnected" in str(exc.value)
+
+    def test_double_driver_caught(self):
+        g = DataflowGraph("g")
+        g.source("s1", items=[1])
+        g.source("s2", items=[2])
+        g.sink("k")
+        g.connect("s1", "k")
+        g.connect("s2", "k")
+        with pytest.raises(GraphValidationError):
+            validate(g)
+
+    def test_implicit_fanout_caught(self):
+        g = DataflowGraph("g")
+        g.source("s", items=[1])
+        g.sink("k1")
+        g.sink("k2")
+        g.connect("s", "k1")
+        g.connect("s", "k2")
+        with pytest.raises(GraphValidationError) as exc:
+            validate(g)
+        assert "fork" in str(exc.value)
+
+    def test_missing_selector_caught(self):
+        g = DataflowGraph("g")
+        node = g._add("br", NodeKind.BRANCH, n_outputs=2)
+        g.source("s", items=[1])
+        g.sink("k0")
+        g.sink("k1")
+        g.connect("s", "br")
+        g.connect("br", "k0", src_port=0)
+        g.connect("br", "k1", src_port=1)
+        with pytest.raises(GraphValidationError) as exc:
+            validate(g)
+        assert "selector" in str(exc.value)
+
+    def test_bufferless_cycle_caught(self):
+        g = DataflowGraph("g")
+        g.source("s", items=[1])
+        g.merge("m")
+        g.op("f", fn=lambda d: d)
+        g.branch("br", selector=lambda d: 0)
+        g.sink("k")
+        g.connect("s", "m", dst_port=0)
+        g.connect("m", "f")
+        g.connect("f", "br")
+        g.connect("br", "k", src_port=0)
+        g.connect("br", "m", src_port=1, dst_port=1)
+        with pytest.raises(GraphValidationError) as exc:
+            validate(g)
+        assert "cycle" in str(exc.value)
+
+    def test_buffered_cycle_allowed(self):
+        g = DataflowGraph("g")
+        g.source("s", items=[1])
+        g.merge("m")
+        g.buffer("b")
+        g.branch("br", selector=lambda d: 1)  # always exit
+        g.sink("k")
+        g.connect("s", "m", dst_port=0)
+        g.connect("m", "b")
+        g.connect("b", "br")
+        g.connect("br", "m", src_port=0, dst_port=1)
+        g.connect("br", "k", src_port=1)
+        issues = validate(g)
+        assert not any(i.severity == "error" for i in issues)
+
+
+class TestElaborationSingleThread:
+    def test_linear_pipeline_runs(self):
+        elab = elaborate(linear_graph(), threads=1)
+        snk = elab.sink("snk")
+        elab.run(until=lambda s: snk.count == 3, max_cycles=50)
+        assert snk.values() == [2, 3, 4]
+
+    def test_monitors_created_per_edge(self):
+        g = linear_graph()
+        elab = elaborate(g, threads=1)
+        assert len(elab.monitors) == len(g.edges)
+
+    def test_monitorless_elaboration(self):
+        elab = elaborate(linear_graph(), threads=1, monitors=False)
+        assert elab.monitors == {}
+
+    def test_barrier_rejected_single_thread(self):
+        g = DataflowGraph("g")
+        g.source("s", items=[1])
+        g.barrier("bar")
+        g.sink("k")
+        g.chain("s", "bar", "k")
+        with pytest.raises(WiringError):
+            elaborate(g, threads=1)
+
+
+class TestElaborationMultithread:
+    @pytest.mark.parametrize("meb", ["full", "reduced"])
+    def test_mt_pipeline_runs(self, meb):
+        g = linear_graph(items=([1, 2], [10, 20]), threads=2)
+        elab = elaborate(g, threads=2, meb=meb)
+        snk = elab.sink("snk")
+        elab.run(until=lambda s: snk.count == 4, max_cycles=80)
+        assert snk.values_for(0) == [2, 3]
+        assert snk.values_for(1) == [11, 21]
+
+    def test_bad_meb_kind_rejected(self):
+        with pytest.raises(ValueError):
+            elaborate(linear_graph(), threads=2, meb="tiny")
+
+    def test_mt_source_stream_count_checked(self):
+        g = linear_graph(items=([1, 2],), threads=2)
+        with pytest.raises(WiringError):
+            elaborate(g, threads=2)
+
+    def test_fork_join_diamond(self):
+        g = DataflowGraph("diamond")
+        g.source("s", items=[[1, 2], [3]])
+        g.fork("f", n_outputs=2)
+        g.buffer("ba")
+        g.buffer("bb")
+        g.join("j", n_inputs=2, combine=lambda a, b: a + b)
+        g.sink("k")
+        g.connect("s", "f")
+        g.connect("f", "ba", src_port=0)
+        g.connect("f", "bb", src_port=1)
+        g.connect("ba", "j", dst_port=0)
+        g.connect("bb", "j", dst_port=1)
+        g.connect("j", "k")
+        elab = elaborate(g, threads=2)
+        snk = elab.sink("k")
+        elab.run(until=lambda s: snk.count == 3, max_cycles=120)
+        assert snk.values_for(0) == [2, 4]
+        assert snk.values_for(1) == [6]
+
+    def test_mt_loop_with_branch_merge(self):
+        """Items loop until their counter reaches 3, then exit."""
+        g = DataflowGraph("loop")
+        g.source("s", items=[[(0, "a")], [(0, "b")]])
+        g.merge("m", n_inputs=2)
+        g.buffer("b")
+        g.op("bump", fn=lambda d: (d[0] + 1, d[1]))
+        g.buffer("b2")
+        g.branch("br", selector=lambda d: 1 if d[0] >= 3 else 0)
+        g.sink("k")
+        g.connect("s", "m", dst_port=0)
+        g.connect("m", "b")
+        g.connect("b", "bump")
+        g.connect("bump", "b2")
+        g.connect("b2", "br")
+        g.connect("br", "m", src_port=0, dst_port=1)
+        g.connect("br", "k", src_port=1)
+        elab = elaborate(g, threads=2)
+        snk = elab.sink("k")
+        elab.run(until=lambda s: snk.count == 2, max_cycles=200)
+        assert snk.values_for(0) == [(3, "a")]
+        assert snk.values_for(1) == [(3, "b")]
+
+    def test_barrier_in_graph(self):
+        g = DataflowGraph("bar")
+        g.source("s", items=[["x"], ["y"]])
+        g.buffer("b")
+        g.barrier("bar")
+        g.sink("k")
+        g.chain("s", "b", "bar", "k")
+        elab = elaborate(g, threads=2)
+        snk = elab.sink("k")
+        bar = elab.components["bar"]
+        elab.run(until=lambda s: snk.count == 2, max_cycles=80)
+        assert bar.releases == 1
+
+
+class TestRendering:
+    def test_to_dot_contains_all_nodes(self):
+        from repro.netlist import to_dot
+
+        g = linear_graph()
+        dot = to_dot(g, title="pipe")
+        for name in g.nodes:
+            assert f'"{name}"' in dot
+        assert "digraph" in dot
+        assert "pipe" in dot
+
+    def test_to_dot_edge_labels_show_width(self):
+        from repro.netlist import to_dot
+
+        g = DataflowGraph("g")
+        g.source("s", items=[1])
+        g.sink("k")
+        g.connect("s", "k", width=64)
+        assert "64b" in to_dot(g)
+
+    def test_elaboration_cost_totals(self):
+        from repro.netlist import elaboration_cost
+
+        elab = elaborate(linear_graph(items=([1], [2]), threads=2), threads=2)
+        per_node, total = elaboration_cost(elab)
+        assert total > 0
+        # Buffers dominate: two MEBs with real storage.
+        assert per_node["b0"].total_le > per_node["inc"].total_le
+        assert total == pytest.approx(
+            sum(a.total_le for a in per_node.values())
+        )
+
+    def test_cost_report_renders(self):
+        from repro.netlist import cost_report
+
+        elab = elaborate(linear_graph(), threads=1)
+        text = cost_report(elab)
+        assert "total" in text
+        assert "b0" in text
+
+    def test_full_vs_reduced_costs_from_same_graph(self):
+        """One graph, both Table-I design points."""
+        from repro.netlist import elaboration_cost
+
+        g_items = ([1], [2], [3], [4])
+        totals = {}
+        for meb in ("full", "reduced"):
+            elab = elaborate(linear_graph(items=g_items, threads=4),
+                             threads=4, meb=meb)
+            _per, totals[meb] = elaboration_cost(elab)
+        assert totals["reduced"] < totals["full"]

@@ -1,0 +1,166 @@
+"""Tests for automatic elasticization transforms."""
+
+import pytest
+
+from repro.netlist import DataflowGraph, elaborate, validate
+from repro.netlist.transform import (
+    break_cycles,
+    elasticize,
+    insert_edge_buffer,
+    pipeline_ops,
+)
+from repro.netlist.graph import NodeKind
+
+
+def combinational_chain():
+    """source -> op -> op -> op -> sink with no buffers at all."""
+    g = DataflowGraph("chain")
+    g.source("s", items=[1, 2, 3])
+    g.op("f1", fn=lambda d: d + 1)
+    g.op("f2", fn=lambda d: d * 2)
+    g.op("f3", fn=lambda d: d - 3)
+    g.sink("k")
+    g.chain("s", "f1", "f2", "f3", "k")
+    return g
+
+
+def bufferless_loop():
+    g = DataflowGraph("loop")
+    # List-of-streams form: one stream holding the single tuple token
+    # (a bare [(0, 4)] would be read as a per-thread stream of ints).
+    g.source("s", items=[[(0, 4)]])
+    g.merge("m")
+    g.op("inc", fn=lambda d: (d[0] + 1, d[1]))
+    g.branch("br", selector=lambda d: 1 if d[0] >= d[1] else 0)
+    g.sink("k")
+    g.connect("s", "m", dst_port=0)
+    g.connect("m", "inc")
+    g.connect("inc", "br")
+    g.connect("br", "m", src_port=0, dst_port=1)
+    g.connect("br", "k", src_port=1)
+    return g
+
+
+class TestInsertEdgeBuffer:
+    def test_splits_edge(self):
+        g = combinational_chain()
+        edge = g.out_edges("f1")[0]
+        name = insert_edge_buffer(g, edge)
+        assert g.nodes[name].kind is NodeKind.BUFFER
+        assert g.successors("f1") == [name]
+        assert g.successors(name) == ["f2"]
+
+    def test_preserves_width_and_ports(self):
+        g = DataflowGraph("g")
+        g.source("s", items=[1])
+        g.sink("k")
+        edge = g.connect("s", "k", width=64)
+        name = insert_edge_buffer(g, edge)
+        assert all(e.width == 64 for e in g.out_edges(name) + g.in_edges(name))
+
+    def test_custom_name(self):
+        g = combinational_chain()
+        edge = g.out_edges("f1")[0]
+        assert insert_edge_buffer(g, edge, name="stage1") == "stage1"
+
+    def test_unknown_edge_rejected(self):
+        g = combinational_chain()
+        other = DataflowGraph("other")
+        other.source("s", items=[1])
+        other.sink("k")
+        edge = other.connect("s", "k")
+        with pytest.raises(ValueError):
+            insert_edge_buffer(g, edge)
+
+    def test_fresh_names_do_not_collide(self):
+        g = combinational_chain()
+        n1 = insert_edge_buffer(g, g.out_edges("f1")[0])
+        n2 = insert_edge_buffer(g, g.out_edges("f2")[0])
+        assert n1 != n2
+
+
+class TestPipelineOps:
+    def test_buffer_after_every_op(self):
+        g = pipeline_ops(combinational_chain())
+        for op_name in ("f1", "f2", "f3"):
+            succ = g.successors(op_name)
+            assert len(succ) == 1
+            assert g.nodes[succ[0]].kind is NodeKind.BUFFER
+
+    def test_already_buffered_edges_untouched(self):
+        g = DataflowGraph("g")
+        g.source("s", items=[1])
+        g.op("f", fn=lambda d: d)
+        g.buffer("b")
+        g.sink("k")
+        g.chain("s", "f", "b", "k")
+        before = len(g.nodes)
+        pipeline_ops(g)
+        assert len(g.nodes) == before
+
+    def test_pipelined_chain_runs_and_is_correct(self):
+        g = pipeline_ops(combinational_chain())
+        validate(g)
+        elab = elaborate(g, threads=1)
+        snk = elab.sink("k")
+        elab.run(until=lambda s: snk.count == 3, max_cycles=60)
+        assert snk.values() == [(1 + 1) * 2 - 3, (2 + 1) * 2 - 3,
+                                (3 + 1) * 2 - 3]
+
+    def test_pipelining_increases_depth_not_order(self):
+        g = pipeline_ops(combinational_chain())
+        elab = elaborate(g, threads=1)
+        snk = elab.sink("k")
+        elab.run(until=lambda s: snk.count == 3, max_cycles=60)
+        arrivals = snk.arrival_cycles()
+        # 3 buffer stages => first arrival at cycle 3, then back to back.
+        assert arrivals[0] == 3
+        assert arrivals == [3, 4, 5]
+
+
+class TestBreakCycles:
+    def test_loop_becomes_legal(self):
+        g = bufferless_loop()
+        from repro.netlist import GraphValidationError
+
+        with pytest.raises(GraphValidationError):
+            validate(g)
+        break_cycles(g)
+        validate(g)  # no error now
+
+    def test_fixed_loop_runs_correctly(self):
+        g = break_cycles(bufferless_loop())
+        elab = elaborate(g, threads=1)
+        snk = elab.sink("k")
+        elab.run(until=lambda s: snk.count == 1, max_cycles=200)
+        assert snk.values() == [(4, 4)]
+
+    def test_acyclic_graph_untouched(self):
+        g = combinational_chain()
+        before = len(g.nodes)
+        break_cycles(g)
+        assert len(g.nodes) == before
+
+
+class TestElasticize:
+    def test_full_transform_on_loop(self):
+        g = elasticize(bufferless_loop())
+        validate(g)
+        elab = elaborate(g, threads=1)
+        snk = elab.sink("k")
+        elab.run(until=lambda s: snk.count == 1, max_cycles=200)
+        assert snk.values() == [(4, 4)]
+
+    def test_multithreaded_elasticized_graph(self):
+        g = DataflowGraph("mt")
+        g.source("s", items=[[1, 2], [5]])
+        g.op("sq", fn=lambda d: d * d)
+        g.sink("k")
+        g.chain("s", "sq", "k")
+        elasticize(g)
+        for meb in ("full", "reduced"):
+            elab = elaborate(g, threads=2, meb=meb)
+            snk = elab.sink("k")
+            elab.run(until=lambda s: snk.count == 3, max_cycles=60)
+            assert snk.values_for(0) == [1, 4]
+            assert snk.values_for(1) == [25]

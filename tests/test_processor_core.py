@@ -1,0 +1,276 @@
+"""Tests for the multithreaded elastic processor (paper §V-B)."""
+
+import pytest
+
+from repro.apps.processor import Processor, programs
+from repro.apps.processor.memory import DataMemoryArray, InstructionMemory
+from repro.apps.processor.regfile import RegisterFileArray
+from repro.kernel import SimulationError
+
+
+def run_program(program, meb="reduced", threads=2, thread=0, image=None,
+                **kwargs):
+    cpu = Processor(threads=threads, meb=meb, **kwargs)
+    cpu.load_program(thread, program.source)
+    if image:
+        for addr, value in image.items():
+            cpu.dmem.write(thread, addr, value)
+    stats = cpu.run()
+    kind, where = program.check
+    got = cpu.reg(thread, where) if kind == "reg" else cpu.mem_word(thread, where)
+    return cpu, stats, got
+
+
+class TestMemoriesAndRegfile:
+    def test_imem_load_fetch(self):
+        imem = InstructionMemory("i")
+        imem.load([1, 2, 3], base=8)
+        assert imem.fetch(12) == 2
+
+    def test_imem_unloaded_fetch_raises(self):
+        imem = InstructionMemory("i")
+        with pytest.raises(SimulationError):
+            imem.fetch(0)
+
+    def test_imem_unaligned_rejected(self):
+        imem = InstructionMemory("i")
+        with pytest.raises(SimulationError):
+            imem.fetch(2)
+
+    def test_dmem_private_per_thread(self):
+        dmem = DataMemoryArray("d", threads=2)
+        dmem.write(0, 4, 111)
+        assert dmem.read(0, 4) == 111
+        assert dmem.read(1, 4) == 0  # thread 1 unaffected
+
+    def test_dmem_default_zero(self):
+        dmem = DataMemoryArray("d", threads=1)
+        assert dmem.read(0, 0x40) == 0
+
+    def test_regfile_x0_hardwired(self):
+        rf = RegisterFileArray("r", threads=1)
+        rf.write(0, 0, 99)
+        assert rf.read(0, 0) == 0
+
+    def test_regfile_per_thread_banks(self):
+        rf = RegisterFileArray("r", threads=2)
+        rf.write(0, 5, 10)
+        rf.write(1, 5, 20)
+        assert rf.read(0, 5) == 10
+        assert rf.read(1, 5) == 20
+
+    def test_memories_excluded_from_le(self):
+        assert InstructionMemory("i").area_items() == []
+        assert DataMemoryArray("d", 2).area_items() == []
+        assert RegisterFileArray("r", 2).area_items() == []
+
+
+@pytest.mark.parametrize("meb", ["full", "reduced"])
+class TestSingleThreadPrograms:
+    def test_sum_to_n(self, meb):
+        prog = programs.sum_to_n(10)
+        _cpu, _stats, got = run_program(prog, meb=meb)
+        assert got == prog.expected == 55
+
+    def test_fibonacci(self, meb):
+        prog = programs.fibonacci(12)
+        _cpu, _stats, got = run_program(prog, meb=meb)
+        assert got == prog.expected == 144
+
+    def test_gcd(self, meb):
+        prog = programs.gcd(126, 84)
+        _cpu, _stats, got = run_program(prog, meb=meb)
+        assert got == prog.expected == 42
+
+    def test_memcpy(self, meb):
+        prog, image = programs.memcpy([11, 22, 33, 44])
+        cpu, _stats, got = run_program(prog, meb=meb, image=image)
+        assert got == prog.expected
+        for i, v in enumerate([11, 22, 33, 44]):
+            assert cpu.mem_word(0, 0x200 + 4 * i) == v
+
+    def test_dot_product_uses_mul(self, meb):
+        prog, image = programs.dot_product([1, 2, 3], [4, 5, 6])
+        _cpu, _stats, got = run_program(prog, meb=meb, image=image)
+        assert got == prog.expected == 32
+
+    def test_shift_playground(self, meb):
+        prog = programs.shift_playground(37)
+        _cpu, _stats, got = run_program(prog, meb=meb)
+        assert got == prog.expected
+
+
+class TestControlFlow:
+    def test_jalr_returns(self):
+        cpu = Processor(threads=1)
+        cpu.load_program(0, """
+            jal  x1, sub            ; call: x1 = return address
+            addi x3, x3, 100        ; executed after return
+            halt
+        sub:
+            addi x3, x0, 5
+            jalr x0, x1, 0          ; return
+        """, base=0)
+        cpu.run()
+        assert cpu.reg(0, 3) == 105
+
+    def test_branch_not_taken_falls_through(self):
+        cpu = Processor(threads=1)
+        cpu.load_program(0, """
+            addi x1, x0, 1
+            beq  x1, x0, skip
+            addi x2, x0, 7
+        skip:
+            halt
+        """, base=0)
+        cpu.run()
+        assert cpu.reg(0, 2) == 7
+
+    def test_x0_writes_discarded(self):
+        cpu = Processor(threads=1)
+        cpu.load_program(0, """
+            addi x0, x0, 55
+            add  x1, x0, x0
+            halt
+        """, base=0)
+        cpu.run()
+        assert cpu.reg(0, 1) == 0
+
+    def test_negative_immediates(self):
+        cpu = Processor(threads=1)
+        cpu.load_program(0, """
+            addi x1, x0, -1
+            slt  x2, x1, x0
+            halt
+        """, base=0)
+        cpu.run()
+        assert cpu.reg(0, 1) == 0xFFFFFFFF
+        assert cpu.reg(0, 2) == 1
+
+
+@pytest.mark.parametrize("meb", ["full", "reduced"])
+class TestMultithreadedExecution:
+    def test_eight_threads_mixed_workload(self, meb):
+        cpu = Processor(threads=8, meb=meb)
+        progs = programs.standard_mix()
+        for t, prog in enumerate(progs):
+            cpu.load_program(t, prog.source)
+        cpu.run()
+        for t, prog in enumerate(progs):
+            kind, where = prog.check
+            got = (cpu.reg(t, where) if kind == "reg"
+                   else cpu.mem_word(t, where))
+            assert got == prog.expected, f"thread {t} ({prog.name})"
+
+    def test_threads_have_private_registers(self, meb):
+        cpu = Processor(threads=2, meb=meb)
+        cpu.load_program(0, "addi x1, x0, 100\nhalt")
+        cpu.load_program(1, "addi x1, x0, 200\nhalt")
+        cpu.run()
+        assert cpu.reg(0, 1) == 100
+        assert cpu.reg(1, 1) == 200
+
+    def test_threads_have_private_memory(self, meb):
+        cpu = Processor(threads=2, meb=meb)
+        cpu.load_program(0, "addi x1, x0, 1\nsw x1, x0, 0\nhalt")
+        cpu.load_program(1, "addi x1, x0, 2\nsw x1, x0, 0\nhalt")
+        cpu.run()
+        assert cpu.mem_word(0, 0) == 1
+        assert cpu.mem_word(1, 0) == 2
+
+    def test_retired_instruction_counts(self, meb):
+        cpu = Processor(threads=2, meb=meb)
+        cpu.load_program(0, "addi x1, x0, 1\naddi x2, x0, 2\nhalt")
+        cpu.load_program(1, "halt")
+        stats = cpu.run()
+        assert stats.retired[0] == 3
+        assert stats.retired[1] == 1
+        assert stats.total_retired == 4
+
+
+class TestMultithreadingHidesLatency:
+    """Paper §I: time-multiplexing threads raises utilization: 8 threads
+    on slow memories achieve far better total IPC than 1 thread."""
+
+    @staticmethod
+    def ipc_with_threads(n_threads):
+        cpu = Processor(threads=n_threads, meb="reduced",
+                        imem_latency=2, dmem_latency=4)
+        for t in range(n_threads):
+            cpu.load_program(t, programs.spin(30).source)
+        stats = cpu.run()
+        return stats.total_retired / stats.cycles
+
+    def test_ipc_scales_with_threads(self):
+        ipc1 = self.ipc_with_threads(1)
+        ipc4 = self.ipc_with_threads(4)
+        ipc8 = self.ipc_with_threads(8)
+        assert ipc4 > 2.0 * ipc1
+        assert ipc8 > ipc4
+
+    def test_full_and_reduced_same_cycle_count(self):
+        """Table I note: reduced MEBs do not cost throughput — the mixed
+        workload finishes in (nearly) the same number of cycles."""
+        results = {}
+        for meb in ("full", "reduced"):
+            cpu = Processor(threads=4, meb=meb)
+            for t, prog in enumerate(programs.standard_mix()[:4]):
+                cpu.load_program(t, prog.source)
+            stats = cpu.run()
+            results[meb] = stats.cycles
+        ratio = results["reduced"] / results["full"]
+        assert ratio < 1.05, f"reduced MEB cost {ratio:.2f}x cycles"
+
+
+class TestVariableLatencyUnits:
+    def test_results_correct_under_slow_memory(self):
+        prog, image = programs.memcpy([5, 6, 7])
+        _cpu, _stats, got = run_program(prog, image=image, dmem_latency=7)
+        assert got == prog.expected
+
+    def test_results_correct_under_slow_fetch(self):
+        prog = programs.sum_to_n(5)
+        _cpu, _stats, got = run_program(prog, imem_latency=3)
+        assert got == prog.expected == 15
+
+    def test_random_fetch_latency(self):
+        lat = [1, 3, 2, 1, 4]
+        prog = programs.fibonacci(8)
+        _cpu, _stats, got = run_program(
+            prog, imem_latency=lambda d, k: lat[k % len(lat)]
+        )
+        assert got == prog.expected == 21
+
+    def test_mul_latency_respected(self):
+        prog, image = programs.dot_product([3], [9])
+        cpu, stats, got = run_program(prog, image=image, mul_latency=6)
+        assert got == 27
+
+
+class TestProcessorConstruction:
+    def test_bad_meb_kind(self):
+        with pytest.raises(ValueError):
+            Processor(meb="giant")
+
+    def test_default_code_segments_disjoint(self):
+        cpu = Processor(threads=3)
+        bases = [cpu.load_program(t, "halt") for t in range(3)]
+        assert bases == [0x0000, 0x1000, 0x2000]
+
+    def test_run_cycles_partial(self):
+        cpu = Processor(threads=1)
+        cpu.load_program(0, programs.spin(100).source)
+        stats = cpu.run_cycles(10)
+        assert stats.cycles == 10
+        assert not cpu.pc_unit.all_halted
+
+    def test_area_components_include_mebs(self):
+        cpu = Processor(threads=2)
+        assert len(cpu.meb_components()) == 4
+        assert cpu.pc_unit in cpu.area_components()
+
+    def test_monitored_build(self):
+        cpu = Processor(threads=1, monitor=True)
+        cpu.load_program(0, "addi x1, x0, 1\nhalt")
+        cpu.run()
+        assert cpu.monitors["c_mo"].transfer_count() == 2

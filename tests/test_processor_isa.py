@@ -1,0 +1,229 @@
+"""Tests for the processor ISA: encoding, ALU semantics, assembler."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps.processor import (
+    AssemblyError,
+    Format,
+    Instruction,
+    Op,
+    alu,
+    assemble,
+    branch_taken,
+    decode,
+    disassemble,
+    encode,
+)
+from repro.apps.processor.isa import FORMATS, MASK32, is_branch, is_jump, is_mem
+
+
+class TestInstruction:
+    def test_register_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADD, rd=32)
+
+    def test_imm_range_checked(self):
+        with pytest.raises(ValueError):
+            Instruction(Op.ADDI, rd=1, rs1=0, imm=40000)
+
+    def test_str_forms(self):
+        assert str(Instruction(Op.ADD, 1, 2, 3)) == "add x1, x2, x3"
+        assert str(Instruction(Op.ADDI, 1, 0, imm=-5)) == "addi x1, x0, -5"
+        assert str(Instruction(Op.HALT)) == "halt"
+
+    def test_every_op_has_format(self):
+        for op in Op:
+            assert op in FORMATS
+
+
+class TestEncoding:
+    def test_rtype_roundtrip(self):
+        instr = Instruction(Op.SUB, rd=3, rs1=7, rs2=31)
+        assert decode(encode(instr)) == instr
+
+    def test_itype_negative_imm_roundtrip(self):
+        instr = Instruction(Op.ADDI, rd=5, rs1=2, imm=-300)
+        assert decode(encode(instr)) == instr
+
+    def test_btype_roundtrip(self):
+        instr = Instruction(Op.BNE, rs1=4, rs2=9, imm=-12)
+        assert decode(encode(instr)) == instr
+
+    def test_illegal_opcode_rejected(self):
+        with pytest.raises(ValueError):
+            decode(63 << 26)
+
+    def test_word_is_32_bits(self):
+        instr = Instruction(Op.MUL, rd=31, rs1=31, rs2=31)
+        assert 0 <= encode(instr) <= MASK32
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    op=st.sampled_from(list(Op)),
+    rd=st.integers(0, 31),
+    rs1=st.integers(0, 31),
+    rs2=st.integers(0, 31),
+    imm=st.integers(-(1 << 15), (1 << 15) - 1),
+)
+def test_encode_decode_roundtrip_property(op, rd, rs1, rs2, imm):
+    fmt = FORMATS[op]
+    if fmt is Format.R:
+        instr = Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
+    elif fmt is Format.I:
+        instr = Instruction(op, rd=rd, rs1=rs1, imm=imm)
+    elif fmt is Format.B:
+        instr = Instruction(op, rs1=rs1, rs2=rs2, imm=imm)
+    else:
+        instr = Instruction(op)
+    assert decode(encode(instr)) == instr
+
+
+class TestALU:
+    def test_add_wraps(self):
+        assert alu(Op.ADD, MASK32, 1) == 0
+
+    def test_sub_wraps(self):
+        assert alu(Op.SUB, 0, 1) == MASK32
+
+    def test_bitwise(self):
+        assert alu(Op.AND, 0b1100, 0b1010) == 0b1000
+        assert alu(Op.OR, 0b1100, 0b1010) == 0b1110
+        assert alu(Op.XOR, 0b1100, 0b1010) == 0b0110
+
+    def test_shifts(self):
+        assert alu(Op.SLL, 1, 4) == 16
+        assert alu(Op.SRL, 0x80000000, 31) == 1
+        assert alu(Op.SRA, 0x80000000, 31) == MASK32
+
+    def test_shift_amount_masked_to_5_bits(self):
+        assert alu(Op.SLL, 1, 33) == 2
+
+    def test_slt_signed_vs_unsigned(self):
+        assert alu(Op.SLT, MASK32, 0) == 1   # -1 < 0 signed
+        assert alu(Op.SLTU, MASK32, 0) == 0  # max unsigned
+
+    def test_mul_wraps(self):
+        assert alu(Op.MUL, 1 << 20, 1 << 20) == (1 << 40) & MASK32
+
+    def test_lui(self):
+        assert alu(Op.LUI, 0, 5) == 5 << 16
+
+    def test_non_alu_op_rejected(self):
+        with pytest.raises(ValueError):
+            alu(Op.BEQ, 1, 1)
+
+
+class TestBranches:
+    def test_beq_bne(self):
+        assert branch_taken(Op.BEQ, 5, 5)
+        assert not branch_taken(Op.BEQ, 5, 6)
+        assert branch_taken(Op.BNE, 5, 6)
+
+    def test_signed_compare(self):
+        assert branch_taken(Op.BLT, MASK32, 0)   # -1 < 0
+        assert branch_taken(Op.BGE, 0, MASK32)   # 0 >= -1
+
+    def test_classifiers(self):
+        assert is_branch(Op.BEQ)
+        assert not is_branch(Op.JAL)
+        assert is_jump(Op.JALR)
+        assert is_mem(Op.LW) and is_mem(Op.SW)
+        assert not is_mem(Op.ADD)
+
+    def test_non_branch_rejected(self):
+        with pytest.raises(ValueError):
+            branch_taken(Op.ADD, 1, 1)
+
+
+class TestAssembler:
+    def test_basic_program(self):
+        words = assemble("""
+            addi x1, x0, 5
+            add  x2, x1, x1
+            halt
+        """)
+        assert len(words) == 3
+        assert decode(words[0]) == Instruction(Op.ADDI, rd=1, rs1=0, imm=5)
+        assert decode(words[2]) == Instruction(Op.HALT)
+
+    def test_labels_backward_branch(self):
+        words = assemble("""
+        loop:
+            addi x1, x1, -1
+            bne  x1, x0, loop
+            halt
+        """)
+        instr = decode(words[1])
+        # Branch target: loop is 2 words back from pc+4.
+        assert instr.imm == -2
+
+    def test_labels_forward_branch(self):
+        words = assemble("""
+            beq x0, x0, done
+            addi x1, x0, 1
+        done:
+            halt
+        """)
+        assert decode(words[0]).imm == 1
+
+    def test_jal_absolute_label(self):
+        words = assemble("""
+            jal x0, target
+            halt
+        target:
+            halt
+        """, base=0)
+        assert decode(words[0]).imm == 2  # word address of 'target'
+
+    def test_jal_label_respects_base(self):
+        words = assemble("""
+        start:
+            jal x0, start
+        """, base=0x1000)
+        assert decode(words[0]).imm == 0x1000 // 4
+
+    def test_comments_and_blank_lines(self):
+        words = assemble("""
+            ; full line comment
+            addi x1, x0, 1   # trailing comment
+
+            halt
+        """)
+        assert len(words) == 2
+
+    def test_word_directive(self):
+        words = assemble(".word 0xDEADBEEF")
+        assert words == [0xDEADBEEF]
+
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError) as exc:
+            assemble("frobnicate x1, x2, x3")
+        assert "unknown mnemonic" in str(exc.value)
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("addi x99, x0, 1")
+
+    def test_duplicate_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("a:\na:\nhalt")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblyError):
+            assemble("add x1, x2")
+
+    def test_line_numbers_in_errors(self):
+        with pytest.raises(AssemblyError) as exc:
+            assemble("addi x1, x0, 1\nbogus x0")
+        assert exc.value.lineno == 2
+
+    def test_disassemble_roundtrip(self):
+        src_words = assemble("add x1, x2, x3\nhalt")
+        text = disassemble(src_words)
+        assert text == ["add x1, x2, x3", "halt"]
+
+    def test_disassemble_data_word(self):
+        assert disassemble([0xFFFFFFFF])[0].startswith(".word")
