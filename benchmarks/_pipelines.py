@@ -18,6 +18,7 @@ def make_mt_pipeline(
     sink_patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
     policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
     width: int = 32,
+    engine: str | None = None,
 ):
     """source -> MEB^n_stages -> sink with a monitor on every channel."""
     chans = [
@@ -31,5 +32,5 @@ def make_mt_pipeline(
     ]
     sink = MTSink("snk", chans[-1], patterns=sink_patterns)
     monitors = [MTMonitor(f"mon{i}", ch) for i, ch in enumerate(chans)]
-    sim = build(*chans, source, *mebs, sink, *monitors)
+    sim = build(*chans, source, *mebs, sink, *monitors, engine=engine)
     return sim, source, sink, mebs, monitors

@@ -23,7 +23,7 @@ import hashlib
 import io
 import math
 
-from repro.apps.md5 import MD5Hasher, step_luts
+from repro.apps.md5 import MD5Hasher
 from repro.cost import AreaModel
 
 #: Per-step logic depth (ns): the MD5 step is a short adder chain.

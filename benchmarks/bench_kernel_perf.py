@@ -1,10 +1,31 @@
-"""Simulator performance micro-benchmarks (pytest-benchmark timings).
+"""Simulator performance benchmarks (pytest-benchmark + engine comparison).
 
 Not a paper experiment — these track the cost of the substrate itself so
-regressions in the settle loop or the MEB implementations show up in CI.
+regressions in the settle engines or the MEB implementations show up in
+CI.  Two modes:
+
+* The ``test_perf_*`` functions are classic pytest-benchmark timings of
+  the default (event) engine.
+* ``test_engine_comparison`` is the **comparison mode**: it runs each
+  workload under both settle engines, asserts the event engine's
+  cycles/sec advantage against conservative floors, and writes the
+  measurements to ``benchmarks/results/BENCH_kernel.json`` so CI can
+  upload them as an artifact and future PRs have a perf trajectory to
+  compare against (the committed repo-root ``BENCH_kernel.json`` is the
+  recorded baseline).
+
+Set ``BENCH_SMOKE=1`` to shrink every workload (CI's benchmark smoke
+job); the JSON is still produced, only with smaller configurations and
+looser floors.
 """
 
 from __future__ import annotations
+
+import json
+import os
+import pathlib
+import platform
+import time
 
 from repro.apps.md5 import MD5Hasher
 from repro.apps.processor import Processor, programs
@@ -12,11 +33,15 @@ from repro.core import FullMEB, ReducedMEB
 
 from _pipelines import make_mt_pipeline
 
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_kernel.json"
 
-def pump_pipeline(meb_cls, threads=8, n_stages=4, n_items=50):
+
+def pump_pipeline(meb_cls, threads=8, n_stages=4, n_items=50, engine=None):
     items = [list(range(n_items)) for _ in range(threads)]
     sim, _src, sink, _mebs, _mons = make_mt_pipeline(
-        meb_cls, threads=threads, items=items, n_stages=n_stages
+        meb_cls, threads=threads, items=items, n_stages=n_stages,
+        engine=engine,
     )
     sim.run(until=lambda s: sink.count == threads * n_items,
             max_cycles=20_000)
@@ -51,3 +76,125 @@ def test_perf_processor_workload(benchmark):
 
     stats = benchmark(run)
     assert stats.total_retired > 0
+
+
+# ----------------------------------------------------------------------
+# engine comparison mode
+# ----------------------------------------------------------------------
+
+def _run_pipeline(engine):
+    """Returns (cycles, run-only seconds, behaviour fingerprint)."""
+    threads, n_items = (4, 10) if SMOKE else (8, 50)
+    items = [list(range(n_items)) for _ in range(threads)]
+    sim, _src, sink, _mebs, _mons = make_mt_pipeline(
+        FullMEB, threads=threads, items=items, n_stages=4, engine=engine,
+    )
+    start = time.perf_counter()
+    sim.run(until=lambda s: sink.count == threads * n_items,
+            max_cycles=20_000)
+    elapsed = time.perf_counter() - start
+    return sim.cycle, elapsed, (sim.cycle, sink.received)
+
+
+def _run_md5(engine):
+    threads = 4 if SMOKE else 8
+    h = MD5Hasher(threads=threads, engine=engine)
+    start = time.perf_counter()
+    digests = h.hash_batch([b"throughput"] * threads)
+    elapsed = time.perf_counter() - start
+    return h.circuit.sim.cycle, elapsed, (h.circuit.sim.cycle, digests)
+
+
+def _run_md5_pipelined(engine):
+    threads, stages = (4, 4) if SMOKE else (32, 16)
+    h = MD5Hasher(threads=threads, round_stages=stages, engine=engine)
+    start = time.perf_counter()
+    digests = h.hash_batch([b"throughput"] * threads)
+    elapsed = time.perf_counter() - start
+    return h.circuit.sim.cycle, elapsed, (h.circuit.sim.cycle, digests)
+
+
+def _run_processor(engine):
+    threads = 4 if SMOKE else 8
+    cpu = Processor(threads=threads, meb="reduced", engine=engine)
+    mix = programs.standard_mix()
+    for t in range(threads):
+        cpu.load_program(t, mix[t % len(mix)].source)
+    start = time.perf_counter()
+    stats = cpu.run()
+    elapsed = time.perf_counter() - start
+    return stats.cycles, elapsed, (stats.cycles, stats.total_retired)
+
+
+#: workload name -> (runner, full-mode speedup floor).  The floors are
+#: deliberately far below the measured ratios (see docs/engines.md) so
+#: the comparison stays green on noisy CI machines while still catching
+#: a broken scheduler; the JSON records the actual numbers.
+WORKLOADS = {
+    "mt_pipeline": (_run_pipeline, 1.2),
+    "md5": (_run_md5, 1.5),
+    "md5_pipelined": (_run_md5_pipelined, 3.0),
+    "processor": (_run_processor, 1.5),
+}
+
+
+def _measure(runner, engine, reps):
+    best_cps = 0.0
+    cycles = fingerprint = None
+    for _ in range(reps):
+        cycles, elapsed, fingerprint = runner(engine)
+        best_cps = max(best_cps, cycles / elapsed)
+    return best_cps, cycles, fingerprint
+
+
+def run_comparison():
+    """Time every workload under both engines; return the result dict."""
+    reps = 1 if SMOKE else 3
+    results = {
+        "mode": "smoke" if SMOKE else "full",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "workloads": {},
+    }
+    for name, (runner, _floor) in WORKLOADS.items():
+        naive_cps, naive_cycles, naive_fp = _measure(runner, "naive", reps)
+        event_cps, event_cycles, event_fp = _measure(runner, "event", reps)
+        assert naive_fp == event_fp, (
+            f"{name}: engines disagree on behaviour "
+            f"({naive_fp} vs {event_fp})"
+        )
+        results["workloads"][name] = {
+            "cycles": event_cycles,
+            "naive_cps": round(naive_cps, 1),
+            "event_cps": round(event_cps, 1),
+            "speedup": round(event_cps / naive_cps, 2),
+        }
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n",
+                            encoding="utf-8")
+    return results
+
+
+def test_engine_comparison():
+    results = run_comparison()
+    lines = [f"engine comparison ({results['mode']} mode):"]
+    for name, row in results["workloads"].items():
+        lines.append(
+            f"  {name:14s} naive={row['naive_cps']:>9.0f} c/s  "
+            f"event={row['event_cps']:>9.0f} c/s  "
+            f"speedup={row['speedup']:.2f}x"
+        )
+    print("\n".join(lines))
+    for name, (_runner, floor) in WORKLOADS.items():
+        speedup = results["workloads"][name]["speedup"]
+        # Smoke mode runs tiny configurations on shared CI runners where
+        # constant overheads dominate; only sanity-check the direction.
+        required = 1.0 if SMOKE else floor
+        assert speedup >= required, (
+            f"{name}: event engine speedup {speedup:.2f}x below "
+            f"{required}x floor"
+        )
+
+
+if __name__ == "__main__":
+    test_engine_comparison()

@@ -73,6 +73,7 @@ class MD5Circuit:
         meb: str = "reduced",
         policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
         round_stages: int = 1,
+        engine: str | None = None,
     ):
         if meb not in MEB_KINDS:
             raise ValueError(f"meb must be one of {sorted(MEB_KINDS)}")
@@ -117,9 +118,14 @@ class MD5Circuit:
             self.mebs.append(meb_k)
             c_out = MTChannel(f"c_s{k}_out", threads, width)
             inner_channels.append(c_out)
+            # pure=True: the stage function reads the message store and
+            # the global round counter, but both are explicitly
+            # invalidated below whenever they change (_on_release,
+            # run_wave), so the settle engine may skip idle stages.
             stage = MTContextFunction(
                 f"round_stage{k}", c_in, c_out,
                 fn=self._make_stage_fn(k), area_luts=stage_luts,
+                pure=True,
             )
             self.stages.append(stage)
             upstream = c_out
@@ -139,7 +145,7 @@ class MD5Circuit:
         self.out_monitor = MTMonitor("out_mon", self._c_final)
         self.loop_monitor = MTMonitor("loop_mon", self.c_loop)
 
-        self.sim = Simulator(max_settle_iterations=128)
+        self.sim = Simulator(max_settle_iterations=128, engine=engine)
         for comp in (
             self.c_new, self.c_loop, *inner_channels, self.c_bar,
             self.c_rec, self._c_final, self.c_out, self.store, self.source,
@@ -179,6 +185,11 @@ class MD5Circuit:
     # ------------------------------------------------------------------
     def _on_release(self, releases: int) -> None:
         self._round_releases = releases
+        # The round counter is context for every stage function: force
+        # the stages through the next settle even though their channel
+        # inputs did not change.
+        for stage in self.stages:
+            stage.invalidate()
 
     @property
     def round_counter(self) -> int:
@@ -232,6 +243,8 @@ class MD5Circuit:
             self.source.push(
                 t, MD5Token(tuple(h_states[t]), 0, wave_ref)
             )
+        for stage in self.stages:
+            stage.invalidate()  # new message-store contents
         self.sim.run(
             until=lambda _s: self.sink.count == base_count + self.threads,
             max_cycles=max_cycles,
@@ -251,9 +264,9 @@ class MD5Hasher:
     _DUMMY_BLOCK = tuple([0] * 16)
 
     def __init__(self, threads: int = 8, meb: str = "reduced",
-                 round_stages: int = 1):
+                 round_stages: int = 1, engine: str | None = None):
         self.circuit = MD5Circuit(threads=threads, meb=meb,
-                                  round_stages=round_stages)
+                                  round_stages=round_stages, engine=engine)
         self.threads = threads
         self._wave_ref = 0
 

@@ -109,6 +109,9 @@ class PCUnit(Component):
         self.arbiter = RoundRobinArbiter(self.threads, rotate_on_stall=True)
         inp.connect_consumer(self)
         out.connect_producer(self)
+        # Fetch dispatch is masked by downstream ready; retirement is
+        # always accepted, so the input handshakes are not read.
+        self.declare_reads(out.ready)
         self._start_pcs: dict[int, int] = {}
         self._pending: list[int | None] = [None] * self.threads
         self._alive: list[bool] = [False] * self.threads
@@ -122,6 +125,7 @@ class PCUnit(Component):
         self._start_pcs[thread] = pc
         self._pending[thread] = pc
         self._alive[thread] = True
+        self.invalidate()
 
     @property
     def all_halted(self) -> bool:
@@ -174,11 +178,17 @@ class PCUnit(Component):
         self.arbiter.note(g, transferred)
         self._next = (pending, alive, retired)
 
-    def commit(self) -> None:
-        self.arbiter.commit()
+    def commit(self) -> bool:
+        changed = self.arbiter.commit()
         if self._next is not None:
+            changed = (
+                changed
+                or self._pending != self._next[0]
+                or self._alive != self._next[1]
+            )
             self._pending, self._alive, self.retired = self._next
             self._next = None
+        return changed
 
     def reset(self) -> None:
         self.arbiter.reset()
@@ -232,6 +242,7 @@ class Processor:
         mul_latency: int = 3,
         monitor: bool = False,
         alu_in_dsp: bool = True,
+        engine: str | None = None,
     ):
         if meb not in MEB_KINDS:
             raise ValueError(f"meb must be one of {sorted(MEB_KINDS)}")
@@ -297,7 +308,7 @@ class Processor:
                 mon = MTMonitor(f"mon_{chan.name}", chan)
                 self.monitors[chan.name] = mon
                 parts.append(mon)
-        self.sim = Simulator(max_settle_iterations=128)
+        self.sim = Simulator(max_settle_iterations=128, engine=engine)
         for part in parts:
             self.sim.add(part)
         self.sim.reset()

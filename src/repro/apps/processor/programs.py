@@ -9,7 +9,6 @@ stores (variable-latency memory), branches, jumps, and halt.
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable
 
 
 @dataclasses.dataclass(frozen=True)

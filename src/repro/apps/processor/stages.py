@@ -25,7 +25,7 @@ from repro.core.mtchannel import MTChannel
 from repro.elastic.function import LatencyPolicy
 from repro.kernel.component import Component
 from repro.kernel.errors import SimulationError
-from repro.kernel.values import X, as_bool
+from repro.kernel.values import X, as_bool, state_changed
 
 
 # ----------------------------------------------------------------------
@@ -126,6 +126,8 @@ class MTSequencedUnit(Component):
         self._area_luts = int(area_luts)
         inp.connect_consumer(self)
         out.connect_producer(self)
+        # Acceptance bypasses through the owner's downstream ready.
+        self.declare_reads(out.ready)
         self._busy = False
         self._owner: int | None = None
         self._remaining = 0
@@ -170,11 +172,17 @@ class MTSequencedUnit(Component):
             remaining -= 1
         self._next = (busy, owner, remaining, result, accepted)
 
-    def commit(self) -> None:
-        if self._next is not None:
-            (self._busy, self._owner, self._remaining, self._result,
-             self._accepted) = self._next
-            self._next = None
+    def commit(self) -> bool:
+        if self._next is None:
+            return False
+        changed = state_changed(
+            (self._busy, self._owner, self._remaining, self._result),
+            self._next[:4],
+        )
+        (self._busy, self._owner, self._remaining, self._result,
+         self._accepted) = self._next
+        self._next = None
+        return changed
 
     def reset(self) -> None:
         self._busy = False

@@ -91,10 +91,14 @@ class RoundRobinArbiter:
         else:
             self._next_pointer = self._pointer
 
-    def commit(self) -> None:
-        if self._next_pointer is not None:
-            self._pointer = self._next_pointer
-            self._next_pointer = None
+    def commit(self) -> bool:
+        """Apply the pointer update; True when the pointer actually moved."""
+        if self._next_pointer is None:
+            return False
+        changed = self._next_pointer != self._pointer
+        self._pointer = self._next_pointer
+        self._next_pointer = None
+        return changed
 
     def reset(self) -> None:
         self._pointer = 0

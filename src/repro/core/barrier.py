@@ -77,6 +77,7 @@ class Barrier(Component):
         self._on_release = on_release
         up.connect_consumer(self)
         down.connect_producer(self)
+        self.declare_reads(up.valid, up.data, down.ready)
         # Registered state.
         self._fsm: list[str] = [IDLE] * self.threads
         self._count = 0
@@ -146,11 +147,12 @@ class Barrier(Component):
                     fsm[t] = FREE
         self._next = (fsm, count, released)
 
-    def commit(self) -> None:
+    def commit(self) -> bool:
         if self._next is None:
-            return
+            return False
         fsm, count, released = self._next
         self._next = None
+        changed = released or fsm != self._fsm
         self._fsm = fsm
         self._count = count
         if released:
@@ -158,6 +160,7 @@ class Barrier(Component):
             self._releases += 1
             if self._on_release is not None:
                 self._on_release(self._releases)
+        return changed
 
     def reset(self) -> None:
         self._fsm = [IDLE] * self.threads

@@ -65,6 +65,12 @@ class MTSource(Component):
         self.policy = policy
         self.arbiter = RoundRobinArbiter(self.threads, rotate_on_stall=True)
         channel.connect_producer(self)
+        # Downstream readies mask the injection arbiter's requests.
+        self.declare_reads(channel.ready)
+        if patterns is not None:
+            # Injection gates consult the cycle counter, which advances
+            # outside the signal graph.
+            self.declare_volatile()
         # Registered state.
         self._index = [0] * self.threads
         self._cycle = 0
@@ -79,13 +85,16 @@ class MTSource(Component):
     def push(self, thread: int, item: Any) -> None:
         """Append an item to a thread's stream (usable mid-simulation)."""
         self._items[thread].append(item)
+        self.invalidate()
 
     def block(self, thread: int) -> None:
         """Stop injecting for *thread* until :meth:`unblock` (flow gating)."""
         self._blocked.add(thread)
+        self.invalidate()
 
     def unblock(self, thread: int) -> None:
         self._blocked.discard(thread)
+        self.invalidate()
 
     def pending(self, thread: int) -> int:
         return len(self._items[thread]) - self._index[thread]
@@ -135,11 +144,13 @@ class MTSource(Component):
         self.arbiter.note(self._chosen, transferred)
         self._next = (index, self._cycle + 1)
 
-    def commit(self) -> None:
-        self.arbiter.commit()
+    def commit(self) -> bool:
+        changed = self.arbiter.commit()
         if self._next is not None:
+            changed = changed or self._index != self._next[0]
             self._index, self._cycle = self._next
             self._next = None
+        return changed
 
     def reset(self) -> None:
         self.arbiter.reset()
@@ -173,6 +184,9 @@ class MTSink(Component):
                 pat = patterns[t]
             self._gates.append(_pattern_fn(pat))
         channel.connect_consumer(self)
+        self.declare_reads()
+        if patterns is not None:
+            self.declare_volatile()
         self._cycle = 0
         self._next_cycle: int | None = None
         self.received: list[tuple[int, int, Any]] = []
@@ -200,10 +214,12 @@ class MTSink(Component):
             self.received.append((self._cycle, t, self.channel.data.value))
         self._next_cycle = self._cycle + 1
 
-    def commit(self) -> None:
+    def commit(self) -> bool:
         if self._next_cycle is not None:
             self._cycle = self._next_cycle
             self._next_cycle = None
+        # ready is a pure function of the (volatile-covered) gates.
+        return False
 
     def reset(self) -> None:
         self._cycle = 0

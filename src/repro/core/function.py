@@ -23,11 +23,20 @@ from repro.core.mtchannel import MTChannel
 from repro.elastic.function import LatencyPolicy
 from repro.kernel.component import Component
 from repro.kernel.errors import SimulationError
-from repro.kernel.values import X, as_bool
+from repro.kernel.values import X, as_bool, state_changed
 
 
 class MTFunction(Component):
-    """Combinational datapath logic shared by all threads."""
+    """Combinational datapath logic shared by all threads.
+
+    ``pure=True`` asserts that ``fn`` is a pure function of the payload
+    (and thread index), letting the event settle engine skip evaluations
+    whose inputs did not change.  Leave it False (the default) when the
+    function closes over mutable context — register files, the MD5
+    message store and round counter — or take responsibility for calling
+    :meth:`~repro.kernel.component.Component.invalidate` whenever that
+    context changes, as :class:`repro.apps.md5.circuit.MD5Circuit` does.
+    """
 
     def __init__(
         self,
@@ -36,6 +45,7 @@ class MTFunction(Component):
         out: MTChannel,
         fn: Callable[[Any], Any],
         area_luts: int = 0,
+        pure: bool = False,
         parent: Component | None = None,
     ):
         super().__init__(name, parent=parent)
@@ -48,6 +58,9 @@ class MTFunction(Component):
         self._area_luts = int(area_luts)
         inp.connect_consumer(self)
         out.connect_producer(self)
+        self.declare_reads(inp.valid, inp.data, out.ready)
+        if not pure:
+            self.declare_volatile()
 
     def combinational(self) -> None:
         active = self.inp.active_thread()
@@ -122,6 +135,13 @@ class MTVariableLatencyUnit(Component):
         self._area_luts = int(area_luts)
         inp.connect_consumer(self)
         out.connect_producer(self)
+        # Without bypass the handshakes are functions of registered state
+        # only; with bypass, accepting depends on the owner's downstream
+        # ready draining the result this very cycle.
+        if bypass:
+            self.declare_reads(out.ready)
+        else:
+            self.declare_reads()
         # Registered state.
         self._busy = False
         self._owner: int | None = None
@@ -187,16 +207,22 @@ class MTVariableLatencyUnit(Component):
             remaining -= 1
         self._next = (busy, owner, remaining, result, accepted)
 
-    def commit(self) -> None:
-        if self._next is not None:
-            (
-                self._busy,
-                self._owner,
-                self._remaining,
-                self._result,
-                self._accepted,
-            ) = self._next
-            self._next = None
+    def commit(self) -> bool:
+        if self._next is None:
+            return False
+        changed = state_changed(
+            (self._busy, self._owner, self._remaining, self._result),
+            self._next[:4],
+        )
+        (
+            self._busy,
+            self._owner,
+            self._remaining,
+            self._result,
+            self._accepted,
+        ) = self._next
+        self._next = None
+        return changed
 
     def reset(self) -> None:
         self._busy = False

@@ -31,7 +31,7 @@ from repro.core.arbiter import GrantPolicy, RoundRobinArbiter
 from repro.core.mtchannel import MTChannel
 from repro.kernel.component import Component
 from repro.kernel.errors import ProtocolError, SimulationError
-from repro.kernel.values import X, as_bool
+from repro.kernel.values import X, as_bool, state_changed
 
 #: Per-thread elastic control states (paper Fig. 6).
 EMPTY = "EMPTY"
@@ -69,6 +69,16 @@ class _MEBBase(Component):
         self.arbiter = RoundRobinArbiter(self.threads, rotate_on_stall)
         up.connect_consumer(self)
         down.connect_producer(self)
+        # Occupancy and per-thread ready are registered; the only
+        # combinational inputs are the downstream readies masking the
+        # arbiter's request vector.
+        self.declare_reads(down.ready)
+        # Hot-path caches: the per-thread signal lists are scanned every
+        # evaluation, so avoid re-resolving them through the channels.
+        self._down_ready_sigs = list(down.ready)
+        self._down_valid_sigs = list(down.valid)
+        self._up_ready_sigs = list(up.ready)
+        self._up_valid_sigs = list(up.valid)
         self._grant: int | None = None
 
     @property
@@ -85,6 +95,20 @@ class _MEBBase(Component):
     def can_accept(self, thread: int) -> bool:
         raise NotImplementedError
 
+    def _valid_vector(self) -> list[bool]:
+        """Per-thread occupancy > 0, in one pass (hot path).
+
+        Subclasses install a storage-specific fast variant from their
+        constructor — but only when the scalar hooks are not overridden
+        further down, so ablation subclasses that tweak ``occupancy`` /
+        ``can_accept`` keep their semantics.
+        """
+        return [self.occupancy(i) > 0 for i in range(self.threads)]
+
+    def _accept_vector(self) -> list[bool]:
+        """Per-thread can_accept, in one pass (hot path)."""
+        return [self.can_accept(i) for i in range(self.threads)]
+
     # -- common occupancy helpers ------------------------------------------
     def total_occupancy(self) -> int:
         return sum(self.occupancy(i) for i in range(self.threads))
@@ -94,22 +118,23 @@ class _MEBBase(Component):
 
     # -- evaluation ----------------------------------------------------------
     def combinational(self) -> None:
-        valids = [self.occupancy(i) > 0 for i in range(self.threads)]
-        readies = [as_bool(sig.value) for sig in self.down.ready]
+        valids = self._valid_vector()
+        readies = [as_bool(sig.value) for sig in self._down_ready_sigs]
         requests = self.policy.requests(valids, readies)
         grant = self.arbiter.grant(requests)
         self._grant = grant
-        for i in range(self.threads):
-            self.down.valid[i].set(grant == i)
-            self.up.ready[i].set(self.can_accept(i))
+        for i, sig in enumerate(self._down_valid_sigs):
+            sig.set(grant == i)
+        for sig, accept in zip(self._up_ready_sigs, self._accept_vector()):
+            sig.set(accept)
         self.down.data.set(self.head(grant) if grant is not None else X)
 
     def _input_thread(self) -> int | None:
         """The (single) thread transferring in this cycle, with checks."""
         incoming = [
             i
-            for i in range(self.threads)
-            if as_bool(self.up.valid[i].value)
+            for i, sig in enumerate(self._up_valid_sigs)
+            if as_bool(sig.value)
         ]
         if len(incoming) > 1:
             raise ProtocolError(
@@ -124,8 +149,8 @@ class _MEBBase(Component):
         grant = self._grant
         return grant is not None and as_bool(self.down.ready[grant].value)
 
-    def commit(self) -> None:
-        self.arbiter.commit()
+    def commit(self) -> bool:
+        return self.arbiter.commit()
 
     def reset(self) -> None:
         self.arbiter.reset()
@@ -151,6 +176,12 @@ class FullMEB(_MEBBase):
                          latch_style=latch_style, parent=parent)
         self._queues: list[list[Any]] = [[] for _ in range(self.threads)]
         self._next_queues: list[list[Any]] | None = None
+        # Only take the storage-specific fast paths when the scalar
+        # hooks are not overridden by a subclass (see _MEBBase).
+        if type(self).occupancy is FullMEB.occupancy:
+            self._valid_vector = self._fast_valid_vector
+        if type(self).can_accept is FullMEB.can_accept:
+            self._accept_vector = self._fast_accept_vector
 
     # -- storage interface ---------------------------------------------------
     def occupancy(self, thread: int) -> int:
@@ -161,6 +192,12 @@ class FullMEB(_MEBBase):
 
     def can_accept(self, thread: int) -> bool:
         return len(self._queues[thread]) < self.SLOTS_PER_THREAD
+
+    def _fast_valid_vector(self) -> list[bool]:
+        return [bool(q) for q in self._queues]
+
+    def _fast_accept_vector(self) -> list[bool]:
+        return [len(q) < self.SLOTS_PER_THREAD for q in self._queues]
 
     def thread_state(self, thread: int) -> str:
         return (EMPTY, HALF, FULL)[len(self._queues[thread])]
@@ -174,12 +211,17 @@ class FullMEB(_MEBBase):
 
     # -- evaluation ------------------------------------------------------------
     def capture(self) -> None:
-        queues = [list(q) for q in self._queues]
         transferred = self._output_transferred()
+        enq = self._input_thread()
+        if not transferred and enq is None:
+            # Idle cycle: nothing moves, keep the queues as they are.
+            self._next_queues = None
+            self.arbiter.note(self._grant, False)
+            return
+        queues = [list(q) for q in self._queues]
         if transferred:
             assert self._grant is not None
             queues[self._grant].pop(0)
-        enq = self._input_thread()
         if enq is not None:
             if len(queues[enq]) >= self.SLOTS_PER_THREAD:
                 raise SimulationError(
@@ -189,11 +231,13 @@ class FullMEB(_MEBBase):
         self._next_queues = queues
         self.arbiter.note(self._grant, transferred)
 
-    def commit(self) -> None:
-        super().commit()
+    def commit(self) -> bool:
+        changed = super().commit()
         if self._next_queues is not None:
+            changed = changed or state_changed(self._queues, self._next_queues)
             self._queues = self._next_queues
             self._next_queues = None
+        return changed
 
     def reset(self) -> None:
         super().reset()
@@ -244,6 +288,12 @@ class ReducedMEB(_MEBBase):
         self._next: (
             tuple[list[Any], list[str], Any, int | None] | None
         ) = None
+        # Only take the storage-specific fast paths when the scalar
+        # hooks are not overridden by a subclass (see _MEBBase).
+        if type(self).occupancy is ReducedMEB.occupancy:
+            self._valid_vector = self._fast_valid_vector
+        if type(self).can_accept is ReducedMEB.can_accept:
+            self._accept_vector = self._fast_accept_vector
 
     # -- storage interface ---------------------------------------------------
     @property
@@ -274,6 +324,15 @@ class ReducedMEB(_MEBBase):
             return not self.shared_full
         return False
 
+    def _fast_valid_vector(self) -> list[bool]:
+        return [s != EMPTY for s in self._state]
+
+    def _fast_accept_vector(self) -> list[bool]:
+        shared_free = self._shared_owner is None
+        return [
+            s == EMPTY or (s == HALF and shared_free) for s in self._state
+        ]
+
     def contents(self, thread: int) -> list[Any]:
         state = self._state[thread]
         if state == EMPTY:
@@ -288,13 +347,17 @@ class ReducedMEB(_MEBBase):
 
     # -- evaluation ------------------------------------------------------------
     def capture(self) -> None:
+        transferred = self._output_transferred()
+        enq = self._input_thread()
+        if not transferred and enq is None:
+            # Idle cycle: no dequeue, no enqueue, state is untouched.
+            self._next = None
+            self.arbiter.note(self._grant, False)
+            return
         main = list(self._main)
         state = list(self._state)
         shared_item = self._shared_item
         shared_owner = self._shared_owner
-
-        transferred = self._output_transferred()
-        enq = self._input_thread()
 
         if transferred:
             g = self._grant
@@ -347,14 +410,20 @@ class ReducedMEB(_MEBBase):
         self._next = (main, state, shared_item, shared_owner)
         self.arbiter.note(self._grant, transferred)
 
-    def commit(self) -> None:
-        super().commit()
+    def commit(self) -> bool:
+        changed = super().commit()
         if self._next is not None:
+            changed = changed or state_changed(
+                (self._main, self._state, self._shared_item,
+                 self._shared_owner),
+                self._next,
+            )
             self._main, self._state, self._shared_item, self._shared_owner = (
                 self._next
             )
             self._next = None
-            self._check_invariants()
+        self._check_invariants()
+        return changed
 
     def _check_invariants(self) -> None:
         full_threads = [

@@ -57,7 +57,9 @@ class MJoin(Component):
         self._combine = combine if combine is not None else lambda *xs: tuple(xs)
         for ch in self.inputs:
             ch.connect_consumer(self)
+            self.declare_reads(ch.valid, ch.data)
         out.connect_producer(self)
+        self.declare_reads(out.ready)
 
     def combinational(self) -> None:
         valids = [
@@ -106,8 +108,10 @@ class MFork(Component):
         self.inp = inp
         self.outputs = list(outputs)
         inp.connect_consumer(self)
+        self.declare_reads(inp.valid, inp.data)
         for ch in self.outputs:
             ch.connect_producer(self)
+            self.declare_reads(ch.ready)
 
     def combinational(self) -> None:
         readies = [
@@ -157,30 +161,37 @@ class MBranch(Component):
         self._selector = selector
         self._route = route if route is not None else lambda d: d
         inp.connect_consumer(self)
+        self.declare_reads(inp.valid, inp.data)
         for ch in self.outputs:
             ch.connect_producer(self)
+            self.declare_reads(ch.ready)
 
     def combinational(self) -> None:
+        # Single assignment per signal per evaluation: compute the routing
+        # decision first, then drive every output exactly once, so the
+        # event engine sees only net transitions.
         active = self.inp.active_thread()
-        for ch in self.outputs:
+        sel: int | None = None
+        if active is not None:
+            data = self.inp.data.value
+            sel = int(self._selector(data))
+            if not 0 <= sel < len(self.outputs):
+                raise ProtocolError(
+                    f"{self.path}: selector returned {sel!r} for "
+                    f"{len(self.outputs)} outputs"
+                )
+        for k, ch in enumerate(self.outputs):
+            take = k == sel
             for t in range(self.threads):
-                ch.valid[t].set(False)
-            ch.data.set(X)
+                ch.valid[t].set(take and t == active)
+            ch.data.set(self._route(data) if take else X)
         for t in range(self.threads):
-            self.inp.ready[t].set(False)
-        if active is None:
-            return
-        data = self.inp.data.value
-        sel = int(self._selector(data))
-        if not 0 <= sel < len(self.outputs):
-            raise ProtocolError(
-                f"{self.path}: selector returned {sel!r} for "
-                f"{len(self.outputs)} outputs"
-            )
-        target = self.outputs[sel]
-        target.valid[active].set(True)
-        target.data.set(self._route(data))
-        self.inp.ready[active].set(as_bool(target.ready[active].value))
+            if t == active:
+                assert sel is not None
+                target = self.outputs[sel]
+                self.inp.ready[t].set(as_bool(target.ready[t].value))
+            else:
+                self.inp.ready[t].set(False)
 
     def area_items(self) -> list[tuple[str, int, int]]:
         return [("lut", 2 * len(self.outputs) * self.threads, 1)]
@@ -213,7 +224,9 @@ class MMerge(Component):
         self.path_arbiter = RoundRobinArbiter(len(inputs), rotate_on_stall=True)
         for ch in self.inputs:
             ch.connect_consumer(self)
+            self.declare_reads(ch.valid, ch.data)
         out.connect_producer(self)
+        self.declare_reads(out.ready)
         self._winner: int | None = None
 
     def combinational(self) -> None:
@@ -256,8 +269,8 @@ class MMerge(Component):
                 transferred = True
         self.path_arbiter.note(self._winner, transferred)
 
-    def commit(self) -> None:
-        self.path_arbiter.commit()
+    def commit(self) -> bool:
+        return self.path_arbiter.commit()
 
     def reset(self) -> None:
         self.path_arbiter.reset()

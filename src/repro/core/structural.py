@@ -36,8 +36,10 @@ class _InputDemux(Component):
         self.up = up
         self.eb_ins = eb_ins
         up.connect_consumer(self)
+        self.declare_reads(up.valid, up.data)
         for ch in eb_ins:
             ch.connect_producer(self)
+            self.declare_reads(ch.ready)
 
     def combinational(self) -> None:
         actives = [
@@ -71,7 +73,9 @@ class _OutputArbiterMux(Component):
         self.arbiter = RoundRobinArbiter(down.threads, rotate_on_stall=True)
         for ch in eb_outs:
             ch.connect_consumer(self)
+            self.declare_reads(ch.valid, ch.data)
         down.connect_producer(self)
+        self.declare_reads(down.ready)
         self._grant: int | None = None
 
     def combinational(self) -> None:
@@ -95,8 +99,8 @@ class _OutputArbiterMux(Component):
         )
         self.arbiter.note(self._grant, transferred)
 
-    def commit(self) -> None:
-        self.arbiter.commit()
+    def commit(self) -> bool:
+        return self.arbiter.commit()
 
     def reset(self) -> None:
         self.arbiter.reset()

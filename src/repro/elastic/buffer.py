@@ -22,7 +22,7 @@ from typing import Any
 from repro.elastic.channel import ElasticChannel
 from repro.kernel.component import Component
 from repro.kernel.errors import SimulationError
-from repro.kernel.values import X, as_bool
+from repro.kernel.values import X, as_bool, state_changed
 
 #: Symbolic occupancy states used throughout tests and traces.
 EMPTY = "EMPTY"
@@ -54,6 +54,9 @@ class ElasticBuffer(Component):
         self.down = down
         up.connect_consumer(self)
         down.connect_producer(self)
+        # Both handshake outputs are functions of registered occupancy
+        # only: the EB reads no signal combinationally.
+        self.declare_reads()
         # Registered state: the stored items, oldest first.
         self._items: list[Any] = []
         self._next_items: list[Any] | None = None
@@ -92,10 +95,13 @@ class ElasticBuffer(Component):
             items.append(self.up.data.value)
         self._next_items = items
 
-    def commit(self) -> None:
-        if self._next_items is not None:
-            self._items = self._next_items
-            self._next_items = None
+    def commit(self) -> bool:
+        if self._next_items is None:
+            return False
+        changed = state_changed(self._items, self._next_items)
+        self._items = self._next_items
+        self._next_items = None
+        return changed
 
     def reset(self) -> None:
         self._items = []
@@ -136,6 +142,8 @@ class HalfBuffer(Component):
         self.down = down
         up.connect_consumer(self)
         down.connect_producer(self)
+        # The ready bypass reads downstream ready while the slot is full.
+        self.declare_reads(down.ready)
         self._full = False
         self._item: Any = X
         self._next: tuple[bool, Any] | None = None
@@ -158,10 +166,13 @@ class HalfBuffer(Component):
             full, item = True, self.up.data.value
         self._next = (full, item)
 
-    def commit(self) -> None:
-        if self._next is not None:
-            self._full, self._item = self._next
-            self._next = None
+    def commit(self) -> bool:
+        if self._next is None:
+            return False
+        changed = state_changed((self._full, self._item), self._next)
+        self._full, self._item = self._next
+        self._next = None
+        return changed
 
     def reset(self) -> None:
         self._full = False
@@ -199,6 +210,7 @@ class LatchElasticBuffer(Component):
         self.down = down
         up.connect_consumer(self)
         down.connect_producer(self)
+        self.declare_reads()
         # Registered state: (full, item) for the slave/output slot and the
         # master/shadow slot.
         self._out: tuple[bool, Any] = (False, X)
@@ -250,10 +262,13 @@ class LatchElasticBuffer(Component):
                     out_full, out_item = True, incoming
         self._next = ((out_full, out_item), (skid_full, skid_item))
 
-    def commit(self) -> None:
-        if self._next is not None:
-            self._out, self._skid = self._next
-            self._next = None
+    def commit(self) -> bool:
+        if self._next is None:
+            return False
+        changed = state_changed((self._out, self._skid), self._next)
+        self._out, self._skid = self._next
+        self._next = None
+        return changed
 
     def reset(self) -> None:
         self._out = (False, X)

@@ -74,6 +74,12 @@ class Source(Component):
         self._gate = _pattern_fn(pattern)
         self.channel = channel
         channel.connect_producer(self)
+        # The offer depends on registered state and the pattern only.
+        self.declare_reads()
+        if pattern is not None:
+            # The injection gate is a function of the cycle number, which
+            # advances outside the signal graph.
+            self.declare_volatile()
         # Registered state.
         self._index = 0
         self._offering = False
@@ -97,6 +103,7 @@ class Source(Component):
             raise ValueError("cannot push into a generator-backed source")
         self._items.append(item)
         self._count = len(self._items)
+        self.invalidate()
 
     @property
     def exhausted(self) -> bool:
@@ -126,10 +133,15 @@ class Source(Component):
                 offering = True  # persist the stalled offer
         self._next = (index, offering, self._cycle + 1)
 
-    def commit(self) -> None:
-        if self._next is not None:
-            self._index, self._offering, self._cycle = self._next
-            self._next = None
+    def commit(self) -> bool:
+        if self._next is None:
+            return False
+        # The cycle counter feeds only the (volatile-flagged) pattern, so
+        # the offer changes only with the stream position.
+        changed = (self._index, self._offering) != self._next[:2]
+        self._index, self._offering, self._cycle = self._next
+        self._next = None
+        return changed
 
     def reset(self) -> None:
         self._index = 0
@@ -155,8 +167,12 @@ class Sink(Component):
         self._limit = limit
         self.channel = channel
         channel.connect_consumer(self)
+        self.declare_reads()
+        if pattern is not None:
+            self.declare_volatile()
         self._cycle = 0
         self._next_cycle: int | None = None
+        self._accepted_now = False
         self.received: list[tuple[int, Any]] = []
 
     @property
@@ -175,18 +191,24 @@ class Sink(Component):
         self.channel.ready.set(open_for_more and self._gate(self._cycle))
 
     def capture(self) -> None:
-        if self.channel.transfer:
+        self._accepted_now = self.channel.transfer
+        if self._accepted_now:
             self.received.append((self._cycle, self.channel.data.value))
         self._next_cycle = self._cycle + 1
 
-    def commit(self) -> None:
-        if self._next_cycle is not None:
-            self._cycle = self._next_cycle
-            self._next_cycle = None
+    def commit(self) -> bool:
+        if self._next_cycle is None:
+            return False
+        self._cycle = self._next_cycle
+        self._next_cycle = None
+        # ready only moves with the received count when a limit is set
+        # (the cycle counter matters solely through the volatile pattern).
+        return self._limit is not None and self._accepted_now
 
     def reset(self) -> None:
         self._cycle = 0
         self._next_cycle = None
+        self._accepted_now = False
         self.received = []
 
 

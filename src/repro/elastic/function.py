@@ -17,7 +17,7 @@ from typing import Any, Callable, Iterable, Iterator
 from repro.elastic.channel import ElasticChannel
 from repro.kernel.component import Component
 from repro.kernel.errors import SimulationError
-from repro.kernel.values import X, as_bool
+from repro.kernel.values import X, as_bool, state_changed
 
 #: Latency policy: a fixed int, a callable ``fn(data, k) -> int`` where k
 #: counts accepted items, or an iterable of per-item latencies.
@@ -34,6 +34,7 @@ class FunctionUnit(Component):
         out: ElasticChannel,
         fn: Callable[[Any], Any],
         area_luts: int = 0,
+        pure: bool = False,
         parent: Component | None = None,
     ):
         super().__init__(name, parent=parent)
@@ -43,6 +44,12 @@ class FunctionUnit(Component):
         self._area_luts = int(area_luts)
         inp.connect_consumer(self)
         out.connect_producer(self)
+        self.declare_reads(inp.valid, inp.data, out.ready)
+        if not pure:
+            # fn is an arbitrary callable that may close over mutable
+            # context; re-evaluate every settle unless the author asserts
+            # purity (see MTFunction for the contract).
+            self.declare_volatile()
 
     def combinational(self) -> None:
         in_valid = as_bool(self.inp.valid.value)
@@ -83,6 +90,8 @@ class VariableLatencyUnit(Component):
         self._latency_iter: Iterator[int] | None = None
         inp.connect_consumer(self)
         out.connect_producer(self)
+        # Handshake outputs depend on registered occupancy only.
+        self.declare_reads()
         # Registered state.
         self._busy = False
         self._remaining = 0
@@ -135,10 +144,15 @@ class VariableLatencyUnit(Component):
             remaining -= 1
         self._next = (busy, remaining, result, accepted)
 
-    def commit(self) -> None:
-        if self._next is not None:
-            self._busy, self._remaining, self._result, self._accepted = self._next
-            self._next = None
+    def commit(self) -> bool:
+        if self._next is None:
+            return False
+        changed = state_changed(
+            (self._busy, self._remaining, self._result), self._next[:3]
+        )
+        self._busy, self._remaining, self._result, self._accepted = self._next
+        self._next = None
+        return changed
 
     def reset(self) -> None:
         self._busy = False

@@ -50,7 +50,9 @@ class Join(Component):
         self._combine = combine if combine is not None else lambda *xs: tuple(xs)
         for ch in self.inputs:
             ch.connect_consumer(self)
+            self.declare_reads(ch.valid, ch.data)
         out.connect_producer(self)
+        self.declare_reads(out.ready)
 
     def combinational(self) -> None:
         valids = [as_bool(ch.valid.value) for ch in self.inputs]
@@ -85,8 +87,10 @@ class LazyFork(Component):
         self.inp = inp
         self.outputs = list(outputs)
         inp.connect_consumer(self)
+        self.declare_reads(inp.valid, inp.data)
         for ch in self.outputs:
             ch.connect_producer(self)
+            self.declare_reads(ch.ready)
 
     def combinational(self) -> None:
         in_valid = as_bool(self.inp.valid.value)
@@ -122,8 +126,10 @@ class EagerFork(Component):
         self.inp = inp
         self.outputs = list(outputs)
         inp.connect_consumer(self)
+        self.declare_reads(inp.valid, inp.data)
         for ch in self.outputs:
             ch.connect_producer(self)
+            self.declare_reads(ch.ready)
         self._served = [False] * len(outputs)
         self._next: list[bool] | None = None
 
@@ -149,10 +155,13 @@ class EagerFork(Component):
             served = [False] * len(self.outputs)
         self._next = served
 
-    def commit(self) -> None:
-        if self._next is not None:
-            self._served = self._next
-            self._next = None
+    def commit(self) -> bool:
+        if self._next is None:
+            return False
+        changed = self._served != self._next
+        self._served = self._next
+        self._next = None
+        return changed
 
     def reset(self) -> None:
         self._served = [False] * len(self.outputs)
@@ -189,8 +198,10 @@ class Branch(Component):
         self._selector = selector
         self._route = route if route is not None else lambda d: d
         inp.connect_consumer(self)
+        self.declare_reads(inp.valid, inp.data)
         for ch in self.outputs:
             ch.connect_producer(self)
+            self.declare_reads(ch.ready)
 
     def _select(self, data: Any) -> int:
         sel = self._selector(data)
@@ -247,7 +258,9 @@ class Merge(Component):
         self.strict = strict
         for ch in self.inputs:
             ch.connect_consumer(self)
+            self.declare_reads(ch.valid, ch.data)
         out.connect_producer(self)
+        self.declare_reads(out.ready)
 
     def combinational(self) -> None:
         valids = [as_bool(ch.valid.value) for ch in self.inputs]

@@ -1,0 +1,105 @@
+"""Generic directed-graph algorithms shared across the package.
+
+Two consumers need the same machinery on very different graphs:
+
+* :mod:`repro.kernel.engine` builds a component-level dependency graph
+  (who combinationally reads whose outputs) and needs its strongly
+  connected components in topological order to schedule evaluation;
+* :mod:`repro.netlist.validate` checks a dataflow IR for bufferless
+  cycles, which is exactly "does the storage-stripped graph contain a
+  non-trivial SCC or a self-loop".
+
+Nodes are integers ``0..n-1``; the graph is an adjacency list
+``succ[i] -> iterable of successors``.  Everything here is iterative
+(no recursion) so component graphs of arbitrary depth cannot hit the
+interpreter's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def strongly_connected_components(
+    succ: Sequence[Sequence[int]],
+) -> list[list[int]]:
+    """Tarjan's algorithm, iteratively.
+
+    Returns the SCCs in **reverse topological order** of the
+    condensation: every edge between two distinct SCCs points from a
+    later list entry to an earlier one.  Node order within each SCC is
+    ascending, so the output is deterministic for a given graph.
+    """
+    n = len(succ)
+    index_of = [-1] * n       # discovery index, -1 = unvisited
+    lowlink = [0] * n
+    on_stack = [False] * n
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = 0
+
+    for root in range(n):
+        if index_of[root] != -1:
+            continue
+        # Each work entry is (node, iterator position into succ[node]).
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, pos = work[-1]
+            if pos == 0:
+                index_of[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = True
+            advanced = False
+            adjacent = succ[node]
+            for i in range(pos, len(adjacent)):
+                nxt = adjacent[i]
+                if index_of[nxt] == -1:
+                    work[-1] = (node, i + 1)
+                    work.append((nxt, 0))
+                    advanced = True
+                    break
+                if on_stack[nxt] and index_of[nxt] < lowlink[node]:
+                    lowlink[node] = index_of[nxt]
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index_of[node]:
+                scc: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    scc.append(member)
+                    if member == node:
+                        break
+                scc.sort()
+                sccs.append(scc)
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+    return sccs
+
+
+def condensation_order(
+    succ: Sequence[Sequence[int]],
+) -> list[list[int]]:
+    """SCCs in **forward topological order** (writers before readers)."""
+    return list(reversed(strongly_connected_components(succ)))
+
+
+def cyclic_nodes(succ: Sequence[Sequence[int]]) -> list[int]:
+    """Nodes that lie on at least one directed cycle.
+
+    A node is cyclic when its SCC has more than one member, or when it
+    carries a self-loop.  Returned in ascending order.
+    """
+    out: set[int] = set()
+    for scc in strongly_connected_components(succ):
+        if len(scc) > 1:
+            out.update(scc)
+        else:
+            node = scc[0]
+            if node in succ[node]:
+                out.add(node)
+    return sorted(out)

@@ -7,6 +7,7 @@ a small synchronous-hardware simulator with two-phase evaluation
 """
 
 from repro.kernel.component import Component
+from repro.kernel.engine import ENGINES, EventEngine, NaiveEngine
 from repro.kernel.errors import (
     ConvergenceError,
     KernelError,
@@ -22,6 +23,9 @@ from repro.kernel.values import X, as_bool, bit, is_x, onehot_index, popcount, s
 __all__ = [
     "Component",
     "ConvergenceError",
+    "ENGINES",
+    "EventEngine",
+    "NaiveEngine",
     "KernelError",
     "ProtocolError",
     "SimulationError",

@@ -20,11 +20,29 @@ A component owns signals and implements up to three evaluation hooks:
 Components form a tree (``parent``/``children``) so hierarchical designs
 like the processor pipeline get readable hierarchical signal names and so
 the cost model can aggregate per-subtree.
+
+Dependency declarations
+-----------------------
+
+The event-driven settle engine (see :mod:`repro.kernel.engine`) schedules
+``combinational()`` calls from a static signal dependency graph.  The
+*write* side of that graph is already known — every driven signal records
+its driver through :meth:`Component.output` /
+:meth:`repro.kernel.signal.Signal.set_driver`.  The *read* side is
+declared with :meth:`Component.declare_reads`: the set of signals a
+component's ``combinational()`` may ever read, across all internal
+states.  Declared components are evaluated exactly once per settle in
+dependency order and re-evaluated only when a declared input actually
+changes.  Components that do not declare (e.g. ad-hoc test helpers) still
+work — the engine falls back to naive repeated evaluation for them — but
+they forgo the scheduling win.  Over-declaring is always safe (it can
+only cause harmless extra re-evaluation); under-declaring is a
+correctness bug, so declare the union over every internal state.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import Any, Iterable, Iterator
 
 from repro.kernel.errors import WiringError
 from repro.kernel.signal import Signal
@@ -39,6 +57,9 @@ class Component:
         self.parent = parent
         self.children: list[Component] = []
         self._signals: dict[str, Signal] = {}
+        self._comb_reads: tuple[Signal, ...] | None = None
+        self._comb_volatile = False
+        self._engine_hook: Any = None
         if parent is not None:
             parent._add_child(self)
 
@@ -100,6 +121,68 @@ class Component:
         """Signals owned directly by this component (no descendants)."""
         return dict(self._signals)
 
+    # ------------------------------------------------------------------
+    # dependency declaration (consumed by the event settle engine)
+    # ------------------------------------------------------------------
+    def declare_reads(self, *signals: Signal | Iterable[Signal]) -> None:
+        """Declare the signals ``combinational()`` may read.
+
+        Accepts :class:`Signal` objects and/or iterables of them; repeated
+        calls accumulate.  Call with **no arguments** to declare that the
+        component reads no signals combinationally (a registered-output
+        component such as an elastic buffer).  The declaration must cover
+        every signal the method could read in *any* internal state — a
+        state-dependent read (e.g. a half-buffer consulting downstream
+        ``ready`` only while full) still belongs in the set.
+        """
+        flat: list[Signal] = []
+        for entry in signals:
+            if isinstance(entry, Signal):
+                flat.append(entry)
+            else:
+                flat.extend(entry)
+        existing = list(self._comb_reads) if self._comb_reads else []
+        seen = {id(sig) for sig in existing}
+        for sig in flat:
+            if id(sig) not in seen:
+                seen.add(id(sig))
+                existing.append(sig)
+        self._comb_reads = tuple(existing)
+
+    @property
+    def declared_reads(self) -> "tuple[Signal, ...] | None":
+        """Declared combinational read set, or None when undeclared."""
+        return self._comb_reads
+
+    def declare_volatile(self) -> None:
+        """Mark ``combinational()`` as depending on non-signal state.
+
+        A volatile component is re-evaluated on every settle even when
+        none of its declared inputs changed and its own commit reported
+        no state change.  Use it when the combinational function closes
+        over mutable context outside the signal graph — e.g. a shared
+        register file or a global round counter mutated by another
+        component's capture/commit.
+        """
+        self._comb_volatile = True
+
+    @property
+    def volatile(self) -> bool:
+        return self._comb_volatile
+
+    def invalidate(self) -> None:
+        """Force re-evaluation of ``combinational()`` at the next settle.
+
+        Call this from any out-of-band mutator (``push``, ``block``,
+        mid-simulation configuration) that changes state the settle
+        engine cannot observe through signals or :meth:`commit` reports.
+        No-op before the simulator is finalized (everything starts
+        stale) and under the naive engine.
+        """
+        hook = self._engine_hook
+        if hook is not None:
+            hook[0].mark_stale(hook[1])
+
     def all_signals(self) -> list[Signal]:
         """Every signal owned by this component or any descendant."""
         out: list[Signal] = []
@@ -116,8 +199,17 @@ class Component:
     def capture(self) -> None:
         """Latch next register state from settled signals (no signal writes)."""
 
-    def commit(self) -> None:
-        """Apply captured state; drive registered output signals."""
+    def commit(self) -> "bool | None":
+        """Apply captured state; drive registered output signals.
+
+        May return whether the commit actually changed state the
+        component's ``combinational()`` depends on: ``False`` lets the
+        event settle engine skip the next re-evaluation entirely,
+        ``True`` forces one, and ``None`` (the default, and what any
+        legacy override returns implicitly) is treated as "unknown —
+        assume changed".  Returning ``False`` when state did change is a
+        correctness bug; when unsure, return nothing.
+        """
 
     def reset(self) -> None:
         """Return registered state to its power-on value."""

@@ -1,0 +1,326 @@
+"""Settle engines: strategies for reaching the combinational fixed point.
+
+The simulator delegates its settle phase to one of two interchangeable
+engines, selected with ``Simulator(engine=...)``:
+
+``NaiveEngine`` (the seed behaviour, kept as a differential-testing
+oracle)
+    Evaluates *every* component's ``combinational()`` in registration
+    order, snapshots every signal, and repeats until a whole pass
+    produces no net change — O(components x iterations) work per cycle
+    plus an O(signals) snapshot per iteration.
+
+``EventEngine`` (the default)
+    Builds a static dependency graph at finalize time from the
+    components' declared read sets (:meth:`Component.declare_reads`) and
+    the recorded signal drivers, collapses it into strongly connected
+    components, and orders the SCC condensation topologically
+    (:mod:`repro.graphs`).  A settle is then:
+
+    * one sweep over the SCCs in dependency order — acyclic regions
+      converge in this single sweep by construction;
+    * cyclic regions (combinational handshake loops such as
+      lazy-fork/join meshes or the elastic rings of the MD5 and
+      processor apps) iterate a **dirty-set worklist** to a local fixed
+      point: a member is re-evaluated only when one of its declared
+      inputs actually changed, which :meth:`Signal.set` reports straight
+      into the engine;
+    * components whose ``combinational`` is not overridden (channels,
+      monitors, memories) are never visited at all.
+
+    Components that never declared a read set are scheduled the naive
+    way — evaluated every pass until the design is globally stable — so
+    ad-hoc user components remain correct, just unoptimized.  A design
+    built purely from declared components settles with **zero**
+    full-design stability passes and no signal snapshots.
+
+Both engines preserve the kernel's contract exactly: same fixed points,
+same :class:`ConvergenceError` (with ``iterations`` equal to the budget
+and the still-unstable signal names) on true combinational loops.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.graphs import condensation_order
+from repro.kernel.component import Component
+from repro.kernel.errors import ConvergenceError
+from repro.kernel.signal import Signal
+from repro.kernel.values import same_value
+
+#: Engine names accepted by :class:`repro.kernel.simulator.Simulator`.
+ENGINES = ("event", "naive")
+
+
+class NaiveEngine:
+    """Whole-design fixed-point iteration (the original settle loop)."""
+
+    name = "naive"
+    #: Naive settling never uses the Signal.set fast notification path.
+    recording = False
+
+    def __init__(
+        self,
+        components: Sequence[Component],
+        signals: Sequence[Signal],
+        max_iterations: int,
+    ):
+        self._components = list(components)
+        self._signals = list(signals)
+        self._max_iterations = int(max_iterations)
+
+    def settle(self, cycle: int) -> int:
+        for iteration in range(1, self._max_iterations + 1):
+            # Convergence is judged on net change across the whole pass,
+            # so a component may harmlessly clear-then-set a signal within
+            # one evaluation (a common idiom in demux-style logic).
+            before = [sig.value for sig in self._signals]
+            for comp in self._components:
+                comp.combinational()
+            changed = [
+                sig.name
+                for sig, old in zip(self._signals, before)
+                if not same_value(sig.value, old)
+            ]
+            if not changed:
+                return iteration
+        raise ConvergenceError(cycle, self._max_iterations, changed)
+
+
+class EventEngine:
+    """Dependency-ordered, change-driven settling."""
+
+    name = "event"
+
+    def __init__(
+        self,
+        components: Sequence[Component],
+        signals: Sequence[Signal],
+        max_iterations: int,
+    ):
+        self._max_iterations = int(max_iterations)
+        #: True only while a settle is in flight; Signal.set checks it.
+        self.recording = False
+
+        base = Component.combinational
+        active: list[Component] = []
+        opaque: list[Component] = []
+        for comp in components:
+            if type(comp).combinational is base:
+                continue  # inert: nothing to evaluate during settle
+            if comp.declared_reads is None:
+                opaque.append(comp)
+            else:
+                active.append(comp)
+        self._active = active
+        self._opaque = opaque
+        self._evals = [comp.combinational for comp in active]
+        n = len(active)
+
+        # A component is re-evaluated on every settle (not only when an
+        # input changed) when it says so (declare_volatile) or when its
+        # state updates are unobservable: it captures state but its
+        # commit cannot report changes.
+        self._volatile = [
+            comp.volatile
+            or (
+                type(comp).capture is not Component.capture
+                and type(comp).commit is Component.commit
+            )
+            for comp in active
+        ]
+
+        # signal -> indices of declared readers; component -> successors.
+        index_of = {id(comp): i for i, comp in enumerate(active)}
+        readers: dict[int, list[int]] = {}
+        for i, comp in enumerate(active):
+            for sig in comp.declared_reads or ():
+                readers.setdefault(id(sig), []).append(i)
+        succ: list[list[int]] = [[] for _ in range(n)]
+        for sig in signals:
+            driver = sig.driver
+            if driver is None:
+                continue
+            writer = index_of.get(id(driver))
+            if writer is None:
+                continue
+            for reader in readers.get(id(sig), ()):
+                if reader not in succ[writer]:
+                    succ[writer].append(reader)
+
+        # Groups in forward topological order; a group needs local
+        # iteration when it is a real SCC or a self-dependent singleton.
+        groups = condensation_order(succ)
+        self._groups: list[tuple[list[int], bool]] = [
+            (grp, len(grp) > 1 or grp[0] in succ[grp[0]]) for grp in groups
+        ]
+
+        # Hook every readable signal up to this engine so Signal.set can
+        # report real value changes during a settle.
+        self._dirty = [False] * n
+        self._ndirty = 0
+        # Cross-cycle staleness: a component is stale when its commit
+        # reported (or could not rule out) a state change, when an input
+        # signal was written outside a settle (a test poking a wire), or
+        # when it was explicitly invalidated.  Everything starts stale.
+        self._stale = [True] * n
+        self._index_by_id = index_of
+        for i, comp in enumerate(active):
+            comp._engine_hook = (self, i)
+        # id(sig) -> (sig, value at first change of the current pass /
+        # sub-iteration).  Net change is judged against these baselines
+        # so a transient clear-then-set within one evaluation (a common
+        # idiom in demux-style logic) does not count as instability —
+        # exactly the naive engine's snapshot semantics, but touching
+        # only the signals that actually moved.
+        self._pass_base: dict[int, tuple[Signal, Any]] = {}
+        self._sub_base: dict[int, tuple[Signal, Any]] | None = None
+        for sig in signals:
+            sig._engine = self
+            sig._readers = tuple(readers.get(id(sig), ()))
+
+    # ------------------------------------------------------------------
+    # change notification (called by Signal.set while recording)
+    # ------------------------------------------------------------------
+    def note_change(self, sig: Signal, old: Any) -> None:
+        if not self.recording:
+            # Out-of-settle write (a test or driver poking a wire):
+            # remember the affected readers for the next settle.
+            stale = self._stale
+            for reader in sig._readers:
+                stale[reader] = True
+            return
+        key = id(sig)
+        if key not in self._pass_base:
+            self._pass_base[key] = (sig, old)
+        sub = self._sub_base
+        if sub is not None and key not in sub:
+            sub[key] = (sig, old)
+        dirty = self._dirty
+        for reader in sig._readers:
+            if not dirty[reader]:
+                dirty[reader] = True
+                self._ndirty += 1
+
+    # ------------------------------------------------------------------
+    # cross-cycle staleness
+    # ------------------------------------------------------------------
+    def mark_stale(self, index: int) -> None:
+        """Schedule one component for re-evaluation at the next settle."""
+        self._stale[index] = True
+
+    def invalidate_all(self) -> None:
+        """Schedule every component for re-evaluation (e.g. after reset)."""
+        self._stale = [True] * len(self._stale)
+
+    def note_state_change(self, comp: Component) -> None:
+        """Called per cycle for each component whose commit changed state."""
+        index = self._index_by_id.get(id(comp))
+        if index is not None:
+            self._stale[index] = True
+
+    @staticmethod
+    def _net_changed(base: dict[int, tuple[Signal, Any]]) -> list[str]:
+        """Names of signals whose value differs from their baseline."""
+        return [
+            sig.name
+            for sig, old in base.values()
+            if not same_value(sig.value, old)
+        ]
+
+    # ------------------------------------------------------------------
+    # settle
+    # ------------------------------------------------------------------
+    def settle(self, cycle: int) -> int:
+        dirty = self._dirty
+        stale = self._stale
+        volatile = self._volatile
+        evals = self._evals
+        budget = self._max_iterations
+        # Seed the dirty set: components whose state changed at the last
+        # commit (or that cannot prove otherwise), volatile components,
+        # externally poked readers, and anything left over from an
+        # aborted settle.  Everything else still holds correct settled
+        # outputs from the previous cycle and is left alone.
+        ndirty = 0
+        for i in range(len(dirty)):
+            if dirty[i] or stale[i] or volatile[i]:
+                dirty[i] = True
+                ndirty += 1
+            stale[i] = False
+        self._ndirty = ndirty
+        self._pass_base = {}
+        self._sub_base = None
+        self.recording = True
+        worst_local = 1
+        passes = 0
+        try:
+            while True:
+                passes += 1
+                if passes > budget:
+                    raise ConvergenceError(
+                        cycle, budget, self._net_changed(self._pass_base)
+                    )
+                self._pass_base = {}
+                for group, cyclic in self._groups:
+                    if self._ndirty == 0:
+                        break
+                    if not cyclic:
+                        i = group[0]
+                        if dirty[i]:
+                            dirty[i] = False
+                            self._ndirty -= 1
+                            evals[i]()
+                        continue
+                    # Cyclic region: Gauss-Seidel sweeps in fixed order.
+                    # Dirtiness is checked at visit time, so a member
+                    # dirtied mid-sweep by an earlier member is evaluated
+                    # in the *same* sweep — values propagate coherently
+                    # along the cycle exactly as in a naive full pass
+                    # (deferring them can chase a stale snapshot around
+                    # the loop forever, e.g. an arbiter following the
+                    # ready echo of its own previous grant).
+                    local = 0
+                    last_sub: dict[int, tuple[Signal, Any]] = {}
+                    while any(dirty[i] for i in group):
+                        local += 1
+                        if local > budget:
+                            raise ConvergenceError(
+                                cycle, budget, self._net_changed(last_sub)
+                            )
+                        self._sub_base = last_sub = {}
+                        for i in group:
+                            if dirty[i]:
+                                dirty[i] = False
+                                self._ndirty -= 1
+                                evals[i]()
+                    self._sub_base = None
+                    if local > worst_local:
+                        worst_local = local
+                if not self._opaque:
+                    if self._ndirty == 0:
+                        return max(passes, worst_local)
+                    continue  # stray feedback outside the graph: resweep
+                for comp in self._opaque:
+                    comp.combinational()
+                if self._ndirty == 0 and not self._net_changed(self._pass_base):
+                    return max(passes, worst_local)
+        finally:
+            self.recording = False
+
+
+def make_engine(
+    name: str,
+    components: Sequence[Component],
+    signals: Sequence[Signal],
+    max_iterations: int,
+) -> NaiveEngine | EventEngine:
+    """Instantiate the settle engine called *name* (see :data:`ENGINES`)."""
+    if name == "event":
+        return EventEngine(components, signals, max_iterations)
+    if name == "naive":
+        return NaiveEngine(components, signals, max_iterations)
+    raise ValueError(
+        f"unknown settle engine {name!r}; expected one of {ENGINES}"
+    )

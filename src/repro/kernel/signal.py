@@ -4,9 +4,13 @@ A :class:`Signal` is the kernel's wire.  It has exactly one logical driver
 (enforced loosely through :meth:`Signal.set_driver`), a current value, and a
 declared bit-width used only by the cost model and the trace renderer.
 
-There is no event queue: the :class:`repro.kernel.simulator.Simulator`
-re-evaluates combinational processes until every signal is stable, so a
-signal is just a mutable cell with change tracking.
+A signal is a mutable cell with change tracking.  Under the simulator's
+naive engine the change tracking is purely passive (the settle loop
+snapshots and compares); under the event engine every signal additionally
+carries the indices of the components that declared a combinational read
+of it (``_readers``) plus a back-reference to the live engine, so a
+:meth:`Signal.set` that actually changes the value can mark exactly the
+affected readers dirty instead of forcing a whole-design re-evaluation.
 """
 
 from __future__ import annotations
@@ -35,7 +39,10 @@ class Signal:
         Initial value (defaults to the unknown sentinel ``X``).
     """
 
-    __slots__ = ("name", "width", "_value", "_driver", "_touched")
+    __slots__ = (
+        "name", "width", "_value", "_driver", "_touched",
+        "_engine", "_readers",
+    )
 
     def __init__(self, name: str, width: int = 1, init: Any = X):
         self.name = name
@@ -43,6 +50,10 @@ class Signal:
         self._value: Any = init
         self._driver: "Component | None" = None
         self._touched = False
+        # Filled in by the event engine at finalize time: the engine
+        # itself and the indices of the declared reader components.
+        self._engine: Any = None
+        self._readers: tuple[int, ...] = ()
 
     # ------------------------------------------------------------------
     # value access
@@ -62,10 +73,14 @@ class Signal:
         Returns True when the value actually changed, which the settle loop
         uses to decide whether another iteration is needed.
         """
-        if same_value(self._value, value):
+        old = self._value
+        if old is value or same_value(old, value):
             return False
         self._value = value
         self._touched = True
+        engine = self._engine
+        if engine is not None:
+            engine.note_change(self, old)
         return True
 
     # ------------------------------------------------------------------

@@ -1,12 +1,12 @@
-"""Two-phase cycle-accurate simulator.
+"""Two-phase cycle-accurate simulator with pluggable settle engines.
 
 Each simulated clock cycle runs:
 
-1. **Settle** — every component's ``combinational()`` is evaluated
-   repeatedly until no signal changes (a fixed point).  This models the
-   combinational logic between register stages, including the backward
-   combinational propagation of elastic ``ready`` signals through joins and
-   forks.  Failure to converge within ``max_settle_iterations`` raises
+1. **Settle** — combinational logic is evaluated until every signal is
+   stable (a fixed point).  This models the combinational logic between
+   register stages, including the backward combinational propagation of
+   elastic ``ready`` signals through joins and forks.  Failure to
+   converge within ``max_settle_iterations`` raises
    :class:`~repro.kernel.errors.ConvergenceError` naming the unstable
    signals — the kernel's stand-in for a synthesis tool's combinational
    loop check.
@@ -19,16 +19,44 @@ Each simulated clock cycle runs:
    updates are race-free regardless of component ordering, exactly like
    nonblocking assignment in RTL.
 
+*How* the settle phase reaches its fixed point is delegated to a settle
+engine (:mod:`repro.kernel.engine`), chosen per simulator:
+
+* ``engine="event"`` (default) — components' declared read sets
+  (:meth:`~repro.kernel.component.Component.declare_reads`) and recorded
+  signal drivers are compiled at finalize time into a dependency graph;
+  acyclic regions settle in one topologically ordered sweep and
+  combinational cycles run a dirty-set worklist to a local fixed point.
+  Components whose inputs did not change are never re-evaluated, and
+  behaviour-free components (channels, monitors) are never visited.
+* ``engine="naive"`` — the original brute-force loop: every component is
+  re-evaluated until a whole pass changes nothing.  Kept as the oracle
+  for differential testing (``tests/test_engine_differential.py`` drives
+  every network under both engines and asserts cycle-identical traces)
+  and as an escape hatch for components with undeclarable dependencies.
+
+The default can also be set process-wide through the
+``REPRO_SIM_ENGINE`` environment variable, which is how the differential
+suite replays unmodified examples under both engines.
+
+Both engines produce identical settled values, identical
+:class:`ConvergenceError` diagnostics on true combinational loops, and
+identical race-free capture/commit ordering; only the work per cycle
+differs (see ``docs/engines.md`` for the contract and the measured
+speedups).
+
 The simulator owns a flat list of components (the tree flattened in
 registration order) and a cycle counter.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Any, Callable
 
 from repro.kernel.component import Component
-from repro.kernel.errors import ConvergenceError, SimulationError
+from repro.kernel.engine import ENGINES, make_engine
+from repro.kernel.errors import SimulationError
 from repro.kernel.signal import Signal
 
 
@@ -42,14 +70,33 @@ class Simulator:
         networks in this repo settle in a handful of passes; the default
         of 64 leaves generous headroom while still catching true
         combinational loops quickly.
+    engine:
+        Settle strategy: ``"event"`` (dependency-driven, the default) or
+        ``"naive"`` (brute-force whole-design iteration).  ``None`` reads
+        the ``REPRO_SIM_ENGINE`` environment variable, falling back to
+        ``"event"``.
     """
 
-    def __init__(self, max_settle_iterations: int = 64):
+    def __init__(
+        self,
+        max_settle_iterations: int = 64,
+        engine: str | None = None,
+    ):
+        if engine is None:
+            engine = os.environ.get("REPRO_SIM_ENGINE") or "event"
+        if engine not in ENGINES:
+            raise ValueError(
+                f"unknown settle engine {engine!r}; expected one of {ENGINES}"
+            )
         self.max_settle_iterations = int(max_settle_iterations)
+        self.engine_name = engine
         self.cycle = 0
         self._components: list[Component] = []
+        self._by_path: dict[str, Component] = {}
         self._signals: list[Signal] = []
+        self._signal_by_name: dict[str, Signal] = {}
         self._observers: list[Callable[["Simulator"], None]] = []
+        self._engine: Any = None
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -61,6 +108,7 @@ class Simulator:
             raise SimulationError("cannot add components after simulation start")
         for comp in component.iter_tree():
             self._components.append(comp)
+            self._by_path.setdefault(comp.path, comp)
         return component
 
     def add_observer(self, fn: Callable[["Simulator"], None]) -> None:
@@ -78,6 +126,28 @@ class Simulator:
                     seen.add(id(sig))
                     signals.append(sig)
         self._signals = signals
+        self._signal_by_name = {}
+        for sig in signals:
+            self._signal_by_name.setdefault(sig.name, sig)
+        # Components with no capture/commit/reset override are skipped in
+        # the per-cycle phase sweeps (channels and monitors make up a
+        # large share of real designs and have nothing to do there).
+        self._capture_list = [
+            c for c in self._components if type(c).capture is not Component.capture
+        ]
+        self._commit_list = [
+            c for c in self._components if type(c).commit is not Component.commit
+        ]
+        self._reset_list = [
+            c for c in self._components if type(c).reset is not Component.reset
+        ]
+        self._engine = make_engine(
+            self.engine_name,
+            self._components,
+            signals,
+            self.max_settle_iterations,
+        )
+        self._note_state = getattr(self._engine, "note_state_change", None)
         self._finalized = True
 
     # ------------------------------------------------------------------
@@ -86,8 +156,11 @@ class Simulator:
     def reset(self) -> None:
         """Reset all registered state and the cycle counter."""
         self._finalize()
-        for comp in self._components:
+        for comp in self._reset_list:
             comp.reset()
+        invalidate_all = getattr(self._engine, "invalidate_all", None)
+        if invalidate_all is not None:
+            invalidate_all()
         self.cycle = 0
 
     # ------------------------------------------------------------------
@@ -96,38 +169,38 @@ class Simulator:
     def settle(self) -> int:
         """Run combinational evaluation to a fixed point.
 
-        Returns the number of iterations used.  Exposed publicly so tests
-        can inspect settled values mid-cycle without advancing the clock.
+        Returns the number of iterations used (an engine-specific
+        effort measure: whole-design passes for the naive engine, the
+        deepest local iteration count for the event engine).  Exposed
+        publicly so tests can inspect settled values mid-cycle without
+        advancing the clock.
         """
         self._finalize()
-        from repro.kernel.values import same_value
+        return self._engine.settle(self.cycle)
 
-        for iteration in range(1, self.max_settle_iterations + 1):
-            # Convergence is judged on net change across the whole pass, so
-            # a component may harmlessly clear-then-set a signal within one
-            # evaluation (a common idiom in demux-style logic).
-            before = [sig.value for sig in self._signals]
-            for comp in self._components:
-                comp.combinational()
-            changed = [
-                sig.name
-                for sig, old in zip(self._signals, before)
-                if not same_value(sig.value, old)
-            ]
-            if not changed:
-                return iteration
-        raise ConvergenceError(self.cycle, self.max_settle_iterations, changed)
+    def _tick(self) -> None:
+        """Observe, capture and commit one settled cycle."""
+        for observer in self._observers:
+            observer(self)
+        for comp in self._capture_list:
+            comp.capture()
+        note = self._note_state
+        if note is None:
+            for comp in self._commit_list:
+                comp.commit()
+        else:
+            # Components report whether their commit changed state the
+            # combinational logic depends on; False lets the event engine
+            # skip their next re-evaluation, None means "assume changed".
+            for comp in self._commit_list:
+                if comp.commit() is not False:
+                    note(comp)
+        self.cycle += 1
 
     def step(self) -> None:
         """Advance the simulation by one clock cycle."""
         self.settle()
-        for observer in self._observers:
-            observer(self)
-        for comp in self._components:
-            comp.capture()
-        for comp in self._components:
-            comp.commit()
-        self.cycle += 1
+        self._tick()
 
     def run(
         self,
@@ -165,13 +238,7 @@ class Simulator:
             self.settle()
             if until(self):
                 return executed
-            for observer in self._observers:
-                observer(self)
-            for comp in self._components:
-                comp.capture()
-            for comp in self._components:
-                comp.commit()
-            self.cycle += 1
+            self._tick()
             executed += 1
         raise SimulationError(
             f"'until' predicate not satisfied within {max_cycles} cycles "
@@ -185,25 +252,35 @@ class Simulator:
     def components(self) -> list[Component]:
         return list(self._components)
 
+    @property
+    def signals(self) -> list[Signal]:
+        """Every signal owned by a registered component."""
+        self._finalize()
+        return list(self._signals)
+
     def find(self, path: str) -> Component:
-        """Look up a component by hierarchical dotted path."""
-        for comp in self._components:
-            if comp.path == path:
-                return comp
-        raise KeyError(f"no component with path {path!r}")
+        """Look up a component by hierarchical dotted path (O(1))."""
+        try:
+            return self._by_path[path]
+        except KeyError:
+            raise KeyError(f"no component with path {path!r}") from None
 
     def signal_by_name(self, name: str) -> Signal:
-        """Look up a signal by its full hierarchical name."""
+        """Look up a signal by its full hierarchical name (O(1))."""
         self._finalize()
-        for sig in self._signals:
-            if sig.name == name:
-                return sig
-        raise KeyError(f"no signal named {name!r}")
+        try:
+            return self._signal_by_name[name]
+        except KeyError:
+            raise KeyError(f"no signal named {name!r}") from None
 
 
-def build(*components: Component, max_settle_iterations: int = 64) -> Simulator:
+def build(
+    *components: Component,
+    max_settle_iterations: int = 64,
+    engine: str | None = None,
+) -> Simulator:
     """Convenience constructor: make a simulator, add components, reset."""
-    sim = Simulator(max_settle_iterations=max_settle_iterations)
+    sim = Simulator(max_settle_iterations=max_settle_iterations, engine=engine)
     for comp in components:
         sim.add(comp)
     sim.reset()

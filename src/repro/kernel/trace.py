@@ -18,7 +18,7 @@ from typing import Any, Sequence
 
 from repro.kernel.signal import Signal
 from repro.kernel.simulator import Simulator
-from repro.kernel.values import X, is_x, same_value
+from repro.kernel.values import is_x, same_value
 
 
 class TraceRecorder:
@@ -162,7 +162,19 @@ class TraceRecorder:
 
 
 def trace_signals(
-    sim: Simulator, signals: Sequence[Signal], labels: Sequence[str] | None = None
+    sim: Simulator,
+    signals: Sequence[Signal | str],
+    labels: Sequence[str] | None = None,
 ) -> TraceRecorder:
-    """Create a :class:`TraceRecorder` and attach it to *sim*."""
-    return TraceRecorder(signals, labels=labels).attach(sim)
+    """Create a :class:`TraceRecorder` and attach it to *sim*.
+
+    Entries in *signals* may be :class:`Signal` objects or full
+    hierarchical names, which are resolved through the simulator's
+    constant-time :meth:`~repro.kernel.simulator.Simulator.signal_by_name`
+    index.
+    """
+    resolved = [
+        sim.signal_by_name(sig) if isinstance(sig, str) else sig
+        for sig in signals
+    ]
+    return TraceRecorder(resolved, labels=labels).attach(sim)

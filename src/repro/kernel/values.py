@@ -73,12 +73,29 @@ def same_value(a: Any, b: Any) -> bool:
     ``X`` never equals a concrete value.  Values that raise on ``==`` are
     considered different (conservative: forces another settle iteration).
     """
+    if a is b:
+        return True
     if a is X or b is X:
-        return a is b
+        return False
     try:
         return bool(a == b)
     except Exception:
         return False
+
+
+def state_changed(a: Any, b: Any) -> bool:
+    """Inequality for registered-state snapshots that never raises.
+
+    Used by component ``commit()`` implementations to report whether the
+    cycle's state update actually changed anything.  Values that raise on
+    ``==`` are considered changed (conservative: forces re-evaluation).
+    """
+    if a is b:
+        return False
+    try:
+        return not bool(a == b)
+    except Exception:
+        return True
 
 
 def onehot_index(bits: list[bool]) -> int | None:

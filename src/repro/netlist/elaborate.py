@@ -103,13 +103,20 @@ def elaborate(
     policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
     monitors: bool = True,
     max_settle_iterations: int = 128,
+    engine: str | None = None,
 ) -> Elaboration:
-    """Validate and lower *graph*; returns a reset, runnable circuit."""
+    """Validate and lower *graph*; returns a reset, runnable circuit.
+
+    ``engine`` selects the simulator's settle engine (``"event"`` /
+    ``"naive"``); None uses the process default.
+    """
     if meb not in MEB_KINDS:
         raise ValueError(f"meb must be one of {sorted(MEB_KINDS)}")
     validate(graph)
     mt = threads > 1
-    sim = Simulator(max_settle_iterations=max_settle_iterations)
+    sim = Simulator(
+        max_settle_iterations=max_settle_iterations, engine=engine
+    )
     channels: dict[str, Component] = {}
     mon_map: dict[str, Any] = {}
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import dataclasses
 
+from repro.graphs import cyclic_nodes
 from repro.netlist.graph import DataflowGraph, NodeKind
 
 
@@ -77,54 +78,35 @@ def _port_issues(graph: DataflowGraph) -> list[ValidationIssue]:
 
 
 def _cycle_issues(graph: DataflowGraph) -> list[ValidationIssue]:
-    """Every directed cycle must pass through a BUFFER (or VLU) node."""
-    issues: list[ValidationIssue] = []
+    """Every directed cycle must pass through a BUFFER (or VLU) node.
+
+    Strips the storage nodes, then asks the shared SCC machinery
+    (:func:`repro.graphs.cyclic_nodes` — the same algorithms the event
+    settle engine schedules with) whether any cycle survives.
+    """
     # Remove storage nodes, then any remaining cycle is bufferless.
     storage = {
         name
         for name, node in graph.nodes.items()
         if node.kind in (NodeKind.BUFFER, NodeKind.VLU)
     }
-    adj: dict[str, list[str]] = {
-        name: [] for name in graph.nodes if name not in storage
-    }
+    names = [name for name in graph.nodes if name not in storage]
+    index = {name: i for i, name in enumerate(names)}
+    succ: list[list[int]] = [[] for _ in names]
     for edge in graph.edges:
         if edge.src in storage or edge.dst in storage:
             continue
-        adj[edge.src].append(edge.dst)
+        succ[index[edge.src]].append(index[edge.dst])
 
-    WHITE, GRAY, BLACK = 0, 1, 2
-    color = {name: WHITE for name in adj}
-
-    def dfs(start: str) -> str | None:
-        stack: list[tuple[str, int]] = [(start, 0)]
-        color[start] = GRAY
-        while stack:
-            node, idx = stack[-1]
-            if idx < len(adj[node]):
-                stack[-1] = (node, idx + 1)
-                nxt = adj[node][idx]
-                if color[nxt] == GRAY:
-                    return nxt
-                if color[nxt] == WHITE:
-                    color[nxt] = GRAY
-                    stack.append((nxt, 0))
-            else:
-                color[node] = BLACK
-                stack.pop()
-        return None
-
-    for name in adj:
-        if color[name] == WHITE:
-            witness = dfs(name)
-            if witness is not None:
-                issues.append(ValidationIssue(
-                    "error", witness,
-                    "bufferless cycle through this node (elastic loops "
-                    "need at least one buffer to hold the circulating "
-                    "token and cut the combinational path)"))
-                break
-    return issues
+    on_cycle = cyclic_nodes(succ)
+    if not on_cycle:
+        return []
+    witness = names[on_cycle[0]]
+    return [ValidationIssue(
+        "error", witness,
+        "bufferless cycle through this node (elastic loops need at "
+        "least one buffer to hold the circulating token and cut the "
+        "combinational path)")]
 
 
 def _param_issues(graph: DataflowGraph) -> list[ValidationIssue]:

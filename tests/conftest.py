@@ -14,7 +14,7 @@ from repro.core import (
     ReducedMEB,
 )
 from repro.elastic.endpoints import Pattern
-from repro.kernel import Simulator, build
+from repro.kernel import build
 
 
 def make_mt_pipeline(
@@ -26,6 +26,7 @@ def make_mt_pipeline(
     sink_patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
     policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
     width: int = 32,
+    engine: str | None = None,
 ):
     """source -> MEB^n_stages -> sink with a monitor on every channel.
 
@@ -44,7 +45,7 @@ def make_mt_pipeline(
     ]
     sink = MTSink("snk", chans[-1], patterns=sink_patterns)
     monitors = [MTMonitor(f"mon{i}", ch) for i, ch in enumerate(chans)]
-    sim = build(*chans, source, *mebs, sink, *monitors)
+    sim = build(*chans, source, *mebs, sink, *monitors, engine=engine)
     return sim, source, sink, mebs, monitors
 
 

@@ -12,7 +12,6 @@ from repro.core import (
     MTMonitor,
     MTSink,
     MTSource,
-    ReducedMEB,
 )
 from repro.kernel import build
 

@@ -19,7 +19,7 @@ from repro.elastic import (
     Source,
     stall_window,
 )
-from repro.kernel import Simulator, build
+from repro.kernel import build
 
 
 def make_pipeline(buffer_cls, n_items=8, src_pattern=None, sink_pattern=None,

@@ -1,0 +1,353 @@
+"""Differential validation: event engine vs. naive engine.
+
+The naive whole-design fixed-point loop is the semantics oracle; the
+event engine must be indistinguishable from it at cycle granularity.
+Every network family in the repo is built twice — once per engine — and
+driven for the same number of cycles while *every signal in the design*
+is sampled after each settle.  The traces must match value-for-value,
+cycle-for-cycle.
+
+Also covered here: ConvergenceError parity on deliberate combinational
+loops (both for undeclared components, which take the engine's naive
+fallback path, and for declared components, which take the SCC worklist
+path), engine selection plumbing, and replaying the shipped examples
+under both engines via the ``REPRO_SIM_ENGINE`` environment variable.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+from repro.apps.md5 import MD5Hasher
+from repro.apps.processor import Processor, programs
+from repro.core import FullMEB, ReducedMEB, StructuralFullMEB
+from repro.elastic import (
+    Branch,
+    EagerFork,
+    ElasticBuffer,
+    ElasticChannel,
+    FunctionUnit,
+    Join,
+    LatchElasticBuffer,
+    LazyFork,
+    Merge,
+    Sink,
+    Source,
+    VariableLatencyUnit,
+)
+from repro.elastic.buffer import HalfBuffer
+from repro.elastic.endpoints import duty_cycle, stall_window
+from repro.kernel import Component, ConvergenceError, Simulator, build
+from repro.kernel.values import same_value
+from repro.netlist import DataflowGraph, elaborate
+
+from tests.conftest import make_mt_pipeline
+
+ENGINES = ("naive", "event")
+
+
+def run_and_trace(sim: Simulator, cycles: int) -> list[dict[str, object]]:
+    """Step *cycles* times, sampling every signal after each settle."""
+    signals = sim.signals
+    rows: list[dict[str, object]] = []
+    sim.add_observer(
+        lambda s: rows.append({sig.name: sig.value for sig in signals})
+    )
+    sim.run(cycles=cycles)
+    return rows
+
+
+def assert_identical_traces(factory, cycles: int) -> None:
+    """Build the network once per engine and compare full traces."""
+    traces = {}
+    for engine in ENGINES:
+        sim = factory(engine)
+        traces[engine] = run_and_trace(sim, cycles)
+    naive, event = traces["naive"], traces["event"]
+    assert len(naive) == len(event) == cycles
+    for cycle, (rown, rowe) in enumerate(zip(naive, event)):
+        assert rown.keys() == rowe.keys()
+        diffs = [
+            (name, rown[name], rowe[name])
+            for name in rown
+            if not same_value(rown[name], rowe[name])
+        ]
+        assert not diffs, f"cycle {cycle}: engines diverge on {diffs[:8]}"
+
+
+# ----------------------------------------------------------------------
+# single-thread elastic networks
+# ----------------------------------------------------------------------
+
+class TestSingleThreadNetworks:
+    def test_buffer_chain_mixed_kinds(self):
+        def factory(engine):
+            chans = [ElasticChannel(f"c{i}", width=16) for i in range(5)]
+            src = Source("src", chans[0], items=list(range(30)),
+                         pattern=duty_cycle(3, 4))
+            b0 = ElasticBuffer("eb", chans[0], chans[1])
+            b1 = HalfBuffer("hb", chans[1], chans[2])
+            b2 = LatchElasticBuffer("leb", chans[2], chans[3])
+            fu = FunctionUnit("fu", chans[3], chans[4], fn=lambda x: x + 100)
+            snk = Sink("snk", chans[4], pattern=stall_window(10, 20))
+            return build(*chans, src, b0, b1, b2, fu, snk, engine=engine)
+
+        assert_identical_traces(factory, 80)
+
+    def test_fork_join_diamond_with_vlu(self):
+        def factory(engine):
+            c = {n: ElasticChannel(n, width=16)
+                 for n in ("in", "a", "b", "a2", "b2", "j", "out")}
+            src = Source("src", c["in"], items=list(range(20)))
+            fork = LazyFork("fork", c["in"], [c["a"], c["b"]])
+            fa = FunctionUnit("fa", c["a"], c["a2"], fn=lambda x: x * 3)
+            vlu = VariableLatencyUnit(
+                "vlu", c["b"], c["b2"], fn=lambda x: x + 7,
+                latency=lambda d, k: 1 + (k % 3),
+            )
+            join = Join("join", [c["a2"], c["b2"]], c["j"])
+            buf = ElasticBuffer("buf", c["j"], c["out"])
+            snk = Sink("snk", c["out"], pattern=duty_cycle(2, 3))
+            return build(*c.values(), src, fork, fa, vlu, join, buf, snk,
+                         engine=engine)
+
+        assert_identical_traces(factory, 120)
+
+    def test_eager_fork_branch_merge(self):
+        def factory(engine):
+            c = {n: ElasticChannel(n, width=16)
+                 for n in ("in", "a", "b", "t", "f", "m", "out")}
+            src = Source("src", c["in"], items=list(range(24)))
+            fork = EagerFork("fork", c["in"], [c["a"], c["b"]])
+            sa = Sink("sa", c["a"], pattern=duty_cycle(1, 2))
+            br = Branch("br", c["b"], [c["t"], c["f"]],
+                        selector=lambda x: x % 2)
+            mg = Merge("mg", [c["t"], c["f"]], c["m"], strict=False)
+            buf = ElasticBuffer("buf", c["m"], c["out"])
+            snk = Sink("snk", c["out"])
+            return build(*c.values(), src, fork, sa, br, mg, buf, snk,
+                         engine=engine)
+
+        assert_identical_traces(factory, 100)
+
+
+# ----------------------------------------------------------------------
+# multithreaded networks
+# ----------------------------------------------------------------------
+
+class TestMultithreadedNetworks:
+    @pytest.mark.parametrize("meb_cls", [FullMEB, ReducedMEB])
+    def test_mt_pipeline_with_stalls(self, meb_cls):
+        def factory(engine):
+            items = [list(range(t, t + 12)) for t in range(4)]
+            sim, _src, _snk, _mebs, _mons = make_mt_pipeline(
+                meb_cls, threads=4, items=items, n_stages=3,
+                sink_patterns=[None, stall_window(5, 15), None,
+                               duty_cycle(1, 2)],
+                engine=engine,
+            )
+            return sim
+
+        assert_identical_traces(factory, 90)
+
+    def test_structural_full_meb(self):
+        def factory(engine):
+            from repro.core import MTChannel, MTSink, MTSource
+            up = MTChannel("up", threads=3, width=16)
+            down = MTChannel("down", threads=3, width=16)
+            src = MTSource("src", up, items=[[1, 2], [3, 4], [5, 6]])
+            meb = StructuralFullMEB("smeb", up, down)
+            snk = MTSink("snk", down, patterns=[duty_cycle(2, 3)] * 3)
+            return build(up, down, src, meb, snk, engine=engine)
+
+        assert_identical_traces(factory, 60)
+
+    def test_elaborated_graph_all_operators(self):
+        def graph():
+            g = DataflowGraph("diff")
+            g.source("src", items=[[3, 5, 8, 13], [21, 34, 55, 89]])
+            g.buffer("b0")
+            g.fork("fk", n_outputs=2)
+            g.op("double", fn=lambda x: x * 2)
+            g.buffer("b1")
+            g.vlu("slow", fn=lambda x: x + 1, latency=2)
+            g.buffer("b2")
+            g.join("jn", n_inputs=2)
+            g.buffer("b3")
+            g.sink("snk")
+            g.connect("src", "b0")
+            g.connect("b0", "fk")
+            g.connect("fk", "double", src_port=0)
+            g.connect("fk", "slow", src_port=1)
+            g.connect("double", "b1")
+            g.connect("slow", "b2")
+            g.connect("b1", "jn", dst_port=0)
+            g.connect("b2", "jn", dst_port=1)
+            g.connect("jn", "b3")
+            g.connect("b3", "snk")
+            return g
+
+        for threads in (1, 2):
+            def factory(engine, threads=threads):
+                return elaborate(graph(), threads=threads,
+                                 engine=engine).sim
+
+            assert_identical_traces(factory, 70)
+
+
+# ----------------------------------------------------------------------
+# full applications
+# ----------------------------------------------------------------------
+
+class TestApplications:
+    def test_md5_identical_digests_and_cycles(self):
+        results = {}
+        for engine in ENGINES:
+            h = MD5Hasher(threads=4, engine=engine)
+            digests = h.hash_batch([b"alpha", b"beta", b"gamma", b"delta"])
+            results[engine] = (digests, h.circuit.sim.cycle,
+                               h.circuit.round_counter)
+        assert results["naive"] == results["event"]
+
+    def test_md5_pipelined_rounds_identical(self):
+        results = {}
+        for engine in ENGINES:
+            h = MD5Hasher(threads=4, round_stages=4, engine=engine)
+            digests = h.hash_batch([b"pipelined", b"round"])
+            results[engine] = (digests, h.circuit.sim.cycle)
+        assert results["naive"] == results["event"]
+
+    def test_processor_identical_execution(self):
+        results = {}
+        for engine in ENGINES:
+            cpu = Processor(threads=4, meb="reduced", engine=engine)
+            mix = programs.standard_mix()
+            for t in range(4):
+                cpu.load_program(t, mix[t % len(mix)].source)
+            stats = cpu.run()
+            regs = [[cpu.reg(t, r) for r in range(8)] for t in range(4)]
+            results[engine] = (stats.cycles, tuple(stats.retired), regs)
+        assert results["naive"] == results["event"]
+
+    def test_processor_full_meb_identical(self):
+        results = {}
+        for engine in ENGINES:
+            cpu = Processor(threads=2, meb="full", engine=engine)
+            cpu.load_program(0, programs.standard_mix()[0].source)
+            cpu.load_program(1, programs.standard_mix()[1].source)
+            stats = cpu.run()
+            results[engine] = (stats.cycles, tuple(stats.retired))
+        assert results["naive"] == results["event"]
+
+
+# ----------------------------------------------------------------------
+# convergence-error parity
+# ----------------------------------------------------------------------
+
+class _UndeclaredOscillator(Component):
+    """Combinational loop with no declarations (engine fallback path)."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.out = self.output("out", init=False)
+
+    def combinational(self):
+        self.out.set(not self.out.value)
+
+
+class _DeclaredOscillator(Component):
+    """Combinational loop *with* declarations (SCC worklist path)."""
+
+    def __init__(self, name):
+        super().__init__(name)
+        self.out = self.output("out", init=False)
+        self.declare_reads(self.out)
+
+    def combinational(self):
+        self.out.set(not self.out.value)
+
+
+class TestConvergenceParity:
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize(
+        "osc_cls", [_UndeclaredOscillator, _DeclaredOscillator]
+    )
+    def test_combinational_loop_raises(self, engine, osc_cls):
+        if engine == "naive" and osc_cls is _DeclaredOscillator:
+            pytest.skip("declarations are ignored by the naive engine")
+        sim = build(osc_cls("osc"), max_settle_iterations=7, engine=engine)
+        with pytest.raises(ConvergenceError) as exc:
+            sim.settle()
+        assert exc.value.iterations == 7
+        assert "osc.out" in exc.value.unstable
+
+    def test_cross_component_declared_loop_raises(self):
+        # A ring of an odd number of inverters has no stable point; the
+        # whole ring forms one SCC whose local worklist must give up.
+        class Inverter(Component):
+            def __init__(self, name):
+                super().__init__(name)
+                self.src = None
+                self.out = self.output("out", init=False)
+
+            def late_bind(self, sig):
+                self.src = sig
+                self.declare_reads(sig)
+
+            def combinational(self):
+                self.out.set(not self.src.value)
+
+        ring = [Inverter(f"inv{i}") for i in range(3)]
+        for i, inv in enumerate(ring):
+            inv.late_bind(ring[(i + 1) % 3].out)
+        sim = build(*ring, max_settle_iterations=9, engine="event")
+        with pytest.raises(ConvergenceError):
+            sim.settle()
+
+
+# ----------------------------------------------------------------------
+# engine selection plumbing
+# ----------------------------------------------------------------------
+
+class TestEngineSelection:
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError):
+            Simulator(engine="quantum")
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "naive")
+        assert Simulator().engine_name == "naive"
+        monkeypatch.delenv("REPRO_SIM_ENGINE")
+        assert Simulator().engine_name == "event"
+
+    def test_explicit_engine_overrides_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "naive")
+        assert Simulator(engine="event").engine_name == "event"
+
+
+# ----------------------------------------------------------------------
+# shipped examples under both engines
+# ----------------------------------------------------------------------
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
+
+
+@pytest.mark.parametrize(
+    "example", ["quickstart.py", "branch_merge_loop.py", "barrier_sync.py"]
+)
+def test_example_output_engine_invariant(example, capsys, monkeypatch):
+    outputs = {}
+    for engine in ENGINES:
+        monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
+        argv = sys.argv
+        try:
+            sys.argv = [str(EXAMPLES_DIR / example)]
+            runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
+        finally:
+            sys.argv = argv
+        outputs[engine] = capsys.readouterr().out
+    assert outputs["naive"] == outputs["event"]

@@ -5,7 +5,6 @@ import pathlib
 import runpy
 import sys
 
-import pytest
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
 

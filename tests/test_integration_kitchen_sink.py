@@ -19,7 +19,6 @@ Topology::
         └── the retry loop re-enters before the barrier via M-Merge)
 """
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
