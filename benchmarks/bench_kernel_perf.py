@@ -5,14 +5,14 @@ regressions in the settle engines or the MEB implementations show up in
 CI.  Two modes:
 
 * The ``test_perf_*`` functions are classic pytest-benchmark timings of
-  the default (event) engine.
+  the default (compiled) engine.
 * ``test_engine_comparison`` is the **comparison mode**: it runs each
-  workload under both settle engines, asserts the event engine's
-  cycles/sec advantage against conservative floors, and writes the
-  measurements to ``benchmarks/results/BENCH_kernel.json`` so CI can
-  upload them as an artifact and future PRs have a perf trajectory to
-  compare against (the committed repo-root ``BENCH_kernel.json`` is the
-  recorded baseline).
+  workload under all three settle engines (``naive`` oracle, ``event``,
+  ``compiled``), asserts the scheduled engines' cycles/sec advantages
+  against conservative floors, and writes the measurements to
+  ``benchmarks/results/BENCH_kernel.json`` so CI can upload them as an
+  artifact and gate regressions against the committed repo-root
+  ``BENCH_kernel.json`` baseline (see ``benchmarks/check_regression.py``).
 
 Set ``BENCH_SMOKE=1`` to shrink every workload (CI's benchmark smoke
 job); the JSON is still produced, only with smaller configurations and
@@ -31,10 +31,14 @@ from repro.apps.md5 import MD5Hasher
 from repro.apps.processor import Processor, programs
 from repro.core import FullMEB, ReducedMEB
 
-from _pipelines import make_mt_pipeline
+from _pipelines import make_mt_chain, make_mt_pipeline, make_mt_ring
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
-RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_kernel.json"
+# Anchored through resolve() so results land next to this file no matter
+# what the CWD (or a relative __file__) is when the module runs.
+RESULTS_PATH = (
+    pathlib.Path(__file__).resolve().parent / "results" / "BENCH_kernel.json"
+)
 
 
 def pump_pipeline(meb_cls, threads=8, n_stages=4, n_items=50, engine=None):
@@ -126,16 +130,47 @@ def _run_processor(engine):
     return stats.cycles, elapsed, (stats.cycles, stats.total_retired)
 
 
-#: workload name -> (runner, full-mode speedup floor).  The floors are
-#: deliberately far below the measured ratios (see docs/engines.md) so
-#: the comparison stays green on noisy CI machines while still catching
-#: a broken scheduler; the JSON records the actual numbers.
+def _run_mt_chain(engine):
+    threads, n_funcs, n_items = (4, 3, 8) if SMOKE else (32, 8, 25)
+    sim, _src, sink = make_mt_chain(
+        threads=threads, n_funcs=n_funcs, n_items=n_items, engine=engine,
+    )
+    start = time.perf_counter()
+    sim.run(until=lambda s: sink.count == threads * n_items,
+            max_cycles=100_000)
+    elapsed = time.perf_counter() - start
+    return sim.cycle, elapsed, (sim.cycle, sink.received)
+
+
+def _run_mt_ring(engine):
+    threads, n_funcs, trips = (4, 2, 5) if SMOKE else (48, 6, 10)
+    sim, _src, sink = make_mt_ring(
+        threads=threads, n_funcs=n_funcs, trips=trips, engine=engine,
+    )
+    start = time.perf_counter()
+    sim.run(until=lambda s: sink.count == threads, max_cycles=200_000)
+    elapsed = time.perf_counter() - start
+    return sim.cycle, elapsed, (sim.cycle, sink.received)
+
+
+#: workload name -> (runner, event-vs-naive floor, compiled-vs-event
+#: floor), both full-mode.  The floors are deliberately far below the
+#: measured ratios (see docs/engines.md) so the comparison stays green
+#: on noisy CI machines while still catching a broken scheduler; the
+#: JSON records the actual numbers.
 WORKLOADS = {
-    "mt_pipeline": (_run_pipeline, 1.2),
-    "md5": (_run_md5, 1.5),
-    "md5_pipelined": (_run_md5_pipelined, 3.0),
-    "processor": (_run_processor, 1.5),
+    "mt_pipeline": (_run_pipeline, 1.2, 1.2),
+    "mt_chain": (_run_mt_chain, 1.2, 1.5),
+    "mt_ring": (_run_mt_ring, 1.2, 1.5),
+    "md5": (_run_md5, 1.5, 1.0),
+    "md5_pipelined": (_run_md5_pipelined, 3.0, 1.3),
+    "processor": (_run_processor, 1.5, 1.0),
 }
+
+#: Smoke mode runs tiny configurations on shared CI runners where
+#: constant overheads dominate; only sanity-check the direction.
+SMOKE_EVENT_FLOOR = 1.0
+SMOKE_COMPILED_FLOOR = 0.6
 
 
 def _measure(runner, engine, reps):
@@ -148,7 +183,7 @@ def _measure(runner, engine, reps):
 
 
 def run_comparison():
-    """Time every workload under both engines; return the result dict."""
+    """Time every workload under all three engines; return the results."""
     reps = 1 if SMOKE else 3
     results = {
         "mode": "smoke" if SMOKE else "full",
@@ -156,18 +191,22 @@ def run_comparison():
         "machine": platform.machine(),
         "workloads": {},
     }
-    for name, (runner, _floor) in WORKLOADS.items():
-        naive_cps, naive_cycles, naive_fp = _measure(runner, "naive", reps)
-        event_cps, event_cycles, event_fp = _measure(runner, "event", reps)
-        assert naive_fp == event_fp, (
-            f"{name}: engines disagree on behaviour "
-            f"({naive_fp} vs {event_fp})"
+    for name, (runner, _efloor, _cfloor) in WORKLOADS.items():
+        naive_cps, _cycles, naive_fp = _measure(runner, "naive", reps)
+        event_cps, _cycles, event_fp = _measure(runner, "event", reps)
+        compiled_cps, cycles, compiled_fp = _measure(
+            runner, "compiled", reps
+        )
+        assert naive_fp == event_fp == compiled_fp, (
+            f"{name}: engines disagree on behaviour"
         )
         results["workloads"][name] = {
-            "cycles": event_cycles,
+            "cycles": cycles,
             "naive_cps": round(naive_cps, 1),
             "event_cps": round(event_cps, 1),
-            "speedup": round(event_cps / naive_cps, 2),
+            "compiled_cps": round(compiled_cps, 1),
+            "event_speedup": round(event_cps / naive_cps, 2),
+            "compiled_speedup": round(compiled_cps / event_cps, 2),
         }
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n",
@@ -180,19 +219,27 @@ def test_engine_comparison():
     lines = [f"engine comparison ({results['mode']} mode):"]
     for name, row in results["workloads"].items():
         lines.append(
-            f"  {name:14s} naive={row['naive_cps']:>9.0f} c/s  "
-            f"event={row['event_cps']:>9.0f} c/s  "
-            f"speedup={row['speedup']:.2f}x"
+            f"  {name:14s} naive={row['naive_cps']:>9.0f}  "
+            f"event={row['event_cps']:>9.0f} "
+            f"({row['event_speedup']:.2f}x)  "
+            f"compiled={row['compiled_cps']:>9.0f} "
+            f"({row['compiled_speedup']:.2f}x vs event)"
         )
     print("\n".join(lines))
-    for name, (_runner, floor) in WORKLOADS.items():
-        speedup = results["workloads"][name]["speedup"]
-        # Smoke mode runs tiny configurations on shared CI runners where
-        # constant overheads dominate; only sanity-check the direction.
-        required = 1.0 if SMOKE else floor
-        assert speedup >= required, (
-            f"{name}: event engine speedup {speedup:.2f}x below "
-            f"{required}x floor"
+    for name, (_runner, event_floor, compiled_floor) in WORKLOADS.items():
+        row = results["workloads"][name]
+        required_event = SMOKE_EVENT_FLOOR if SMOKE else event_floor
+        required_compiled = (
+            SMOKE_COMPILED_FLOOR if SMOKE else compiled_floor
+        )
+        assert row["event_speedup"] >= required_event, (
+            f"{name}: event engine speedup {row['event_speedup']:.2f}x "
+            f"below {required_event}x floor"
+        )
+        assert row["compiled_speedup"] >= required_compiled, (
+            f"{name}: compiled engine speedup "
+            f"{row['compiled_speedup']:.2f}x below {required_compiled}x "
+            f"floor"
         )
 
 

@@ -12,7 +12,9 @@ import pathlib
 
 import pytest
 
-RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+# Anchored through resolve() so report files land next to this file no
+# matter what the CWD (or a relative __file__) is at run time.
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
 
 
 @pytest.fixture(scope="session")

@@ -82,6 +82,25 @@ class RoundRobinArbiter:
                 return i
         return None
 
+    def grant_fast(self, requests: list[bool]) -> int | None:
+        """:meth:`grant` for canonical-bool request vectors (hot path).
+
+        Replaces the rotating modulo scan with two C-speed
+        ``list.index(True, ...)`` probes (at-or-after the pointer, then
+        the wrapped prefix).  Callers must pass real ``True``/``False``
+        entries — the batched handshake paths all normalize through
+        :func:`repro.kernel.values.bools` first — since ``index`` matches
+        by equality, not truthiness.
+        """
+        pointer = self._pointer
+        try:
+            return requests.index(True, pointer)
+        except ValueError:
+            try:
+                return requests.index(True, 0, pointer)
+            except ValueError:
+                return None
+
     def note(self, granted: int | None, transferred: bool) -> None:
         """Record this cycle's outcome (called from the owner's capture)."""
         if granted is None:

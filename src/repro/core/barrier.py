@@ -25,7 +25,7 @@ from typing import Callable, Sequence
 from repro.core.mtchannel import MTChannel
 from repro.kernel.component import Component
 from repro.kernel.errors import SimulationError
-from repro.kernel.values import as_bool
+from repro.kernel.values import as_bool, bools, same_value
 
 IDLE = "IDLE"
 WAIT = "WAIT"
@@ -121,20 +121,82 @@ class Barrier(Component):
             self.up.ready[t].set(rin and passing)
         self.down.data.set(self.up.data.value)
 
+    def compile_comb(self, store):
+        """Slot-compiled gating: per-thread pass masks ANDed as slices."""
+        if type(self).combinational is not Barrier.combinational:
+            return None
+        up_valid = store.range_of(self.up.valid)
+        up_ready = store.range_of(self.up.ready)
+        down_valid = store.range_of(self.down.valid)
+        down_ready = store.range_of(self.down.ready)
+        up_data = store.slot_or_none(self.up.data)
+        down_data = store.slot_or_none(self.down.data)
+        if None in (up_valid, up_ready, down_valid, down_ready,
+                    up_data, down_data):
+            return None
+        values = store.values
+        dirty = store.dirty
+        valid_readers = store.readers_of(self.down.valid)
+        ready_readers = store.readers_of(self.up.ready)
+        data_readers = store.readers_of((self.down.data,))
+        uvb, uve = up_valid
+        urb, ure = up_ready
+        dvb, dve = down_valid
+        drb, dre = down_ready
+        participants = frozenset(self.participants)
+        everyone = len(participants) == self.threads
+        rng = range(self.threads)
+
+        def step() -> bool:
+            fsm = self._fsm
+            if everyone:
+                passing = [state == FREE for state in fsm]
+            else:
+                passing = [
+                    t not in participants or fsm[t] == FREE for t in rng
+                ]
+            in_valid = bools(values[uvb:uve])
+            in_ready = bools(values[drb:dre])
+            new_valid = [v and p for v, p in zip(in_valid, passing)]
+            new_ready = [r and p for r, p in zip(in_ready, passing)]
+            changed = False
+            if values[dvb:dve] != new_valid:
+                values[dvb:dve] = new_valid
+                if valid_readers:
+                    dirty.update(valid_readers)
+                changed = True
+            if values[urb:ure] != new_ready:
+                values[urb:ure] = new_ready
+                if ready_readers:
+                    dirty.update(ready_readers)
+                changed = True
+            new_data = values[up_data]
+            old = values[down_data]
+            if old is not new_data and not same_value(old, new_data):
+                values[down_data] = new_data
+                if data_readers:
+                    dirty.update(data_readers)
+                changed = True
+            return changed
+
+        return step
+
     def capture(self) -> None:
         fsm = list(self._fsm)
         count = self._count
         released = False
+        valids = self.up.valids()
+        readies = self.up.readies()  # our own registered-state outputs
         # Transfers first: FREE threads whose item passed return to IDLE.
         for t in self.participants:
-            if fsm[t] == FREE and self.up.transfers(t):
+            if fsm[t] == FREE and valids[t] and readies[t]:
                 fsm[t] = IDLE
         # Arrivals: an IDLE participant presenting valid data moves to
         # WAIT and bumps the counter (paper: load lgo(i), cntEn(i)).
         # Note `self._fsm` (pre-transition state) gates arrival detection
         # so the item that just passed is not double counted.
         for t in self.participants:
-            if self._fsm[t] == IDLE and as_bool(self.up.valid[t].value):
+            if self._fsm[t] == IDLE and valids[t]:
                 fsm[t] = WAIT
                 count += 1
         if count >= self.limit:

@@ -16,7 +16,7 @@ from repro.core.arbiter import GrantPolicy, RoundRobinArbiter
 from repro.core.mtchannel import MTChannel
 from repro.elastic.endpoints import Pattern, _pattern_fn
 from repro.kernel.component import Component
-from repro.kernel.values import X, as_bool
+from repro.kernel.values import X, as_bool, bools, same_value
 
 
 class MTSource(Component):
@@ -54,6 +54,7 @@ class MTSource(Component):
             )
         self._items: list[list[Any]] = [list(seq) for seq in items]
         self._gates: list[Callable[[int], bool]] = []
+        self._gates_trivial = patterns is None
         for t in range(self.threads):
             if patterns is None:
                 pat: Pattern = None
@@ -130,6 +131,65 @@ class MTSource(Component):
         else:
             self.channel.data.set(X)
 
+    def compile_comb(self, store):
+        """Slot-compiled injection: slice-read readies, slice-write valids."""
+        if type(self).combinational is not MTSource.combinational:
+            return None
+        if type(self.arbiter).grant is not RoundRobinArbiter.grant:
+            return None
+        valid_blk = store.range_of(self.channel.valid)
+        ready_blk = store.range_of(self.channel.ready)
+        data_slot = store.slot_or_none(self.channel.data)
+        if None in (valid_blk, ready_blk, data_slot):
+            return None
+        values = store.values
+        dirty = store.dirty
+        valid_readers = store.readers_of(self.channel.valid)
+        data_readers = store.readers_of((self.channel.data,))
+        vb, ve = valid_blk
+        rb, re_ = ready_blk
+        requests_of = self.policy.requests
+        grant_fast = self.arbiter.grant_fast
+        rng = range(self.threads)
+        falses = [False] * self.threads
+        trivial = self._gates_trivial
+
+        def step() -> bool:
+            index = self._index
+            items = self._items
+            if trivial and not self._blocked:
+                eligible = [index[t] < len(items[t]) for t in rng]
+            else:
+                # General gates may return truthy non-bools; normalize so
+                # the arbiter's index scan stays exact.
+                eligible = list(map(bool, self._eligible()))
+            chosen = grant_fast(
+                requests_of(eligible, bools(values[rb:re_]))
+            )
+            self._chosen = chosen
+            if chosen is None:
+                new_valid = falses
+                new_data = X
+            else:
+                new_valid = falses[:]
+                new_valid[chosen] = True
+                new_data = items[chosen][index[chosen]]
+            changed = False
+            if values[vb:ve] != new_valid:
+                values[vb:ve] = new_valid
+                if valid_readers:
+                    dirty.update(valid_readers)
+                changed = True
+            old = values[data_slot]
+            if old is not new_data and not same_value(old, new_data):
+                values[data_slot] = new_data
+                if data_readers:
+                    dirty.update(data_readers)
+                changed = True
+            return changed
+
+        return step
+
     def capture(self) -> None:
         index = list(self._index)
         transferred = False
@@ -175,6 +235,7 @@ class MTSink(Component):
         self.channel = channel
         self.threads = channel.threads
         self._gates: list[Callable[[int], bool]] = []
+        self._gates_trivial = patterns is None
         for t in range(self.threads):
             if patterns is None:
                 pat: Pattern = None
@@ -207,6 +268,36 @@ class MTSink(Component):
     def combinational(self) -> None:
         for t in range(self.threads):
             self.channel.ready[t].set(self._gates[t](self._cycle))
+
+    def compile_comb(self, store):
+        """Slot-compiled stall gating: one slice write for all S readies."""
+        if type(self).combinational is not MTSink.combinational:
+            return None
+        ready_blk = store.range_of(self.channel.ready)
+        if ready_blk is None:
+            return None
+        values = store.values
+        dirty = store.dirty
+        ready_readers = store.readers_of(self.channel.ready)
+        rb, re_ = ready_blk
+        gates = self._gates
+        trues = [True] * self.threads
+        trivial = self._gates_trivial
+
+        def step() -> bool:
+            if trivial:
+                new_ready = trues
+            else:
+                cycle = self._cycle
+                new_ready = [gate(cycle) for gate in gates]
+            if values[rb:re_] != new_ready:
+                values[rb:re_] = new_ready
+                if ready_readers:
+                    dirty.update(ready_readers)
+                return True
+            return False
+
+        return step
 
     def capture(self) -> None:
         t = self.channel.transfer_thread()

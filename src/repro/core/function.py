@@ -19,11 +19,11 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.core.mtchannel import MTChannel
+from repro.core.mtchannel import MTChannel, one_hot_thread
 from repro.elastic.function import LatencyPolicy
 from repro.kernel.component import Component
 from repro.kernel.errors import SimulationError
-from repro.kernel.values import X, as_bool, state_changed
+from repro.kernel.values import X, as_bool, bools, same_value, state_changed
 
 
 class MTFunction(Component):
@@ -71,6 +71,74 @@ class MTFunction(Component):
             self.fn(self.inp.data.value) if active is not None else X
         )
 
+    def compile_comb(self, store):
+        if type(self).combinational is not MTFunction.combinational:
+            return None
+        return self._compile_step(store, with_thread=False)
+
+    def _compile_step(self, store, with_thread: bool):
+        """Shared slot-compiled step for the MT function-unit family.
+
+        One slice read resolves the active thread (with the channel's
+        one-hot protocol check), one slice copy passes the S downstream
+        readies through to the upstream, and one slice compare-and-assign
+        publishes the S valids — only the payload transform remains a per
+        evaluation Python call.
+        """
+        in_valid = store.range_of(self.inp.valid)
+        in_ready = store.range_of(self.inp.ready)
+        out_valid = store.range_of(self.out.valid)
+        out_ready = store.range_of(self.out.ready)
+        in_data = store.slot_or_none(self.inp.data)
+        out_data = store.slot_or_none(self.out.data)
+        if None in (in_valid, in_ready, out_valid, out_ready,
+                    in_data, out_data):
+            return None
+        values = store.values
+        dirty = store.dirty
+        valid_readers = store.readers_of(self.out.valid)
+        ready_readers = store.readers_of(self.inp.ready)
+        data_readers = store.readers_of((self.out.data,))
+        ivb, ive = in_valid
+        irb, ire = in_ready
+        ovb, ove = out_valid
+        orb, ore = out_ready
+        fn = self.fn
+        falses = [False] * self.threads
+        inp_path = self.inp.path
+
+        def step() -> bool:
+            active = one_hot_thread(bools(values[ivb:ive]), inp_path)
+            if active is None:
+                new_valid = falses
+                new_data = X
+            else:
+                new_valid = falses[:]
+                new_valid[active] = True
+                data = values[in_data]
+                new_data = fn(data, active) if with_thread else fn(data)
+            changed = False
+            if values[ovb:ove] != new_valid:
+                values[ovb:ove] = new_valid
+                if valid_readers:
+                    dirty.update(valid_readers)
+                changed = True
+            new_ready = bools(values[orb:ore])
+            if values[irb:ire] != new_ready:
+                values[irb:ire] = new_ready
+                if ready_readers:
+                    dirty.update(ready_readers)
+                changed = True
+            old = values[out_data]
+            if old is not new_data and not same_value(old, new_data):
+                values[out_data] = new_data
+                if data_readers:
+                    dirty.update(data_readers)
+                changed = True
+            return changed
+
+        return step
+
     def area_items(self) -> list[tuple[str, int, int]]:
         return [("lut", self._area_luts, 1)] if self._area_luts else []
 
@@ -92,6 +160,11 @@ class MTContextFunction(MTFunction):
         self.out.data.set(
             self.fn(self.inp.data.value, active) if active is not None else X
         )
+
+    def compile_comb(self, store):
+        if type(self).combinational is not MTContextFunction.combinational:
+            return None
+        return self._compile_step(store, with_thread=True)
 
 
 class MTVariableLatencyUnit(Component):

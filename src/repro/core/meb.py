@@ -31,7 +31,7 @@ from repro.core.arbiter import GrantPolicy, RoundRobinArbiter
 from repro.core.mtchannel import MTChannel
 from repro.kernel.component import Component
 from repro.kernel.errors import ProtocolError, SimulationError
-from repro.kernel.values import X, as_bool, state_changed
+from repro.kernel.values import X, as_bool, bools, same_value, state_changed
 
 #: Per-thread elastic control states (paper Fig. 6).
 EMPTY = "EMPTY"
@@ -129,20 +129,112 @@ class _MEBBase(Component):
             sig.set(accept)
         self.down.data.set(self.head(grant) if grant is not None else X)
 
+    def compile_comb(self, store):
+        """Slot-compiled :meth:`combinational`: batched handshake IO.
+
+        Reads the S downstream readies as one slice, grants through the
+        arbiter's index-scan fast path, and writes the S ``valid`` and S
+        ``ready`` outputs with one slice compare-and-assign each instead
+        of 2S ``Signal.set`` calls — marking the declared readers of a
+        block only when it actually changed.  Storage semantics stay
+        behind the :meth:`_valid_vector`/:meth:`_accept_vector`/
+        :meth:`head` hooks, so Full/Reduced MEBs and their ablation
+        subclasses all share this one step.  Bails out (``None`` = engine
+        falls back to ``combinational()``) when a subclass replaced the
+        combinational logic or the arbiter's grant rule, or when the
+        handshake signals did not land on packed slots.
+        """
+        if type(self).combinational is not _MEBBase.combinational:
+            return None
+        if type(self.arbiter).grant is not RoundRobinArbiter.grant:
+            return None
+        layout = self._compile_layout(store)
+        if layout is None:
+            return None
+        (values, dirty, vb, ve, rb, re_, ub, ue, data_slot,
+         valid_readers, accept_readers, data_readers) = layout
+        valid_vec = self._valid_vector
+        accept_vec = self._accept_vector
+        head = self.head
+        unmasked = self.policy is GrantPolicy.UNMASKED
+        masked_only = self.policy is GrantPolicy.MASKED
+        grant_fast = self.arbiter.grant_fast
+        falses = [False] * self.threads
+        unknown = X
+
+        def step() -> bool:
+            valids = valid_vec()
+            readies = bools(values[rb:re_])
+            if unmasked:
+                requests = valids
+            else:
+                requests = [v and r for v, r in zip(valids, readies)]
+                if not masked_only and True not in requests:
+                    requests = valids
+            grant = grant_fast(requests)
+            self._grant = grant
+            if grant is None:
+                new_valid = falses
+                new_data = unknown
+            else:
+                new_valid = falses[:]
+                new_valid[grant] = True
+                new_data = head(grant)
+            changed = False
+            if values[vb:ve] != new_valid:
+                values[vb:ve] = new_valid
+                if valid_readers:
+                    dirty.update(valid_readers)
+                changed = True
+            accepts = accept_vec()
+            if values[ub:ue] != accepts:
+                values[ub:ue] = accepts
+                if accept_readers:
+                    dirty.update(accept_readers)
+                changed = True
+            old = values[data_slot]
+            if old is not new_data and not same_value(old, new_data):
+                values[data_slot] = new_data
+                if data_readers:
+                    dirty.update(data_readers)
+                changed = True
+            return changed
+
+        return step
+
+    def _compile_layout(self, store) -> tuple | None:
+        """Resolve the slot/reader plumbing shared by every MEB step."""
+        down_valid = store.range_of(self._down_valid_sigs)
+        down_ready = store.range_of(self._down_ready_sigs)
+        up_ready = store.range_of(self._up_ready_sigs)
+        data_slot = store.slot_or_none(self.down.data)
+        if None in (down_valid, down_ready, up_ready, data_slot):
+            return None
+        return (
+            store.values,
+            store.dirty,
+            down_valid[0], down_valid[1],
+            down_ready[0], down_ready[1],
+            up_ready[0], up_ready[1],
+            data_slot,
+            store.readers_of(self._down_valid_sigs),
+            store.readers_of(self._up_ready_sigs),
+            store.readers_of((self.down.data,)),
+        )
+
     def _input_thread(self) -> int | None:
         """The (single) thread transferring in this cycle, with checks."""
-        incoming = [
-            i
-            for i, sig in enumerate(self._up_valid_sigs)
-            if as_bool(sig.value)
-        ]
-        if len(incoming) > 1:
+        valids = self.up.valids()
+        count = valids.count(True)
+        if count > 1:
             raise ProtocolError(
-                f"{self.path}: {len(incoming)} threads valid on "
+                f"{self.path}: {count} threads valid on "
                 f"{self.up.path} in one cycle (MT channels carry one)"
             )
-        if incoming and as_bool(self.up.ready[incoming[0]].value):
-            return incoming[0]
+        if count:
+            thread = valids.index(True)
+            if as_bool(self.up.ready[thread].value):
+                return thread
         return None
 
     def _output_transferred(self) -> bool:
@@ -199,6 +291,69 @@ class FullMEB(_MEBBase):
     def _fast_accept_vector(self) -> list[bool]:
         return [len(q) < self.SLOTS_PER_THREAD for q in self._queues]
 
+    def compile_comb(self, store):
+        """Fully inlined step for plain FullMEBs (no hook indirection).
+
+        Subclasses (ablations, fault injectors) fall back to the generic
+        hook-based step of :class:`_MEBBase`, which respects their
+        ``occupancy``/``can_accept``/``head`` overrides.
+        """
+        if type(self) is not FullMEB:
+            return super().compile_comb(store)
+        if type(self.arbiter).grant is not RoundRobinArbiter.grant:
+            return None
+        layout = self._compile_layout(store)
+        if layout is None:
+            return None
+        (values, dirty, vb, ve, rb, re_, ub, ue, data_slot,
+         valid_readers, accept_readers, data_readers) = layout
+        unmasked = self.policy is GrantPolicy.UNMASKED
+        masked_only = self.policy is GrantPolicy.MASKED
+        grant_fast = self.arbiter.grant_fast
+        falses = [False] * self.threads
+        unknown = X
+        capacity = self.SLOTS_PER_THREAD
+
+        def step() -> bool:
+            queues = self._queues
+            readies = bools(values[rb:re_])
+            if unmasked:
+                requests = [bool(q) for q in queues]
+            else:
+                requests = [bool(q) and r for q, r in zip(queues, readies)]
+                if not masked_only and True not in requests:
+                    requests = [bool(q) for q in queues]
+            grant = grant_fast(requests)
+            self._grant = grant
+            if grant is None:
+                new_valid = falses
+                new_data = unknown
+            else:
+                new_valid = falses[:]
+                new_valid[grant] = True
+                new_data = queues[grant][0]
+            changed = False
+            if values[vb:ve] != new_valid:
+                values[vb:ve] = new_valid
+                if valid_readers:
+                    dirty.update(valid_readers)
+                changed = True
+            accepts = [len(q) < capacity for q in queues]
+            if values[ub:ue] != accepts:
+                values[ub:ue] = accepts
+                if accept_readers:
+                    dirty.update(accept_readers)
+                changed = True
+            old = values[data_slot]
+            if old is not new_data and not same_value(old, new_data):
+                values[data_slot] = new_data
+                if data_readers:
+                    dirty.update(data_readers)
+                changed = True
+            return changed
+
+        return step
+
     def thread_state(self, thread: int) -> str:
         return (EMPTY, HALF, FULL)[len(self._queues[thread])]
 
@@ -218,16 +373,19 @@ class FullMEB(_MEBBase):
             self._next_queues = None
             self.arbiter.note(self._grant, False)
             return
-        queues = [list(q) for q in self._queues]
+        # Copy-on-write: only the touched per-thread queues get fresh
+        # list objects; untouched ones share state with the current
+        # cycle (capture/commit never mutate a queue in place).
+        queues = list(self._queues)
         if transferred:
             assert self._grant is not None
-            queues[self._grant].pop(0)
+            queues[self._grant] = queues[self._grant][1:]
         if enq is not None:
             if len(queues[enq]) >= self.SLOTS_PER_THREAD:
                 raise SimulationError(
                     f"{self.path}: enqueue into full per-thread EB {enq}"
                 )
-            queues[enq].append(self.up.data.value)
+            queues[enq] = queues[enq] + [self.up.data.value]
         self._next_queues = queues
         self.arbiter.note(self._grant, transferred)
 
@@ -333,6 +491,70 @@ class ReducedMEB(_MEBBase):
             s == EMPTY or (s == HALF and shared_free) for s in self._state
         ]
 
+    def compile_comb(self, store):
+        """Fully inlined step for plain ReducedMEBs (see FullMEB's)."""
+        if type(self) is not ReducedMEB:
+            return super().compile_comb(store)
+        if type(self.arbiter).grant is not RoundRobinArbiter.grant:
+            return None
+        layout = self._compile_layout(store)
+        if layout is None:
+            return None
+        (values, dirty, vb, ve, rb, re_, ub, ue, data_slot,
+         valid_readers, accept_readers, data_readers) = layout
+        unmasked = self.policy is GrantPolicy.UNMASKED
+        masked_only = self.policy is GrantPolicy.MASKED
+        grant_fast = self.arbiter.grant_fast
+        falses = [False] * self.threads
+        unknown = X
+        empty = EMPTY
+        half = HALF
+
+        def step() -> bool:
+            state = self._state
+            readies = bools(values[rb:re_])
+            if unmasked:
+                requests = [s != empty for s in state]
+            else:
+                requests = [
+                    s != empty and r for s, r in zip(state, readies)
+                ]
+                if not masked_only and True not in requests:
+                    requests = [s != empty for s in state]
+            grant = grant_fast(requests)
+            self._grant = grant
+            if grant is None:
+                new_valid = falses
+                new_data = unknown
+            else:
+                new_valid = falses[:]
+                new_valid[grant] = True
+                new_data = self._main[grant]
+            changed = False
+            if values[vb:ve] != new_valid:
+                values[vb:ve] = new_valid
+                if valid_readers:
+                    dirty.update(valid_readers)
+                changed = True
+            shared_free = self._shared_owner is None
+            accepts = [
+                s == empty or (s == half and shared_free) for s in state
+            ]
+            if values[ub:ue] != accepts:
+                values[ub:ue] = accepts
+                if accept_readers:
+                    dirty.update(accept_readers)
+                changed = True
+            old = values[data_slot]
+            if old is not new_data and not same_value(old, new_data):
+                values[data_slot] = new_data
+                if data_readers:
+                    dirty.update(data_readers)
+                changed = True
+            return changed
+
+        return step
+
     def contents(self, thread: int) -> list[Any]:
         state = self._state[thread]
         if state == EMPTY:
@@ -426,23 +648,29 @@ class ReducedMEB(_MEBBase):
         return changed
 
     def _check_invariants(self) -> None:
-        full_threads = [
-            i for i in range(self.threads) if self._state[i] == FULL
-        ]
-        if len(full_threads) > 1:
+        # Hot path: C-speed count/index scans; diagnostics are built
+        # only on the failing paths.
+        state = self._state
+        fulls = state.count(FULL)
+        if fulls == 0:
+            if self._shared_owner is not None:
+                raise SimulationError(
+                    f"{self.path}: shared slot owned by "
+                    f"{self._shared_owner} but no thread is FULL"
+                )
+            return
+        if fulls > 1:
+            full_threads = [
+                i for i in range(self.threads) if state[i] == FULL
+            ]
             raise SimulationError(
                 f"{self.path}: threads {full_threads} simultaneously FULL"
             )
-        if full_threads:
-            if self._shared_owner != full_threads[0]:
-                raise SimulationError(
-                    f"{self.path}: FULL thread {full_threads[0]} but shared "
-                    f"owner is {self._shared_owner}"
-                )
-        elif self._shared_owner is not None:
+        full_thread = state.index(FULL)
+        if self._shared_owner != full_thread:
             raise SimulationError(
-                f"{self.path}: shared slot owned by {self._shared_owner} "
-                f"but no thread is FULL"
+                f"{self.path}: FULL thread {full_thread} but shared "
+                f"owner is {self._shared_owner}"
             )
 
     def reset(self) -> None:

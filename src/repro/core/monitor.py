@@ -18,6 +18,7 @@ from typing import Any
 
 from repro.core.mtchannel import MTChannel
 from repro.kernel.component import Component
+from repro.kernel.values import as_bool
 
 
 class MTMonitor(Component):
@@ -89,21 +90,26 @@ class MTMonitor(Component):
     def capture(self) -> None:
         # active_thread() raises ProtocolError on a non-one-hot valid
         # vector, making this monitor the protocol assertion point.
-        active = self.channel.active_thread()
-        data = self.channel.data.value if active is not None else None
-        transferred = (
-            active is not None and self.channel.transfers(active)
-        )
-        self.activity.append((active, data, transferred))
-        if transferred:
-            assert active is not None
-            self.transfers.append((self._cycle, active, data))
+        # One vector read serves both the assertion and the transfer
+        # check (channel.valids() is a packed slot-slice once finalized).
+        channel = self.channel
+        active = channel.active_thread()
+        if active is None:
+            self.activity.append((None, None, False))
+        else:
+            data = channel.data.value
+            transferred = as_bool(channel.ready[active].value)
+            self.activity.append((active, data, transferred))
+            if transferred:
+                self.transfers.append((self._cycle, active, data))
         self._next_cycle = self._cycle + 1
 
-    def commit(self) -> None:
+    def commit(self) -> bool:
         if self._next_cycle is not None:
             self._cycle = self._next_cycle
             self._next_cycle = None
+        # Pure observer: nothing combinational depends on this state.
+        return False
 
     def reset(self) -> None:
         self._cycle = 0

@@ -5,6 +5,15 @@ many ``valid(i)/ready(i)`` handshake pairs as the number of threads the
 system supports.  The structural invariant — at most one ``valid(i)``
 asserted per cycle — is enforced by :meth:`MTChannel.active_thread` and by
 the protocol monitors.
+
+The per-thread ``valid``/``ready`` signal lists are created back to back,
+so once the simulator finalizes they occupy **packed consecutive slots**
+of the flat :class:`~repro.kernel.slots.SlotStore`.  The channel caches
+those slot blocks lazily (:meth:`_blocks`) and serves its S-wide vector
+reads — :meth:`valids`, :meth:`readies`, :meth:`active_thread` — as one
+list slice plus C-speed ``count``/``index`` scans instead of S attribute
+chases, which speeds up every engine's capture phase as well as the
+compiled engine's settle steps.
 """
 
 from __future__ import annotations
@@ -13,7 +22,29 @@ from typing import Any
 
 from repro.kernel.component import Component
 from repro.kernel.errors import ProtocolError
-from repro.kernel.values import as_bool, onehot_index
+from repro.kernel.values import as_bool, bools
+
+
+def one_hot_thread(valids: list, path: str) -> int | None:
+    """Index of the single asserted bit in a normalized valid vector.
+
+    The MT protocol's one-valid-per-cycle invariant, as two C-speed
+    ``count``/``index`` scans; raises :class:`ProtocolError` naming
+    *path* when more than one bit is set.  Shared by
+    :meth:`MTChannel.active_thread` and the slot-compiled steps of the
+    MT operators and function units.
+    """
+    count = valids.count(True)
+    if count == 0:
+        return None
+    first = valids.index(True)
+    if count == 1:
+        return first
+    second = valids.index(True, first + 1)
+    raise ProtocolError(
+        f"{path}: expected one-hot vector, bits {first} and "
+        f"{second} both set"
+    )
 
 
 class MTChannel(Component):
@@ -46,6 +77,31 @@ class MTChannel(Component):
             for i in range(self.threads)
         ]
         self.data = self.signal("data", width=self.width)
+        # Packed-slot cache for the vector helpers, keyed on the store
+        # list the signals are currently homed in (it changes exactly
+        # once, when the simulator finalizes and re-homes every signal
+        # into the design-wide SlotStore).
+        self._blk_store: list[Any] | None = None
+        self._blk_valid: tuple[int, int] | None = None
+        self._blk_ready: tuple[int, int] | None = None
+
+    # ------------------------------------------------------------------
+    # packed slot blocks
+    # ------------------------------------------------------------------
+    def _blocks(self) -> None:
+        """Refresh the cached (store, valid-range, ready-range) triple."""
+        store = self.valid[0]._store
+        self._blk_store = store
+        self._blk_valid = self._contiguous(self.valid, store)
+        self._blk_ready = self._contiguous(self.ready, store)
+
+    @staticmethod
+    def _contiguous(sigs, store) -> tuple[int, int] | None:
+        base = sigs[0]._slot
+        for off, sig in enumerate(sigs):
+            if sig._store is not store or sig._slot != base + off:
+                return None
+        return base, base + len(sigs)
 
     # ------------------------------------------------------------------
     # connection bookkeeping
@@ -65,9 +121,21 @@ class MTChannel(Component):
     # settled-value helpers
     # ------------------------------------------------------------------
     def valids(self) -> list[bool]:
+        if self.valid[0]._store is not self._blk_store:
+            self._blocks()
+        blk = self._blk_valid
+        if blk is not None:
+            # One slice read + one C-speed bool() sweep; raises on X
+            # exactly like the scalar as_bool path would.
+            return bools(self._blk_store[blk[0]:blk[1]])
         return [as_bool(sig.value) for sig in self.valid]
 
     def readies(self) -> list[bool]:
+        if self.valid[0]._store is not self._blk_store:
+            self._blocks()
+        blk = self._blk_ready
+        if blk is not None:
+            return bools(self._blk_store[blk[0]:blk[1]])
         return [as_bool(sig.value) for sig in self.ready]
 
     def active_thread(self) -> int | None:
@@ -76,10 +144,7 @@ class MTChannel(Component):
         Raises :class:`ProtocolError` when the one-valid-per-cycle
         invariant of the MT protocol is violated.
         """
-        try:
-            return onehot_index(self.valids())
-        except ValueError as exc:
-            raise ProtocolError(f"{self.path}: {exc}") from exc
+        return one_hot_thread(self.valids(), self.path)
 
     def transfer_thread(self) -> int | None:
         """Thread completing a transfer this cycle, or None."""

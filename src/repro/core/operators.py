@@ -18,10 +18,10 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.core.arbiter import RoundRobinArbiter
-from repro.core.mtchannel import MTChannel
+from repro.core.mtchannel import MTChannel, one_hot_thread
 from repro.kernel.component import Component
 from repro.kernel.errors import ProtocolError, SimulationError
-from repro.kernel.values import X, as_bool
+from repro.kernel.values import X, as_bool, bools, same_value
 
 
 def _check_same_threads(channels: Sequence[MTChannel], who: str) -> int:
@@ -193,6 +193,92 @@ class MBranch(Component):
             else:
                 self.inp.ready[t].set(False)
 
+    def compile_comb(self, store):
+        """Slot-compiled routing: whole valid/ready vectors per slice."""
+        if type(self).combinational is not MBranch.combinational:
+            return None
+        in_valid = store.range_of(self.inp.valid)
+        in_ready = store.range_of(self.inp.ready)
+        in_data = store.slot_or_none(self.inp.data)
+        out_valid = [store.range_of(ch.valid) for ch in self.outputs]
+        out_ready = [store.range_of(ch.ready) for ch in self.outputs]
+        out_data = [store.slot_or_none(ch.data) for ch in self.outputs]
+        if (
+            None in (in_valid, in_ready, in_data)
+            or None in out_valid
+            or None in out_ready
+            or None in out_data
+        ):
+            return None
+        values = store.values
+        dirty = store.dirty
+        out_valid_readers = [
+            store.readers_of(ch.valid) for ch in self.outputs
+        ]
+        out_data_readers = [
+            store.readers_of((ch.data,)) for ch in self.outputs
+        ]
+        in_ready_readers = store.readers_of(self.inp.ready)
+        ivb, ive = in_valid
+        irb, ire = in_ready
+        selector = self._selector
+        route = self._route
+        n_out = len(self.outputs)
+        falses = [False] * self.threads
+        inp_path = self.inp.path
+
+        def step() -> bool:
+            active = one_hot_thread(bools(values[ivb:ive]), inp_path)
+            if active is None:
+                sel = None
+            else:
+                data = values[in_data]
+                sel = int(selector(data))
+                if not 0 <= sel < n_out:
+                    raise ProtocolError(
+                        f"{self.path}: selector returned {sel!r} for "
+                        f"{n_out} outputs"
+                    )
+            changed = False
+            for k in range(n_out):
+                if k == sel:
+                    new_valid = falses[:]
+                    new_valid[active] = True
+                    new_data = route(data)
+                else:
+                    new_valid = falses
+                    new_data = X
+                vb, ve = out_valid[k]
+                if values[vb:ve] != new_valid:
+                    values[vb:ve] = new_valid
+                    readers = out_valid_readers[k]
+                    if readers:
+                        dirty.update(readers)
+                    changed = True
+                data_slot = out_data[k]
+                old = values[data_slot]
+                if old is not new_data and not same_value(old, new_data):
+                    values[data_slot] = new_data
+                    readers = out_data_readers[k]
+                    if readers:
+                        dirty.update(readers)
+                    changed = True
+            if sel is None:
+                new_ready = falses
+            else:
+                new_ready = falses[:]
+                new_ready[active] = as_bool(
+                    values[out_ready[sel][0] + active]
+                )
+            if values[irb:ire] != new_ready:
+                values[irb:ire] = new_ready
+                if in_ready_readers:
+                    dirty.update(in_ready_readers)
+                changed = True
+            return changed
+
+        return step
+
     def area_items(self) -> list[tuple[str, int, int]]:
         return [("lut", 2 * len(self.outputs) * self.threads, 1)]
 
@@ -260,6 +346,103 @@ class MMerge(Component):
                     and as_bool(self.out.ready[t].value)
                 )
                 ch.ready[t].set(take)
+
+    def compile_comb(self, store):
+        """Slot-compiled path merge: per-path vectors via slices."""
+        if type(self).combinational is not MMerge.combinational:
+            return None
+        if type(self.path_arbiter).grant is not RoundRobinArbiter.grant:
+            return None
+        in_valid = [store.range_of(ch.valid) for ch in self.inputs]
+        in_ready = [store.range_of(ch.ready) for ch in self.inputs]
+        in_data = [store.slot_or_none(ch.data) for ch in self.inputs]
+        out_valid = store.range_of(self.out.valid)
+        out_ready = store.range_of(self.out.ready)
+        out_data = store.slot_or_none(self.out.data)
+        if (
+            None in (out_valid, out_ready, out_data)
+            or None in in_valid
+            or None in in_ready
+            or None in in_data
+        ):
+            return None
+        values = store.values
+        dirty = store.dirty
+        out_valid_readers = store.readers_of(self.out.valid)
+        out_data_readers = store.readers_of((self.out.data,))
+        in_ready_readers = [
+            store.readers_of(ch.ready) for ch in self.inputs
+        ]
+        ovb, ove = out_valid
+        orb, ore = out_ready
+        grant_fast = self.path_arbiter.grant_fast
+        n_in = len(self.inputs)
+        in_paths = [ch.path for ch in self.inputs]
+        falses = [False] * self.threads
+
+        def step() -> bool:
+            actives = [
+                one_hot_thread(
+                    bools(values[in_valid[k][0]:in_valid[k][1]]),
+                    in_paths[k],
+                )
+                for k in range(n_in)
+            ]
+            seen: dict[int, int] = {}
+            for k, thread in enumerate(actives):
+                if thread is None:
+                    continue
+                if thread in seen:
+                    raise ProtocolError(
+                        f"{self.path}: thread {thread} active on paths "
+                        f"{seen[thread]} and {k} simultaneously"
+                    )
+                seen[thread] = k
+            winner = grant_fast([t is not None for t in actives])
+            self._winner = winner
+            if winner is None:
+                new_valid = falses
+                new_data = X
+            else:
+                new_valid = falses[:]
+                new_valid[actives[winner]] = True
+                new_data = values[in_data[winner]]
+            changed = False
+            if values[ovb:ove] != new_valid:
+                values[ovb:ove] = new_valid
+                if out_valid_readers:
+                    dirty.update(out_valid_readers)
+                changed = True
+            old = values[out_data]
+            if old is not new_data and not same_value(old, new_data):
+                values[out_data] = new_data
+                if out_data_readers:
+                    dirty.update(out_data_readers)
+                changed = True
+            # Like the interpreted path, consult out.ready only for the
+            # winning thread (an un-granted thread's ready may be X
+            # without consequence).
+            take_thread = None
+            if winner is not None:
+                thread = actives[winner]
+                if as_bool(values[orb + thread]):
+                    take_thread = thread
+            for k in range(n_in):
+                if winner == k and take_thread is not None:
+                    new_ready = falses[:]
+                    new_ready[take_thread] = True
+                else:
+                    new_ready = falses
+                rb, re_ = in_ready[k]
+                if values[rb:re_] != new_ready:
+                    values[rb:re_] = new_ready
+                    readers = in_ready_readers[k]
+                    if readers:
+                        dirty.update(readers)
+                    changed = True
+            return changed
+
+        return step
 
     def capture(self) -> None:
         transferred = False

@@ -22,7 +22,43 @@ from typing import Any
 from repro.elastic.channel import ElasticChannel
 from repro.kernel.component import Component
 from repro.kernel.errors import SimulationError
-from repro.kernel.values import X, as_bool, state_changed
+from repro.kernel.values import X, as_bool, same_value, state_changed
+
+
+class _SlotWriter:
+    """Scalar compare-and-assign with Signal.set's change semantics.
+
+    One writer per driven signal: on a real value change it stores the
+    new value and marks the signal's declared readers in the engine's
+    dirty set (the slot-level analogue of ``Signal.set`` ->
+    ``note_change``).
+    """
+
+    __slots__ = ("values", "slot", "dirty", "readers")
+
+    def __init__(self, store, sig):
+        self.values = store.values
+        self.slot = store.slot(sig)
+        self.dirty = store.dirty
+        self.readers = store.readers_of((sig,))
+
+    def write(self, new) -> bool:
+        values = self.values
+        old = values[self.slot]
+        if old is new or same_value(old, new):
+            return False
+        values[self.slot] = new
+        if self.readers:
+            self.dirty.update(self.readers)
+        return True
+
+
+def _handshake_writers(store, buffer) -> tuple | None:
+    """(up-ready, down-valid, down-data) slot writers, or None."""
+    sigs = (buffer.up.ready, buffer.down.valid, buffer.down.data)
+    if any(store.slot_or_none(sig) is None for sig in sigs):
+        return None
+    return tuple(_SlotWriter(store, sig) for sig in sigs)
 
 #: Symbolic occupancy states used throughout tests and traces.
 EMPTY = "EMPTY"
@@ -84,6 +120,27 @@ class ElasticBuffer(Component):
         self.up.ready.set(count < self.CAPACITY)
         self.down.valid.set(count > 0)
         self.down.data.set(self._items[0] if count else X)
+
+    def compile_comb(self, store):
+        if type(self).combinational is not ElasticBuffer.combinational:
+            return None
+        writers = _handshake_writers(store, self)
+        if writers is None:
+            return None
+        ready_w, valid_w, data_w = (w.write for w in writers)
+        capacity = self.CAPACITY
+
+        def step() -> bool:
+            items = self._items
+            count = len(items)
+            changed = ready_w(count < capacity)
+            if valid_w(count > 0):
+                changed = True
+            if data_w(items[0] if count else X):
+                changed = True
+            return changed
+
+        return step
 
     def capture(self) -> None:
         items = list(self._items)
@@ -157,6 +214,28 @@ class HalfBuffer(Component):
         self.down.data.set(self._item if self._full else X)
         draining = self._full and as_bool(self.down.ready.value)
         self.up.ready.set((not self._full) or draining)
+
+    def compile_comb(self, store):
+        if type(self).combinational is not HalfBuffer.combinational:
+            return None
+        writers = _handshake_writers(store, self)
+        down_ready = store.slot_or_none(self.down.ready)
+        if writers is None or down_ready is None:
+            return None
+        ready_w, valid_w, data_w = (w.write for w in writers)
+        values = store.values
+
+        def step() -> bool:
+            full = self._full
+            changed = valid_w(full)
+            if data_w(self._item if full else X):
+                changed = True
+            draining = full and as_bool(values[down_ready])
+            if ready_w((not full) or draining):
+                changed = True
+            return changed
+
+        return step
 
     def capture(self) -> None:
         full, item = self._full, self._item
@@ -238,6 +317,25 @@ class LatchElasticBuffer(Component):
         self.down.valid.set(out_full)
         self.down.data.set(out_item if out_full else X)
         self.up.ready.set(not self._skid[0])
+
+    def compile_comb(self, store):
+        if type(self).combinational is not LatchElasticBuffer.combinational:
+            return None
+        writers = _handshake_writers(store, self)
+        if writers is None:
+            return None
+        ready_w, valid_w, data_w = (w.write for w in writers)
+
+        def step() -> bool:
+            out_full, out_item = self._out
+            changed = valid_w(out_full)
+            if data_w(out_item if out_full else X):
+                changed = True
+            if ready_w(not self._skid[0]):
+                changed = True
+            return changed
+
+        return step
 
     def capture(self) -> None:
         out_full, out_item = self._out

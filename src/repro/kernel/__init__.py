@@ -7,7 +7,7 @@ a small synchronous-hardware simulator with two-phase evaluation
 """
 
 from repro.kernel.component import Component
-from repro.kernel.engine import ENGINES, EventEngine, NaiveEngine
+from repro.kernel.engine import ENGINES, CompiledEngine, EventEngine, NaiveEngine
 from repro.kernel.errors import (
     ConvergenceError,
     KernelError,
@@ -17,10 +17,12 @@ from repro.kernel.errors import (
 )
 from repro.kernel.signal import Signal, const
 from repro.kernel.simulator import Simulator, build
+from repro.kernel.slots import SlotStore
 from repro.kernel.trace import TraceRecorder, trace_signals
 from repro.kernel.values import X, as_bool, bit, is_x, onehot_index, popcount, same_value
 
 __all__ = [
+    "CompiledEngine",
     "Component",
     "ConvergenceError",
     "ENGINES",
@@ -31,6 +33,7 @@ __all__ = [
     "SimulationError",
     "Signal",
     "Simulator",
+    "SlotStore",
     "TraceRecorder",
     "WiringError",
     "X",

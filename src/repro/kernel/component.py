@@ -196,6 +196,35 @@ class Component:
     def combinational(self) -> None:
         """Compute combinational outputs from current signal values."""
 
+    def compile_comb(self, store: Any) -> "Any | None":
+        """Return a slot-compiled evaluation closure, or None.
+
+        Called once at finalize time by the compiled settle engine with
+        the design's :class:`~repro.kernel.slots.SlotStore`.  A component
+        may return a zero-argument callable that is *behaviourally
+        identical* to :meth:`combinational` but reads and writes
+        ``store.values`` slots directly (typically with batched slice
+        operations over packed handshake blocks).  The callable has two
+        obligations:
+
+        * whenever it changes a signal's value (under
+          :func:`~repro.kernel.values.same_value` semantics) it must add
+          ``store.readers_of(<the changed signals>)`` — resolved once at
+          compile time — to ``store.dirty``, the slot-level analogue of
+          ``Signal.set`` notifying declared readers;
+        * it should return a truthy value iff it changed at least one
+          output (diagnostics and tests rely on it; the engine schedules
+          purely from the dirty marks).
+
+        Returning ``None`` (the default) makes the engine fall back to
+        calling :meth:`combinational` through the Signal API — always
+        correct, just without the slot-level speedup.  Implementations
+        should return ``None`` whenever an assumption does not hold
+        (non-contiguous signal blocks, subclass overrides of the methods
+        they inline, ...) rather than approximate.
+        """
+        return None
+
     def capture(self) -> None:
         """Latch next register state from settled signals (no signal writes)."""
 

@@ -11,6 +11,15 @@ carries the indices of the components that declared a combinational read
 of it (``_readers``) plus a back-reference to the live engine, so a
 :meth:`Signal.set` that actually changes the value can mark exactly the
 affected readers dirty instead of forcing a whole-design re-evaluation.
+
+Storage is **slot-indexed**: a signal's value lives at ``_store[_slot]``
+where ``_store`` is a plain Python list.  A freshly created signal owns a
+private one-element list; when the simulator finalizes, a
+:class:`~repro.kernel.slots.SlotStore` re-homes every signal into one
+shared flat list so that the compiled settle engine (and any vectorized
+``compile_comb`` path) can read and write raw slots — slices included —
+without ever touching the Signal object, while ``Signal.get``/``set``
+keep observing the exact same cells.
 """
 
 from __future__ import annotations
@@ -40,14 +49,17 @@ class Signal:
     """
 
     __slots__ = (
-        "name", "width", "_value", "_driver", "_touched",
+        "name", "width", "_store", "_slot", "_driver", "_touched",
         "_engine", "_readers",
     )
 
     def __init__(self, name: str, width: int = 1, init: Any = X):
         self.name = name
         self.width = int(width)
-        self._value: Any = init
+        # Slot-indexed storage: a private one-element list until a
+        # SlotStore re-homes the signal into the design-wide flat list.
+        self._store: list[Any] = [init]
+        self._slot = 0
         self._driver: "Component | None" = None
         self._touched = False
         # Filled in by the event engine at finalize time: the engine
@@ -61,11 +73,11 @@ class Signal:
     @property
     def value(self) -> Any:
         """Current value of the signal."""
-        return self._value
+        return self._store[self._slot]
 
     def get(self) -> Any:
         """Return the current value (alias of :attr:`value`)."""
-        return self._value
+        return self._store[self._slot]
 
     def set(self, value: Any) -> bool:
         """Drive *value* onto the signal.
@@ -73,10 +85,12 @@ class Signal:
         Returns True when the value actually changed, which the settle loop
         uses to decide whether another iteration is needed.
         """
-        old = self._value
+        store = self._store
+        slot = self._slot
+        old = store[slot]
         if old is value or same_value(old, value):
             return False
-        self._value = value
+        store[slot] = value
         self._touched = True
         engine = self._engine
         if engine is not None:
@@ -111,7 +125,10 @@ class Signal:
         return self._driver
 
     def __repr__(self) -> str:
-        return f"Signal({self.name!r}, width={self.width}, value={self._value!r})"
+        return (
+            f"Signal({self.name!r}, width={self.width}, "
+            f"value={self._store[self._slot]!r})"
+        )
 
 
 def const(name: str, value: Any, width: int = 1) -> Signal:

@@ -22,24 +22,29 @@ Each simulated clock cycle runs:
 *How* the settle phase reaches its fixed point is delegated to a settle
 engine (:mod:`repro.kernel.engine`), chosen per simulator:
 
-* ``engine="event"`` (default) — components' declared read sets
-  (:meth:`~repro.kernel.component.Component.declare_reads`) and recorded
-  signal drivers are compiled at finalize time into a dependency graph;
-  acyclic regions settle in one topologically ordered sweep and
-  combinational cycles run a dirty-set worklist to a local fixed point.
-  Components whose inputs did not change are never re-evaluated, and
-  behaviour-free components (channels, monitors) are never visited.
+* ``engine="compiled"`` (default) — signals are flattened into a
+  slot-indexed value store (:mod:`repro.kernel.slots`) at finalize time;
+  maximal acyclic runs of the declared dependency graph are fused into
+  generated straight-line functions and combinational cycles run a
+  dirty-set worklist over component ints.  Hot components supply
+  vectorized slot-level evaluations via
+  :meth:`~repro.kernel.component.Component.compile_comb`; everything
+  else falls back to its plain ``combinational()`` transparently.
+* ``engine="event"`` — the same dependency graph, scheduled change-first:
+  components whose inputs did not change are never re-evaluated.  Wins
+  when large parts of the design are idle; loses to ``compiled`` on
+  dense designs where the per-evaluation Python cost dominates.
 * ``engine="naive"`` — the original brute-force loop: every component is
   re-evaluated until a whole pass changes nothing.  Kept as the oracle
   for differential testing (``tests/test_engine_differential.py`` drives
-  every network under both engines and asserts cycle-identical traces)
+  every network under all engines and asserts cycle-identical traces)
   and as an escape hatch for components with undeclarable dependencies.
 
 The default can also be set process-wide through the
 ``REPRO_SIM_ENGINE`` environment variable, which is how the differential
-suite replays unmodified examples under both engines.
+suite replays unmodified examples under every engine.
 
-Both engines produce identical settled values, identical
+All engines produce identical settled values, identical
 :class:`ConvergenceError` diagnostics on true combinational loops, and
 identical race-free capture/commit ordering; only the work per cycle
 differs (see ``docs/engines.md`` for the contract and the measured
@@ -58,6 +63,7 @@ from repro.kernel.component import Component
 from repro.kernel.engine import ENGINES, make_engine
 from repro.kernel.errors import SimulationError
 from repro.kernel.signal import Signal
+from repro.kernel.slots import SlotStore
 
 
 class Simulator:
@@ -71,10 +77,11 @@ class Simulator:
         of 64 leaves generous headroom while still catching true
         combinational loops quickly.
     engine:
-        Settle strategy: ``"event"`` (dependency-driven, the default) or
-        ``"naive"`` (brute-force whole-design iteration).  ``None`` reads
-        the ``REPRO_SIM_ENGINE`` environment variable, falling back to
-        ``"event"``.
+        Settle strategy: ``"compiled"`` (slot-compiled, the default),
+        ``"event"`` (dependency-driven change scheduling) or ``"naive"``
+        (brute-force whole-design iteration).  ``None`` reads the
+        ``REPRO_SIM_ENGINE`` environment variable, falling back to
+        ``"compiled"``.
     """
 
     def __init__(
@@ -83,7 +90,7 @@ class Simulator:
         engine: str | None = None,
     ):
         if engine is None:
-            engine = os.environ.get("REPRO_SIM_ENGINE") or "event"
+            engine = os.environ.get("REPRO_SIM_ENGINE") or "compiled"
         if engine not in ENGINES:
             raise ValueError(
                 f"unknown settle engine {engine!r}; expected one of {ENGINES}"
@@ -129,9 +136,16 @@ class Simulator:
         self._signal_by_name = {}
         for sig in signals:
             self._signal_by_name.setdefault(sig.name, sig)
+        # Flatten every signal into the shared slot-indexed value store.
+        # All engines read/write through it (Signal.get/set index the
+        # same list); the compiled engine additionally evaluates raw
+        # slots and slices directly.
+        self._store = SlotStore(signals)
         # Components with no capture/commit/reset override are skipped in
         # the per-cycle phase sweeps (channels and monitors make up a
         # large share of real designs and have nothing to do there).
+        # The phase loops run over pre-bound methods: one global lookup
+        # fewer per component per cycle.
         self._capture_list = [
             c for c in self._components if type(c).capture is not Component.capture
         ]
@@ -141,21 +155,51 @@ class Simulator:
         self._reset_list = [
             c for c in self._components if type(c).reset is not Component.reset
         ]
+        self._captures = [c.capture for c in self._capture_list]
+        self._build_engine()
+        self._finalized = True
+
+    def _build_engine(self) -> None:
+        """(Re)create the settle engine over the finalized structure."""
         self._engine = make_engine(
             self.engine_name,
             self._components,
-            signals,
+            self._signals,
             self.max_settle_iterations,
+            self._store,
         )
         self._note_state = getattr(self._engine, "note_state_change", None)
-        self._finalized = True
+        # Commit-change reports only matter for components the engine
+        # actually schedules; observers (monitors, sinks) commit without
+        # the notification round-trip.
+        tracked = getattr(self._engine, "tracked_component_ids", frozenset())
+        if self._note_state is None:
+            tracked = frozenset()
+        self._noted_commits = [
+            (c, c.commit) for c in self._commit_list if id(c) in tracked
+        ]
+        self._plain_commits = [
+            c.commit for c in self._commit_list if id(c) not in tracked
+        ]
 
     # ------------------------------------------------------------------
     # reset
     # ------------------------------------------------------------------
     def reset(self) -> None:
-        """Reset all registered state and the cycle counter."""
+        """Reset all registered state and the cycle counter.
+
+        On an already-finalized simulator the settle engine is rebuilt,
+        re-resolving everything the engines capture at compile time —
+        so post-finalize collaborator swaps (replacing an MEB's arbiter
+        in an ablation, re-wiring a function) take effect at the next
+        reset.  Mutating collaborators *without* a reset is undefined
+        under the compiled engine (its slot steps hold compile-time
+        bindings).
+        """
+        already_finalized = self._finalized
         self._finalize()
+        if already_finalized:
+            self._build_engine()
         for comp in self._reset_list:
             comp.reset()
         invalidate_all = getattr(self._engine, "invalidate_all", None)
@@ -182,18 +226,18 @@ class Simulator:
         """Observe, capture and commit one settled cycle."""
         for observer in self._observers:
             observer(self)
-        for comp in self._capture_list:
-            comp.capture()
+        for capture in self._captures:
+            capture()
+        for commit in self._plain_commits:
+            commit()
         note = self._note_state
-        if note is None:
-            for comp in self._commit_list:
-                comp.commit()
-        else:
+        if note is not None:
             # Components report whether their commit changed state the
-            # combinational logic depends on; False lets the event engine
-            # skip their next re-evaluation, None means "assume changed".
-            for comp in self._commit_list:
-                if comp.commit() is not False:
+            # combinational logic depends on; False lets the settle
+            # engine skip their next re-evaluation, None means "assume
+            # changed".
+            for comp, commit in self._noted_commits:
+                if commit() is not False:
                     note(comp)
         self.cycle += 1
 
@@ -228,17 +272,23 @@ class Simulator:
         if (cycles is None) == (until is None):
             raise ValueError("specify exactly one of 'cycles' or 'until'")
         executed = 0
+        self._finalize()
+        # self._engine is re-read every cycle (not bound once): an
+        # observer or `until` predicate may call reset(), which rebuilds
+        # the engine mid-run.
+        tick = self._tick
         if cycles is not None:
             for _ in range(cycles):
-                self.step()
+                self._engine.settle(self.cycle)
+                tick()
                 executed += 1
             return executed
         assert until is not None
         while executed < max_cycles:
-            self.settle()
+            self._engine.settle(self.cycle)
             if until(self):
                 return executed
-            self._tick()
+            tick()
             executed += 1
         raise SimulationError(
             f"'until' predicate not satisfied within {max_cycles} cycles "
@@ -257,6 +307,12 @@ class Simulator:
         """Every signal owned by a registered component."""
         self._finalize()
         return list(self._signals)
+
+    @property
+    def store(self) -> SlotStore:
+        """The flat slot-indexed value store backing every signal."""
+        self._finalize()
+        return self._store
 
     def find(self, path: str) -> Component:
         """Look up a component by hierarchical dotted path (O(1))."""

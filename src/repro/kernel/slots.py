@@ -1,0 +1,129 @@
+"""Slot-indexed value storage for signals (the compiled engine's core).
+
+A :class:`SlotStore` owns one flat Python list holding the current value
+of every signal in a finalized design.  At finalize time the simulator
+migrates each :class:`~repro.kernel.signal.Signal` into the store: the
+signal keeps its identity (name, width, driver, reader bookkeeping) but
+its *value* now lives at ``store.values[slot]``.  Because
+:meth:`Signal.get`/:meth:`Signal.set` are already written against the
+``(_store, _slot)`` pair, the migration is transparent to every engine
+and every component — a signal read costs the same two attribute loads
+and one list index before and after.
+
+What the flat store buys:
+
+* **Slot-compiled evaluation** — the compiled settle engine's generated
+  region functions and the components' ``compile_comb`` closures read
+  and write ``values[slot]`` directly, skipping the Signal object (and
+  its change-notification branch) entirely on the hot path.
+* **Packed handshake blocks** — the per-thread ``valid``/``ready``
+  signal lists of an :class:`~repro.core.mtchannel.MTChannel` occupy
+  consecutive slots (signals are enumerated in creation order), so an
+  S-wide handshake vector is one slice read ``values[base:base + S]``
+  and one slice compare-and-assign instead of S per-signal calls.
+  :meth:`range_of` discovers such blocks, returning ``None`` when a
+  signal set is not contiguous (the caller then falls back to the
+  scalar path).
+
+The store never reorders or grows after construction; ``values`` is
+mutated in place so every captured reference stays valid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from repro.kernel.signal import Signal
+
+
+class SlotStore:
+    """Flat list-backed value store for a finalized design's signals."""
+
+    __slots__ = ("signals", "values", "_slot_by_id", "dirty", "_reader_map")
+
+    def __init__(self, signals: Sequence[Signal]):
+        self.signals: list[Signal] = list(signals)
+        #: The single authoritative value list; index = slot.
+        self.values: list[Any] = [sig.get() for sig in self.signals]
+        self._slot_by_id = {
+            id(sig): slot for slot, sig in enumerate(self.signals)
+        }
+        # Dependency plumbing for slot-compiled steps, attached by the
+        # compiled engine (see attach_readers); inert otherwise.
+        self.dirty: set[int] = set()
+        self._reader_map: dict[int, tuple[int, ...]] = {}
+        # Re-home every signal onto the shared list.  Signal.get/set index
+        # `_store[_slot]`, so after this loop reads and writes through the
+        # Signal API and through the raw list are one and the same cell.
+        values = self.values
+        for slot, sig in enumerate(self.signals):
+            sig._store = values
+            sig._slot = slot
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    # lookups used by compile_comb implementations
+    # ------------------------------------------------------------------
+    def slot(self, sig: Signal) -> int:
+        """The slot index of *sig* (KeyError if not in this store)."""
+        return self._slot_by_id[id(sig)]
+
+    def slot_or_none(self, sig: Signal) -> int | None:
+        return self._slot_by_id.get(id(sig))
+
+    def name_of(self, slot: int) -> str:
+        return self.signals[slot].name
+
+    def range_of(self, signals: Iterable[Signal]) -> tuple[int, int] | None:
+        """``(base, end)`` when *signals* occupy consecutive ascending
+        slots (a packed block), else ``None``.
+
+        A block lets S-wide handshake vectors be read as one slice
+        ``values[base:end]`` and written with one slice compare/assign.
+        """
+        slots = []
+        for sig in signals:
+            slot = self._slot_by_id.get(id(sig))
+            if slot is None:
+                return None
+            slots.append(slot)
+        if not slots:
+            return None
+        base = slots[0]
+        for offset, slot in enumerate(slots):
+            if slot != base + offset:
+                return None
+        return base, base + len(slots)
+
+    # ------------------------------------------------------------------
+    # dependency plumbing (populated by the compiled settle engine)
+    # ------------------------------------------------------------------
+    def attach_readers(
+        self,
+        readers: "dict[int, Sequence[int]]",
+        dirty: set[int],
+    ) -> None:
+        """Install the declared-reader map and shared dirty set.
+
+        *readers* maps ``id(signal)`` to the indices of the components
+        that declared a combinational read of it; *dirty* is the
+        engine's live worklist.  Compiled steps capture both so a block
+        write that actually changed values marks exactly the affected
+        readers — the batched analogue of ``Signal.set`` notifying its
+        ``_readers``.  Before attachment, :meth:`readers_of` returns
+        empty tuples and ``dirty`` is an unused scratch set, so compiled
+        steps stay correct (just unscheduled) under the other engines.
+        """
+        self._reader_map = {
+            key: tuple(value) for key, value in readers.items()
+        }
+        self.dirty = dirty
+
+    def readers_of(self, signals: Iterable[Signal]) -> tuple[int, ...]:
+        """Union of declared-reader component indices over *signals*."""
+        out: set[int] = set()
+        for sig in signals:
+            out.update(self._reader_map.get(id(sig), ()))
+        return tuple(sorted(out))

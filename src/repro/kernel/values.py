@@ -65,6 +65,21 @@ def bit(value: Any) -> int:
     return 1 if as_bool(value) else 0
 
 
+def bools(seq: list) -> list:
+    """Coerce a handshake-value slice to canonical bools, rejecting X.
+
+    The batched counterpart of :func:`as_bool`: one membership test picks
+    the fast path (``X`` falls back to identity comparison, so ``in``
+    never coerces), and ``map(bool)`` normalizes truthy ints so the
+    ``count(True)``/``index(True)`` idioms used by the slot-compiled
+    handshake paths are exact.  Raises exactly where a per-signal
+    ``as_bool`` loop would.
+    """
+    if X in seq:
+        return [as_bool(v) for v in seq]  # raises on the X entry
+    return list(map(bool, seq))
+
+
 def same_value(a: Any, b: Any) -> bool:
     """Equality that treats :data:`X` specially and never raises.
 

@@ -1,17 +1,19 @@
-"""Differential validation: event engine vs. naive engine.
+"""Differential validation: event and compiled engines vs. naive oracle.
 
 The naive whole-design fixed-point loop is the semantics oracle; the
-event engine must be indistinguishable from it at cycle granularity.
-Every network family in the repo is built twice — once per engine — and
-driven for the same number of cycles while *every signal in the design*
-is sampled after each settle.  The traces must match value-for-value,
-cycle-for-cycle.
+event engine *and* the slot-compiled engine must be indistinguishable
+from it at cycle granularity.  Every network family in the repo is
+built once per engine and driven for the same number of cycles while
+*every signal in the design* is sampled after each settle.  The traces
+must match value-for-value, cycle-for-cycle, three ways.
 
 Also covered here: ConvergenceError parity on deliberate combinational
-loops (both for undeclared components, which take the engine's naive
+loops (both for undeclared components, which take the engines' naive
 fallback path, and for declared components, which take the SCC worklist
-path), engine selection plumbing, and replaying the shipped examples
-under both engines via the ``REPRO_SIM_ENGINE`` environment variable.
+path), slot-store edge cases (X-valued slots, ``invalidate()`` after
+finalize, ``declare_volatile``), engine selection plumbing, and
+replaying the shipped examples under every engine via the
+``REPRO_SIM_ENGINE`` environment variable.
 """
 
 from __future__ import annotations
@@ -47,7 +49,7 @@ from repro.netlist import DataflowGraph, elaborate
 
 from tests.conftest import make_mt_pipeline
 
-ENGINES = ("naive", "event")
+ENGINES = ("naive", "event", "compiled")
 
 
 def run_and_trace(sim: Simulator, cycles: int) -> list[dict[str, object]]:
@@ -67,16 +69,21 @@ def assert_identical_traces(factory, cycles: int) -> None:
     for engine in ENGINES:
         sim = factory(engine)
         traces[engine] = run_and_trace(sim, cycles)
-    naive, event = traces["naive"], traces["event"]
-    assert len(naive) == len(event) == cycles
-    for cycle, (rown, rowe) in enumerate(zip(naive, event)):
-        assert rown.keys() == rowe.keys()
-        diffs = [
-            (name, rown[name], rowe[name])
-            for name in rown
-            if not same_value(rown[name], rowe[name])
-        ]
-        assert not diffs, f"cycle {cycle}: engines diverge on {diffs[:8]}"
+    naive = traces["naive"]
+    assert len(naive) == cycles
+    for engine in ENGINES[1:]:
+        other = traces[engine]
+        assert len(other) == cycles
+        for cycle, (rown, rowe) in enumerate(zip(naive, other)):
+            assert rown.keys() == rowe.keys()
+            diffs = [
+                (name, rown[name], rowe[name])
+                for name in rown
+                if not same_value(rown[name], rowe[name])
+            ]
+            assert not diffs, (
+                f"cycle {cycle}: naive vs {engine} diverge on {diffs[:8]}"
+            )
 
 
 # ----------------------------------------------------------------------
@@ -211,7 +218,8 @@ class TestApplications:
             digests = h.hash_batch([b"alpha", b"beta", b"gamma", b"delta"])
             results[engine] = (digests, h.circuit.sim.cycle,
                                h.circuit.round_counter)
-        assert results["naive"] == results["event"]
+        for engine in ENGINES[1:]:
+            assert results["naive"] == results[engine], engine
 
     def test_md5_pipelined_rounds_identical(self):
         results = {}
@@ -219,7 +227,8 @@ class TestApplications:
             h = MD5Hasher(threads=4, round_stages=4, engine=engine)
             digests = h.hash_batch([b"pipelined", b"round"])
             results[engine] = (digests, h.circuit.sim.cycle)
-        assert results["naive"] == results["event"]
+        for engine in ENGINES[1:]:
+            assert results["naive"] == results[engine], engine
 
     def test_processor_identical_execution(self):
         results = {}
@@ -231,7 +240,8 @@ class TestApplications:
             stats = cpu.run()
             regs = [[cpu.reg(t, r) for r in range(8)] for t in range(4)]
             results[engine] = (stats.cycles, tuple(stats.retired), regs)
-        assert results["naive"] == results["event"]
+        for engine in ENGINES[1:]:
+            assert results["naive"] == results[engine], engine
 
     def test_processor_full_meb_identical(self):
         results = {}
@@ -241,7 +251,8 @@ class TestApplications:
             cpu.load_program(1, programs.standard_mix()[1].source)
             stats = cpu.run()
             results[engine] = (stats.cycles, tuple(stats.retired))
-        assert results["naive"] == results["event"]
+        for engine in ENGINES[1:]:
+            assert results["naive"] == results[engine], engine
 
 
 # ----------------------------------------------------------------------
@@ -308,6 +319,147 @@ class TestConvergenceParity:
         with pytest.raises(ConvergenceError):
             sim.settle()
 
+    def test_cross_component_declared_loop_raises_compiled(self):
+        class Inverter(Component):
+            def __init__(self, name):
+                super().__init__(name)
+                self.src = None
+                self.out = self.output("out", init=False)
+
+            def late_bind(self, sig):
+                self.src = sig
+                self.declare_reads(sig)
+
+            def combinational(self):
+                self.out.set(not self.src.value)
+
+        ring = [Inverter(f"inv{i}") for i in range(3)]
+        for i, inv in enumerate(ring):
+            inv.late_bind(ring[(i + 1) % 3].out)
+        sim = build(*ring, max_settle_iterations=9, engine="compiled")
+        with pytest.raises(ConvergenceError) as exc:
+            sim.settle()
+        assert any("inv" in name for name in exc.value.unstable)
+
+
+# ----------------------------------------------------------------------
+# slot-store edge cases (compiled engine)
+# ----------------------------------------------------------------------
+
+class TestSlotStoreEdgeCases:
+    def make_pipeline(self, engine="compiled"):
+        items = [list(range(t, t + 6)) for t in range(3)]
+        return make_mt_pipeline(
+            FullMEB, threads=3, items=items, n_stages=2, engine=engine,
+        )
+
+    def test_store_backs_every_signal(self):
+        sim, _src, _snk, _mebs, _mons = self.make_pipeline()
+        store = sim.store
+        assert len(store) == len(sim.signals)
+        for sig in sim.signals:
+            assert sig._store is store.values
+            assert store.values[store.slot(sig)] is sig.value
+
+    def test_channel_blocks_are_packed(self):
+        sim, _src, _snk, mebs, _mons = self.make_pipeline()
+        store = sim.store
+        channel = mebs[0].down
+        blk = store.range_of(channel.valid)
+        assert blk is not None and blk[1] - blk[0] == channel.threads
+        assert store.range_of(channel.ready) is not None
+        # Non-contiguous selections are rejected, not approximated.
+        scattered = [channel.valid[0], channel.ready[0]]
+        assert store.range_of(scattered) is None
+        assert store.range_of([]) is None
+
+    def test_x_valued_slot_round_trip(self):
+        from repro.kernel.values import X, is_x
+
+        sim, _src, _snk, mebs, _mons = self.make_pipeline()
+        store = sim.store
+        meb = mebs[0]
+        data = meb.down.data
+        slot = store.slot(data)
+        sim.run(cycles=3)
+        # Poke X through the Signal API: the raw slot must see it (the
+        # Signal and the store index the same cell) ...
+        data.set(X)
+        assert is_x(store.values[slot])
+        assert store.values[slot] is data.value
+        # ... and once the driver is rescheduled, the next settle
+        # recomputes the slot from the MEB's storage.
+        meb.invalidate()
+        sim.settle()
+        if any(meb.occupancy(t) for t in range(meb.threads)):
+            assert not is_x(data.value)
+
+    def test_x_on_handshake_wire_raises_like_scalar_path(self):
+        from repro.kernel.values import X
+
+        sim, _src, _snk, mebs, _mons = self.make_pipeline()
+        sim.run(cycles=2)
+        # An X forced onto a ready wire must blow up the batched read
+        # exactly like the scalar as_bool path would.
+        mebs[0].down.ready[1].set(X)
+        with pytest.raises(ValueError):
+            mebs[0].down.readies()
+
+    def test_invalidate_after_finalize_reschedules(self):
+        sim, src, snk, _mebs, _mons = self.make_pipeline()
+        sim.run(cycles=40)
+        drained = snk.count
+        assert src.exhausted
+        # Out-of-band mutation + invalidate() must wake the source even
+        # though no declared input changed and its commit reported
+        # nothing: push() calls invalidate() internally.
+        src.push(0, 99)
+        sim.run(cycles=10)
+        assert snk.count == drained + 1
+        assert snk.values_for(0)[-1] == 99
+
+    def test_declare_volatile_reevaluated_every_settle(self):
+        from repro.kernel import Signal
+
+        class CycleCounter(Component):
+            """Output depends on out-of-graph state (an eval counter)."""
+
+            def __init__(self, name):
+                super().__init__(name)
+                self.out = self.output("out", width=8, init=0)
+                self.evals = 0
+                self.declare_reads()
+                self.declare_volatile()
+
+            def combinational(self):
+                self.evals += 1
+                self.out.set(self.evals)
+
+        comp = CycleCounter("vol")
+        sim = build(comp, engine="compiled")
+        sim.run(cycles=1)
+        base = comp.evals
+        assert base >= 1
+        sim.run(cycles=5)
+        # One evaluation per settle even though no declared input ever
+        # changes and commit never reports anything.
+        assert comp.evals == base + 5
+        assert isinstance(sim.signal_by_name("vol.out"), Signal)
+
+    def test_poked_wire_reschedules_readers(self):
+        sim, _src, snk, mebs, _mons = self.make_pipeline()
+        sim.run(cycles=4)
+        # Force all readies low from outside any settle: the writes land
+        # in the slot store, mark the reading MEB stale, and — because
+        # the stateless sink is (correctly) not rescheduled — block any
+        # further transfer on that channel.
+        meb = mebs[-1]
+        for sig in meb.down.ready:
+            sig.set(False)
+        count0 = snk.count
+        sim.step()
+        assert snk.count == count0
+
 
 # ----------------------------------------------------------------------
 # engine selection plumbing
@@ -321,16 +473,19 @@ class TestEngineSelection:
     def test_env_var_default(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_ENGINE", "naive")
         assert Simulator().engine_name == "naive"
+        monkeypatch.setenv("REPRO_SIM_ENGINE", "compiled")
+        assert Simulator().engine_name == "compiled"
         monkeypatch.delenv("REPRO_SIM_ENGINE")
-        assert Simulator().engine_name == "event"
+        assert Simulator().engine_name == "compiled"
 
     def test_explicit_engine_overrides_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_ENGINE", "naive")
         assert Simulator(engine="event").engine_name == "event"
+        assert Simulator(engine="compiled").engine_name == "compiled"
 
 
 # ----------------------------------------------------------------------
-# shipped examples under both engines
+# shipped examples under every engine
 # ----------------------------------------------------------------------
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
@@ -350,4 +505,5 @@ def test_example_output_engine_invariant(example, capsys, monkeypatch):
         finally:
             sys.argv = argv
         outputs[engine] = capsys.readouterr().out
-    assert outputs["naive"] == outputs["event"]
+    for engine in ENGINES[1:]:
+        assert outputs["naive"] == outputs[engine], engine
