@@ -46,6 +46,30 @@ def make_mt_pipeline(
     return sim, source, sink, mebs, monitors
 
 
+def make_mt_bursty(
+    meb_cls,
+    threads: int,
+    n_stages: int = 2,
+    width: int = 32,
+    engine: str | None = None,
+):
+    """An MT pipeline fed in bursts with long quiescent gaps.
+
+    Built like :func:`make_mt_pipeline` (monitors included) but with
+    empty source streams: the caller pushes a burst of items per thread,
+    runs a fixed-length window (``sim.run(cycles=gap)``), and repeats.
+    Once a burst drains, the design is fully quiescent for the rest of
+    the window — the workload shape the compiled engine's settle+tick
+    fusion batches, while the event engine still pays per-cycle
+    scheduling and the full tick dispatch.
+    """
+    items = [[] for _ in range(threads)]
+    return make_mt_pipeline(
+        meb_cls, threads=threads, items=items, n_stages=n_stages,
+        width=width, engine=engine,
+    )
+
+
 def make_mt_chain(
     threads: int,
     n_funcs: int,

@@ -31,7 +31,12 @@ from repro.apps.md5 import MD5Hasher
 from repro.apps.processor import Processor, programs
 from repro.core import FullMEB, ReducedMEB
 
-from _pipelines import make_mt_chain, make_mt_pipeline, make_mt_ring
+from _pipelines import (
+    make_mt_bursty,
+    make_mt_chain,
+    make_mt_pipeline,
+    make_mt_ring,
+)
 
 SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
 # Anchored through resolve() so results land next to this file no matter
@@ -142,6 +147,33 @@ def _run_mt_chain(engine):
     return sim.cycle, elapsed, (sim.cycle, sink.received)
 
 
+def _run_mt_bursty(engine):
+    """Bursty traffic with long idle gaps: the fusion showcase.
+
+    Each round pushes a burst of items into every thread and then runs a
+    fixed window far longer than the drain time, so most cycles are
+    fully quiescent.  The compiled engine batches those via settle+tick
+    fusion; the other engines pay per cycle.
+    """
+    if SMOKE:
+        # Long enough that the idle tail dominates even on noisy shared
+        # runners (the single-rep smoke measurement needs headroom).
+        threads, stages, burst, bursts, gap = 2, 2, 4, 2, 500
+    else:
+        threads, stages, burst, bursts, gap = 8, 3, 15, 5, 2000
+    sim, src, sink, _mebs, _mons = make_mt_bursty(
+        FullMEB, threads=threads, n_stages=stages, engine=engine,
+    )
+    start = time.perf_counter()
+    for b in range(bursts):
+        for t in range(threads):
+            for i in range(burst):
+                src.push(t, (b << 16) | (t << 8) | i)
+        sim.run(cycles=gap)
+    elapsed = time.perf_counter() - start
+    return sim.cycle, elapsed, (sim.cycle, sink.received)
+
+
 def _run_mt_ring(engine):
     threads, n_funcs, trips = (4, 2, 5) if SMOKE else (48, 6, 10)
     sim, _src, sink = make_mt_ring(
@@ -162,6 +194,7 @@ WORKLOADS = {
     "mt_pipeline": (_run_pipeline, 1.2, 1.2),
     "mt_chain": (_run_mt_chain, 1.2, 1.5),
     "mt_ring": (_run_mt_ring, 1.2, 1.5),
+    "mt_bursty": (_run_mt_bursty, 1.5, 2.0),
     "md5": (_run_md5, 1.5, 1.0),
     "md5_pipelined": (_run_md5_pipelined, 3.0, 1.3),
     "processor": (_run_processor, 1.5, 1.0),

@@ -13,10 +13,11 @@ Usage::
 
     python benchmarks/check_regression.py [baseline.json] [current.json]
 
-Writes a markdown delta table to stdout and, when the
-``GITHUB_STEP_SUMMARY`` environment variable is set (as in GitHub
-Actions), appends the same table to the job summary.  Exits non-zero if
-any workload regressed.
+Writes a markdown delta table to stdout, to
+``benchmarks/results/regression_delta.md`` (uploaded as a CI artifact
+even when the gate passes) and, when the ``GITHUB_STEP_SUMMARY``
+environment variable is set (as in GitHub Actions), appends the same
+table to the job summary.  Exits non-zero if any workload regressed.
 """
 
 from __future__ import annotations
@@ -113,6 +114,11 @@ def main(argv: list[str]) -> int:
         lines += [f"- {msg}" for msg in regressions]
     report = "\n".join(lines) + "\n"
     print(report)
+    delta_path = current_path.parent / "regression_delta.md"
+    try:
+        delta_path.write_text(report, encoding="utf-8")
+    except OSError as exc:  # the table is advisory; never fail on it
+        print(f"warning: could not write {delta_path}: {exc}")
     summary = os.environ.get("GITHUB_STEP_SUMMARY")
     if summary:
         with open(summary, "a", encoding="utf-8") as fh:

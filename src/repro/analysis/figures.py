@@ -51,7 +51,7 @@ def render_activity_table(
     mon_list = list(monitors.items())
     if not mon_list:
         raise ValueError("need at least one monitor")
-    n_cycles = min(len(m.activity) for _n, m in mon_list)
+    n_cycles = min(m.cycles_observed for _n, m in mon_list)
     if end is None:
         end = n_cycles
     end = min(end, n_cycles)
@@ -65,8 +65,9 @@ def render_activity_table(
     out.write("-" * len(header) + "\n")
     for name, mon in mon_list:
         row = name.ljust(label_width) + " |"
+        acts = mon.activity  # one row-major materialization per monitor
         for c in range(start, end):
-            row += _activity_cell(mon.activity[c], label_fn).rjust(cell_width)
+            row += _activity_cell(acts[c], label_fn).rjust(cell_width)
         out.write(row + "\n")
     return out.getvalue()
 

@@ -50,9 +50,10 @@ def channel_stats(
     span = end - start
     per_thread = []
     total = 0
+    transfers = monitor.transfers  # one row-major materialization
     for t in range(monitor.threads):
         cycles = [
-            c for c, th, _d in monitor.transfers if th == t and start <= c < end
+            c for c, th, _d in transfers if th == t and start <= c < end
         ]
         per_thread.append(
             ThreadStats(
@@ -80,9 +81,10 @@ def steady_state_window(
     The tail is clipped at the last observed transfer minus *drain* so a
     finite workload's trailing idle cycles do not dilute throughput.
     """
-    if not monitor.transfers:
+    transfers = monitor.transfers  # one row-major materialization
+    if not transfers:
         return (0, max(1, monitor.cycles_observed))
-    last = max(c for c, _t, _d in monitor.transfers)
+    last = max(c for c, _t, _d in transfers)
     start = warmup
     end = max(start + 1, last - drain)
     return (start, end)

@@ -25,6 +25,7 @@ from typing import Callable, Sequence
 from repro.core.mtchannel import MTChannel
 from repro.kernel.component import Component
 from repro.kernel.errors import SimulationError
+from repro.kernel.slots import SeqPlan
 from repro.kernel.values import as_bool, bools, same_value
 
 IDLE = "IDLE"
@@ -78,18 +79,45 @@ class Barrier(Component):
         up.connect_consumer(self)
         down.connect_producer(self)
         self.declare_reads(up.valid, up.data, down.ready)
-        # Registered state.
-        self._fsm: list[str] = [IDLE] * self.threads
-        self._count = 0
-        self._go = False
+        # Registered state, slot-backed: [fsm×S][count][go] (private
+        # until compile_seq re-homes the block into the SeqStore); the
+        # release counter is a pure statistic and stays a plain attribute.
+        self._sstore: list = [IDLE] * self.threads + [0, False]
+        self._sq = 0
         self._releases = 0
         self._next: tuple[list[str], int, bool] | None = None
 
     # ------------------------------------------------------------------
     # introspection
     # ------------------------------------------------------------------
+    @property
+    def _fsm(self) -> list[str]:
+        b = self._sq
+        return self._sstore[b:b + self.threads]
+
+    @_fsm.setter
+    def _fsm(self, fsm: list[str]) -> None:
+        b = self._sq
+        self._sstore[b:b + self.threads] = fsm
+
+    @property
+    def _count(self) -> int:
+        return self._sstore[self._sq + self.threads]
+
+    @_count.setter
+    def _count(self, count: int) -> None:
+        self._sstore[self._sq + self.threads] = count
+
+    @property
+    def _go(self) -> bool:
+        return self._sstore[self._sq + self.threads + 1]
+
+    @_go.setter
+    def _go(self, go: bool) -> None:
+        self._sstore[self._sq + self.threads + 1] = go
+
     def thread_state(self, thread: int) -> str:
-        return self._fsm[thread]
+        return self._sstore[self._sq + thread]
 
     @property
     def count(self) -> int:
@@ -107,7 +135,10 @@ class Barrier(Component):
         return self._releases
 
     def is_open_for(self, thread: int) -> bool:
-        return thread not in self.participants or self._fsm[thread] == FREE
+        return (
+            thread not in self.participants
+            or self._sstore[self._sq + thread] == FREE
+        )
 
     # ------------------------------------------------------------------
     # evaluation
@@ -146,9 +177,12 @@ class Barrier(Component):
         participants = frozenset(self.participants)
         everyone = len(participants) == self.threads
         rng = range(self.threads)
+        sstore = self._sstore
+        fb = self._sq
+        fe = fb + self.threads
 
         def step() -> bool:
-            fsm = self._fsm
+            fsm = sstore[fb:fe]
             if everyone:
                 passing = [state == FREE for state in fsm]
             else:
@@ -180,6 +214,79 @@ class Barrier(Component):
             return changed
 
         return step
+
+    def compile_seq(self, seq):
+        """Columnar tick plan: arrival masks in re-homed slots, slice
+        reads of the handshake vectors, delta-gated on up-valid /
+        up-ready / down-ready plus the state block."""
+        cls = type(self)
+        if cls.capture is not Barrier.capture or cls.commit is not Barrier.commit:
+            return None
+        store = seq.store
+        up_valid = store.range_of(self.up.valid)
+        up_ready = store.range_of(self.up.ready)
+        down_ready = store.range_of(self.down.ready)
+        if None in (up_valid, up_ready, down_ready):
+            return None
+        threads = self.threads
+        fb = seq.alloc(self._sstore[self._sq:self._sq + threads + 2])
+        self._sstore = seq.values
+        self._sq = fb
+        svalues = seq.values
+        fe = fb + threads
+        cb = fe
+        gb = fe + 1
+        values = store.values
+        uvb, uve = up_valid
+        urb, ure = up_ready
+        participants = self.participants
+        limit = self.limit
+        on_release = self._on_release
+
+        def capture(cycle) -> None:
+            old_fsm = svalues[fb:fe]
+            fsm = svalues[fb:fe]
+            count = svalues[cb]
+            released = False
+            valids = bools(values[uvb:uve])
+            readies = bools(values[urb:ure])
+            # Transfers first: FREE threads whose item passed -> IDLE.
+            for t in participants:
+                if fsm[t] == FREE and valids[t] and readies[t]:
+                    fsm[t] = IDLE
+            # Arrivals gate on the pre-transition state (old_fsm) so the
+            # item that just passed is not double counted.
+            for t in participants:
+                if old_fsm[t] == IDLE and valids[t]:
+                    fsm[t] = WAIT
+                    count += 1
+            if count >= limit:
+                count = 0
+                released = True
+                for t in participants:
+                    if fsm[t] == WAIT:
+                        fsm[t] = FREE
+            self._next = (fsm, count, released)
+
+        def commit() -> bool:
+            nxt = self._next
+            if nxt is None:
+                return False
+            fsm, count, released = nxt
+            self._next = None
+            changed = released or fsm != svalues[fb:fe]
+            svalues[fb:fe] = fsm
+            svalues[cb] = count
+            if released:
+                svalues[gb] = not svalues[gb]
+                self._releases += 1
+                if on_release is not None:
+                    on_release(self._releases)
+            return changed
+
+        watch = (up_valid, up_ready, down_ready)
+        return SeqPlan(self, capture, commit, watch,
+                       state=((fb, gb + 1),))
 
     def capture(self) -> None:
         fsm = list(self._fsm)

@@ -13,9 +13,10 @@ from __future__ import annotations
 from typing import Any, Callable, Iterable, Mapping, Sequence
 
 from repro.core.arbiter import GrantPolicy, RoundRobinArbiter
-from repro.core.mtchannel import MTChannel
+from repro.core.mtchannel import MTChannel, one_hot_thread
 from repro.elastic.endpoints import Pattern, _pattern_fn
 from repro.kernel.component import Component
+from repro.kernel.slots import SeqPlan
 from repro.kernel.values import X, as_bool, bools, same_value
 
 
@@ -72,13 +73,26 @@ class MTSource(Component):
             # Injection gates consult the cycle counter, which advances
             # outside the signal graph.
             self.declare_volatile()
-        # Registered state.
-        self._index = [0] * self.threads
+        # Registered state; the per-thread stream positions are
+        # slot-backed ([index×S], private until compile_seq re-homes
+        # them into the SeqStore).
+        self._sstore: list[Any] = [0] * self.threads
+        self._sq = 0
         self._cycle = 0
         self._blocked: set[int] = set()
         self._chosen: int | None = None
         self._next: tuple[list[int], int] | None = None
         self.sent: list[tuple[int, int, Any]] = []
+
+    @property
+    def _index(self) -> list[int]:
+        sq = self._sq
+        return self._sstore[sq:sq + self.threads]
+
+    @_index.setter
+    def _index(self, index: list[int]) -> None:
+        sq = self._sq
+        self._sstore[sq:sq + self.threads] = index
 
     # ------------------------------------------------------------------
     # external control
@@ -98,7 +112,7 @@ class MTSource(Component):
         self.invalidate()
 
     def pending(self, thread: int) -> int:
-        return len(self._items[thread]) - self._index[thread]
+        return len(self._items[thread]) - self._sstore[self._sq + thread]
 
     @property
     def exhausted(self) -> bool:
@@ -153,9 +167,12 @@ class MTSource(Component):
         rng = range(self.threads)
         falses = [False] * self.threads
         trivial = self._gates_trivial
+        sstore = self._sstore
+        sq = self._sq
+        sqe = sq + self.threads
 
         def step() -> bool:
-            index = self._index
+            index = sstore[sq:sqe]
             items = self._items
             if trivial and not self._blocked:
                 eligible = [index[t] < len(items[t]) for t in rng]
@@ -190,6 +207,65 @@ class MTSource(Component):
 
         return step
 
+    def compile_seq(self, seq):
+        """Columnar tick plan: slot-level transfer check on re-homed
+        stream positions; idle stretches advance the pattern clock in
+        bulk through ``repeat``.
+
+        Valid for patterned sources too: the injection gates only act
+        through the combinational offer, which the watched valid/data
+        slots reflect, and the pattern clock advances identically on the
+        replay path.
+        """
+        cls = type(self)
+        if (cls.capture is not MTSource.capture
+                or cls.commit is not MTSource.commit):
+            return None
+        store = seq.store
+        valid = store.range_of(self.channel.valid)
+        ready = store.range_of(self.channel.ready)
+        data_slot = store.slot_or_none(self.channel.data)
+        if None in (valid, ready, data_slot):
+            return None
+        # Re-home the per-thread stream positions.
+        threads = self.threads
+        sq = seq.alloc(self._sstore[self._sq:self._sq + threads])
+        self._sstore = seq.values
+        self._sq = sq
+        svalues = seq.values
+        sqe = sq + threads
+        values = store.values
+        rb = ready[0]
+        arb = self.arbiter
+        sent = self.sent
+
+        def capture(cycle) -> None:
+            chosen = self._chosen
+            transferred = chosen is not None and as_bool(values[rb + chosen])
+            index = svalues[sq:sqe]
+            if transferred:
+                sent.append((cycle, chosen, values[data_slot]))
+                index[chosen] += 1
+            arb.note(chosen, transferred)
+            self._next = (index, cycle + 1)
+
+        def commit() -> bool:
+            changed = arb.commit()
+            nxt = self._next
+            if nxt is not None:
+                changed = changed or svalues[sq:sqe] != nxt[0]
+                svalues[sq:sqe] = nxt[0]
+                self._cycle = nxt[1]
+                self._next = None
+            return changed
+
+        def repeat(k, start_cycle) -> None:
+            self._cycle += k
+
+        watch = (ready, valid, (data_slot, data_slot + 1))
+        return SeqPlan(self, capture, commit, watch, repeat=repeat,
+                       state=((sq, sqe),))
+
     def capture(self) -> None:
         index = list(self._index)
         transferred = False
@@ -218,7 +294,8 @@ class MTSource(Component):
         self._cycle = 0
         self._chosen = None
         self._next = None
-        self.sent = []
+        # In-place clear: the compiled tick plan binds this list.
+        self.sent.clear()
 
 
 class MTSink(Component):
@@ -305,6 +382,62 @@ class MTSink(Component):
             self.received.append((self._cycle, t, self.channel.data.value))
         self._next_cycle = self._cycle + 1
 
+    def compile_seq(self, seq):
+        """Delta-gated tick plan with bulk replay (see MTSource's)."""
+        cls = type(self)
+        if (cls.capture is not MTSink.capture
+                or cls.commit is not MTSink.commit):
+            return None
+        store = seq.store
+        valid = store.range_of(self.channel.valid)
+        ready = store.range_of(self.channel.ready)
+        data_slot = store.slot_or_none(self.channel.data)
+        if None in (valid, ready, data_slot):
+            return None
+        values = store.values
+        vb, ve = valid
+        rb = ready[0]
+        ch_path = self.channel.path
+        received = self.received
+        #: last observation: (thread, data) of a repeating transfer, or None
+        last: list[Any] = [None]
+
+        def capture(cycle) -> None:
+            # Valid slots are written as canonical bools by producing
+            # steps, so raw count/index scans are exact once X has been
+            # ruled out — the X check comes first, exactly like the
+            # scalar path's bools() normalization.
+            vs = values[vb:ve]
+            if X in vs:
+                bools(vs)  # raises exactly like the scalar path
+            count = vs.count(True)
+            if count == 1:
+                active = vs.index(True)
+                if as_bool(values[rb + active]):
+                    data = values[data_slot]
+                    received.append((cycle, active, data))
+                    last[0] = (active, data)
+                else:
+                    last[0] = None
+            elif count == 0:
+                last[0] = None
+            else:
+                one_hot_thread(bools(vs), ch_path)  # raises ProtocolError
+            self._next_cycle = cycle + 1
+
+        def repeat(k, start_cycle) -> None:
+            transfer = last[0]
+            if transfer is not None:
+                t, data = transfer
+                received.extend(
+                    (c, t, data)
+                    for c in range(start_cycle, start_cycle + k)
+                )
+            self._cycle += k
+
+        watch = (valid, ready, (data_slot, data_slot + 1))
+        return SeqPlan(self, capture, self.commit, watch, repeat=repeat)
+
     def commit(self) -> bool:
         if self._next_cycle is not None:
             self._cycle = self._next_cycle
@@ -315,4 +448,5 @@ class MTSink(Component):
     def reset(self) -> None:
         self._cycle = 0
         self._next_cycle = None
-        self.received = []
+        # In-place clear: the compiled tick plan binds this list.
+        self.received.clear()

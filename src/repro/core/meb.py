@@ -31,12 +31,38 @@ from repro.core.arbiter import GrantPolicy, RoundRobinArbiter
 from repro.core.mtchannel import MTChannel
 from repro.kernel.component import Component
 from repro.kernel.errors import ProtocolError, SimulationError
+from repro.kernel.slots import SeqPlan
 from repro.kernel.values import X, as_bool, bools, same_value, state_changed
 
 #: Per-thread elastic control states (paper Fig. 6).
 EMPTY = "EMPTY"
 HALF = "HALF"
 FULL = "FULL"
+
+
+def _seq_input_thread(values, uvb, uve, urb, path, up_path):
+    """Slot-level ``_input_thread``: the enqueueing thread, or ``None``.
+
+    Shared by the Full/Reduced compiled tick captures; keeps the exact
+    scalar-path semantics and ordering — X anywhere in the valid vector
+    raises first (like ``bools``), then the one-valid-per-cycle
+    invariant, then the ready gate.
+    """
+    valids = values[uvb:uve]
+    if X in valids:
+        bools(valids)  # raises exactly like the scalar as_bool path
+    count = valids.count(True)
+    if count == 0:
+        return None
+    if count > 1:
+        raise ProtocolError(
+            f"{path}: {count} threads valid on "
+            f"{up_path} in one cycle (MT channels carry one)"
+        )
+    thread = valids.index(True)
+    if as_bool(values[urb + thread]):
+        return thread
+    return None
 
 
 class _MEBBase(Component):
@@ -222,6 +248,47 @@ class _MEBBase(Component):
             store.readers_of((self.down.data,)),
         )
 
+    def _seq_layout(self, seq):
+        """Resolve the capture-side slot layout shared by the MEB plans.
+
+        Returns ``(down_ready, up_valid, up_ready, up_data, watch)`` or
+        ``None`` when any handshake signal did not land on store slots.
+        """
+        store = seq.store
+        down_ready = store.range_of(self._down_ready_sigs)
+        up_valid = store.range_of(self._up_valid_sigs)
+        up_ready = store.range_of(self._up_ready_sigs)
+        up_data = store.slot_or_none(self.up.data)
+        if None in (down_ready, up_valid, up_ready, up_data):
+            return None
+        watch = (down_ready, up_valid, up_ready, (up_data, up_data + 1))
+        return down_ready, up_valid, up_ready, up_data, watch
+
+    def compile_seq(self, seq):
+        """Watch-gated tick plan wrapping the stock capture/commit.
+
+        Valid for any MEB whose ``capture``/``commit`` are the stock
+        Full/Reduced implementations — storage-hook overrides (ablation
+        variants tweaking ``occupancy``/``can_accept``) keep their
+        semantics because the plan calls the methods, not a vectorized
+        inline.  The watch set is the union of everything an MEB capture
+        may read: the downstream readies (output transfer), the upstream
+        valid/ready handshakes and the upstream data (input transfer).
+        Subclasses that override capture or commit fall back to the
+        legacy per-cycle dispatch (``None``).
+        """
+        cls = type(self)
+        if cls.capture not in (FullMEB.capture, ReducedMEB.capture):
+            return None
+        if cls.commit not in (FullMEB.commit, ReducedMEB.commit):
+            return None
+        layout = self._seq_layout(seq)
+        if layout is None:
+            return None
+        capture = self.capture
+        return SeqPlan(self, lambda cycle: capture(), self.commit,
+                       layout[4])
+
     def _input_thread(self) -> int | None:
         """The (single) thread transferring in this cycle, with checks."""
         valids = self.up.valids()
@@ -266,7 +333,13 @@ class FullMEB(_MEBBase):
     ):
         super().__init__(name, up, down, policy, rotate_on_stall,
                          latch_style=latch_style, parent=parent)
-        self._queues: list[list[Any]] = [[] for _ in range(self.threads)]
+        # Slot-backed sequential state: the S per-thread queues live in
+        # `_sstore[_sq + t]` — a private list until compile_seq re-homes
+        # them into the design-wide SeqStore (exactly like Signal's
+        # private one-element store before SlotStore re-homing).  The
+        # `_queues` property views/updates the same cells.
+        self._sstore: list[Any] = [[] for _ in range(self.threads)]
+        self._sq = 0
         self._next_queues: list[list[Any]] | None = None
         # Only take the storage-specific fast paths when the scalar
         # hooks are not overridden by a subclass (see _MEBBase).
@@ -276,20 +349,35 @@ class FullMEB(_MEBBase):
             self._accept_vector = self._fast_accept_vector
 
     # -- storage interface ---------------------------------------------------
+    @property
+    def _queues(self) -> list[list[Any]]:
+        sq = self._sq
+        return self._sstore[sq:sq + self.threads]
+
+    @_queues.setter
+    def _queues(self, queues: list[list[Any]]) -> None:
+        sq = self._sq
+        self._sstore[sq:sq + self.threads] = queues
+
     def occupancy(self, thread: int) -> int:
-        return len(self._queues[thread])
+        return len(self._sstore[self._sq + thread])
 
     def head(self, thread: int) -> Any:
-        return self._queues[thread][0]
+        return self._sstore[self._sq + thread][0]
 
     def can_accept(self, thread: int) -> bool:
-        return len(self._queues[thread]) < self.SLOTS_PER_THREAD
+        return len(self._sstore[self._sq + thread]) < self.SLOTS_PER_THREAD
 
     def _fast_valid_vector(self) -> list[bool]:
-        return [bool(q) for q in self._queues]
+        sq = self._sq
+        return [bool(q) for q in self._sstore[sq:sq + self.threads]]
 
     def _fast_accept_vector(self) -> list[bool]:
-        return [len(q) < self.SLOTS_PER_THREAD for q in self._queues]
+        sq = self._sq
+        capacity = self.SLOTS_PER_THREAD
+        return [
+            len(q) < capacity for q in self._sstore[sq:sq + self.threads]
+        ]
 
     def compile_comb(self, store):
         """Fully inlined step for plain FullMEBs (no hook indirection).
@@ -313,9 +401,14 @@ class FullMEB(_MEBBase):
         falses = [False] * self.threads
         unknown = X
         capacity = self.SLOTS_PER_THREAD
+        # Compile-time binding of the (possibly re-homed) queue block;
+        # rebuild()/reset() recompiles, so the binding stays fresh.
+        sstore = self._sstore
+        sq = self._sq
+        sqe = sq + self.threads
 
         def step() -> bool:
-            queues = self._queues
+            queues = sstore[sq:sqe]
             readies = bools(values[rb:re_])
             if unmasked:
                 requests = [bool(q) for q in queues]
@@ -353,6 +446,70 @@ class FullMEB(_MEBBase):
             return changed
 
         return step
+
+    def compile_seq(self, seq):
+        """Columnar tick plan for plain FullMEBs: re-homed queues,
+        slot-level transfer detection, delta-gated by the watch set.
+
+        Subclasses fall back to the generic watch-gated plan of
+        :class:`_MEBBase` (which respects their storage-hook overrides)
+        or to legacy dispatch.
+        """
+        if type(self) is not FullMEB:
+            return super().compile_seq(seq)
+        layout = self._seq_layout(seq)
+        if layout is None:
+            return super().compile_seq(seq)
+        down_ready, up_valid, up_ready, up_data, watch = layout
+        # Re-home the per-thread queues into the columnar store,
+        # carrying the live values across (state-preserving rebuild).
+        threads = self.threads
+        sq = seq.alloc(self._sstore[self._sq:self._sq + threads])
+        self._sstore = seq.values
+        self._sq = sq
+        svalues = seq.values
+        sqe = sq + threads
+        values = seq.store.values
+        drb = down_ready[0]
+        uvb, uve = up_valid
+        urb = up_ready[0]
+        arb = self.arbiter
+        capacity = self.SLOTS_PER_THREAD
+        path = self.path
+        up_path = self.up.path
+        input_thread = _seq_input_thread
+
+        def capture(cycle) -> None:
+            grant = self._grant
+            transferred = grant is not None and as_bool(values[drb + grant])
+            enq = input_thread(values, uvb, uve, urb, path, up_path)
+            if not transferred and enq is None:
+                # Idle cycle: nothing moves, keep the queues as they are.
+                self._next_queues = None
+                arb.note(grant, False)
+                return
+            queues = svalues[sq:sqe]
+            if transferred:
+                queues[grant] = queues[grant][1:]
+            if enq is not None:
+                if len(queues[enq]) >= capacity:
+                    raise SimulationError(
+                        f"{path}: enqueue into full per-thread EB {enq}"
+                    )
+                queues[enq] = queues[enq] + [values[up_data]]
+            self._next_queues = queues
+            arb.note(grant, transferred)
+
+        def commit() -> bool:
+            changed = arb.commit()
+            nxt = self._next_queues
+            if nxt is not None:
+                changed = changed or state_changed(svalues[sq:sqe], nxt)
+                svalues[sq:sqe] = nxt
+                self._next_queues = None
+            return changed
+
+        return SeqPlan(self, capture, commit, watch, state=((sq, sqe),))
 
     def thread_state(self, thread: int) -> str:
         return (EMPTY, HALF, FULL)[len(self._queues[thread])]
@@ -439,10 +596,15 @@ class ReducedMEB(_MEBBase):
     ):
         super().__init__(name, up, down, policy, rotate_on_stall,
                          latch_style=latch_style, parent=parent)
-        self._main: list[Any] = [X] * self.threads
-        self._state: list[str] = [EMPTY] * self.threads
-        self._shared_item: Any = X
-        self._shared_owner: int | None = None
+        # Slot-backed sequential state, laid out columnar as
+        # [main×S][state×S][shared_item][shared_owner] in `_sstore`
+        # starting at `_sq` — private until compile_seq re-homes the
+        # block into the design-wide SeqStore.  The `_main`/`_state`/
+        # `_shared_*` properties view/update the same cells.
+        self._sstore: list[Any] = (
+            [X] * self.threads + [EMPTY] * self.threads + [X, None]
+        )
+        self._sq = 0
         self._next: (
             tuple[list[Any], list[str], Any, int | None] | None
         ) = None
@@ -455,6 +617,42 @@ class ReducedMEB(_MEBBase):
 
     # -- storage interface ---------------------------------------------------
     @property
+    def _main(self) -> list[Any]:
+        b = self._sq
+        return self._sstore[b:b + self.threads]
+
+    @_main.setter
+    def _main(self, main: list[Any]) -> None:
+        b = self._sq
+        self._sstore[b:b + self.threads] = main
+
+    @property
+    def _state(self) -> list[str]:
+        b = self._sq + self.threads
+        return self._sstore[b:b + self.threads]
+
+    @_state.setter
+    def _state(self, state: list[str]) -> None:
+        b = self._sq + self.threads
+        self._sstore[b:b + self.threads] = state
+
+    @property
+    def _shared_item(self) -> Any:
+        return self._sstore[self._sq + 2 * self.threads]
+
+    @_shared_item.setter
+    def _shared_item(self, item: Any) -> None:
+        self._sstore[self._sq + 2 * self.threads] = item
+
+    @property
+    def _shared_owner(self) -> int | None:
+        return self._sstore[self._sq + 2 * self.threads + 1]
+
+    @_shared_owner.setter
+    def _shared_owner(self, owner: int | None) -> None:
+        self._sstore[self._sq + 2 * self.threads + 1] = owner
+
+    @property
     def shared_full(self) -> bool:
         return self._shared_owner is not None
 
@@ -463,19 +661,21 @@ class ReducedMEB(_MEBBase):
         return self._shared_owner
 
     def thread_state(self, thread: int) -> str:
-        return self._state[thread]
+        return self._sstore[self._sq + self.threads + thread]
 
     def occupancy(self, thread: int) -> int:
-        return {EMPTY: 0, HALF: 1, FULL: 2}[self._state[thread]]
+        return {EMPTY: 0, HALF: 1, FULL: 2}[
+            self._sstore[self._sq + self.threads + thread]
+        ]
 
     def head(self, thread: int) -> Any:
-        return self._main[thread]
+        return self._sstore[self._sq + thread]
 
     def can_accept(self, thread: int) -> bool:
         # Paper §IV-A: EMPTY threads always accept (into their main
         # register); HALF threads accept only while the shared slot is
         # free (they would claim it and go FULL).
-        state = self._state[thread]
+        state = self._sstore[self._sq + self.threads + thread]
         if state == EMPTY:
             return True
         if state == HALF:
@@ -509,9 +709,16 @@ class ReducedMEB(_MEBBase):
         unknown = X
         empty = EMPTY
         half = HALF
+        # Compile-time binding of the (possibly re-homed) state block;
+        # rebuild()/reset() recompiles, so the binding stays fresh.
+        sstore = self._sstore
+        mb = self._sq
+        sb = mb + self.threads
+        se = sb + self.threads
+        ob = se + 1
 
         def step() -> bool:
-            state = self._state
+            state = sstore[sb:se]
             readies = bools(values[rb:re_])
             if unmasked:
                 requests = [s != empty for s in state]
@@ -529,14 +736,14 @@ class ReducedMEB(_MEBBase):
             else:
                 new_valid = falses[:]
                 new_valid[grant] = True
-                new_data = self._main[grant]
+                new_data = sstore[mb + grant]
             changed = False
             if values[vb:ve] != new_valid:
                 values[vb:ve] = new_valid
                 if valid_readers:
                     dirty.update(valid_readers)
                 changed = True
-            shared_free = self._shared_owner is None
+            shared_free = sstore[ob] is None
             accepts = [
                 s == empty or (s == half and shared_free) for s in state
             ]
@@ -554,6 +761,114 @@ class ReducedMEB(_MEBBase):
             return changed
 
         return step
+
+    def compile_seq(self, seq):
+        """Columnar tick plan for plain ReducedMEBs (see FullMEB's)."""
+        if type(self) is not ReducedMEB:
+            return super().compile_seq(seq)
+        layout = self._seq_layout(seq)
+        if layout is None:
+            return super().compile_seq(seq)
+        down_ready, up_valid, up_ready, up_data, watch = layout
+        # Re-home [main×S][state×S][shared_item][shared_owner].
+        threads = self.threads
+        block = self._sstore[self._sq:self._sq + 2 * threads + 2]
+        mb = seq.alloc(block)
+        self._sstore = seq.values
+        self._sq = mb
+        svalues = seq.values
+        sb = mb + threads
+        se = sb + threads
+        ib = se
+        ob = se + 1
+        values = seq.store.values
+        drb = down_ready[0]
+        uvb, uve = up_valid
+        urb = up_ready[0]
+        arb = self.arbiter
+        path = self.path
+        up_path = self.up.path
+        input_thread = _seq_input_thread
+
+        def capture(cycle) -> None:
+            grant = self._grant
+            transferred = grant is not None and as_bool(values[drb + grant])
+            enq = input_thread(values, uvb, uve, urb, path, up_path)
+            if not transferred and enq is None:
+                # Idle cycle: no dequeue, no enqueue, state is untouched.
+                self._next = None
+                arb.note(grant, False)
+                return
+            main = svalues[mb:sb]
+            state = svalues[sb:se]
+            shared_item = svalues[ib]
+            shared_owner = svalues[ob]
+
+            if transferred:
+                g = grant
+                if state[g] == FULL:
+                    # Refill the main register from the shared slot (see
+                    # the legacy capture for the paper argument).
+                    if shared_owner != g:
+                        raise SimulationError(
+                            f"{path}: FULL thread {g} does not own the "
+                            f"shared slot (owner={shared_owner})"
+                        )
+                    main[g] = shared_item
+                    shared_item, shared_owner = X, None
+                    state[g] = HALF
+                elif state[g] == HALF:
+                    if enq == g:
+                        # Simultaneous dequeue+enqueue refills directly.
+                        main[g] = values[up_data]
+                        enq = None
+                    else:
+                        main[g] = X
+                        state[g] = EMPTY
+                else:  # pragma: no cover - grant implies occupancy
+                    raise SimulationError(f"{path}: granted EMPTY thread {g}")
+
+            if enq is not None:
+                if state[enq] == EMPTY:
+                    main[enq] = values[up_data]
+                    state[enq] = HALF
+                elif state[enq] == HALF:
+                    if shared_owner is not None:
+                        raise SimulationError(
+                            f"{path}: thread {enq} claimed an occupied "
+                            f"shared slot"
+                        )
+                    shared_item = values[up_data]
+                    shared_owner = enq
+                    state[enq] = FULL
+                else:
+                    raise SimulationError(
+                        f"{path}: enqueue into FULL thread {enq}"
+                    )
+
+            self._next = (main, state, shared_item, shared_owner)
+            arb.note(grant, transferred)
+
+        check_invariants = self._check_invariants
+
+        def commit() -> bool:
+            changed = arb.commit()
+            nxt = self._next
+            if nxt is not None:
+                changed = changed or state_changed(
+                    (svalues[mb:sb], svalues[sb:se], svalues[ib],
+                     svalues[ob]),
+                    nxt,
+                )
+                svalues[mb:sb] = nxt[0]
+                svalues[sb:se] = nxt[1]
+                svalues[ib] = nxt[2]
+                svalues[ob] = nxt[3]
+                self._next = None
+            check_invariants()
+            return changed
+
+        return SeqPlan(self, capture, commit, watch, state=((mb, ob + 1),))
 
     def contents(self, thread: int) -> list[Any]:
         state = self._state[thread]

@@ -10,15 +10,21 @@ MEB arbiter may present a different thread each cycle, so a stalled
 ``valid(i)`` may drop when the arbiter moves on.  What must still hold is
 per-thread token conservation, which the recorded transfer streams let
 tests assert end-to-end.
+
+Rows are stored **columnar** — parallel per-field lists — so the
+statistics helpers run as C-speed ``count``/``zip`` scans and the
+compiled tick plan can bulk-replay idle stretches; the public
+``activity``/``transfers`` attributes remain row-major views.
 """
 
 from __future__ import annotations
 
 from typing import Any
 
-from repro.core.mtchannel import MTChannel
+from repro.core.mtchannel import MTChannel, one_hot_thread
 from repro.kernel.component import Component
-from repro.kernel.values import as_bool
+from repro.kernel.slots import SeqPlan
+from repro.kernel.values import as_bool, bools
 
 
 class MTMonitor(Component):
@@ -33,31 +39,47 @@ class MTMonitor(Component):
         super().__init__(name, parent=parent)
         self.channel = channel
         self.threads = channel.threads
-        # Registered observation state.
+        # Registered observation state, columnar.
         self._cycle = 0
         self._next_cycle: int | None = None
-        #: per-cycle activity: (thread or None, data, transferred)
-        self.activity: list[tuple[int | None, Any, bool]] = []
-        #: transfers: (cycle, thread, data)
-        self.transfers: list[tuple[int, int, Any]] = []
+        self._act_thread: list[int | None] = []
+        self._act_data: list[Any] = []
+        self._act_moved: list[bool] = []
+        self._tr_cycle: list[int] = []
+        self._tr_thread: list[int] = []
+        self._tr_data: list[Any] = []
 
     # ------------------------------------------------------------------
     # statistics
     # ------------------------------------------------------------------
+    @property
+    def activity(self) -> list[tuple[int | None, Any, bool]]:
+        """Per-cycle activity rows: (thread or None, data, transferred)."""
+        return list(zip(self._act_thread, self._act_data, self._act_moved))
+
+    @property
+    def transfers(self) -> list[tuple[int, int, Any]]:
+        """Transfer rows: (cycle, thread, data)."""
+        return list(zip(self._tr_cycle, self._tr_thread, self._tr_data))
+
     @property
     def cycles_observed(self) -> int:
         return self._cycle
 
     def transfer_count(self, thread: int | None = None) -> int:
         if thread is None:
-            return len(self.transfers)
-        return sum(1 for _c, t, _d in self.transfers if t == thread)
+            return len(self._tr_cycle)
+        return self._tr_thread.count(thread)
 
     def values_for(self, thread: int) -> list[Any]:
-        return [d for _c, t, d in self.transfers if t == thread]
+        return [
+            d for t, d in zip(self._tr_thread, self._tr_data) if t == thread
+        ]
 
     def transfer_cycles(self, thread: int) -> list[int]:
-        return [c for c, t, _d in self.transfers if t == thread]
+        return [
+            c for c, t in zip(self._tr_cycle, self._tr_thread) if t == thread
+        ]
 
     def throughput(self, thread: int | None = None) -> float:
         """Transfers per cycle, overall or for one thread."""
@@ -73,7 +95,7 @@ class MTMonitor(Component):
             return 0.0
         n = sum(
             1
-            for c, t, _d in self.transfers
+            for c, t in zip(self._tr_cycle, self._tr_thread)
             if start <= c < end and (thread is None or t == thread)
         )
         return n / (end - start)
@@ -82,7 +104,7 @@ class MTMonitor(Component):
         """Fraction of observed cycles in which any transfer happened."""
         if not self._cycle:
             return 0.0
-        return len(self.transfers) / self._cycle
+        return len(self._tr_cycle) / self._cycle
 
     # ------------------------------------------------------------------
     # evaluation
@@ -95,14 +117,97 @@ class MTMonitor(Component):
         channel = self.channel
         active = channel.active_thread()
         if active is None:
-            self.activity.append((None, None, False))
+            self._act_thread.append(None)
+            self._act_data.append(None)
+            self._act_moved.append(False)
         else:
             data = channel.data.value
             transferred = as_bool(channel.ready[active].value)
-            self.activity.append((active, data, transferred))
+            self._act_thread.append(active)
+            self._act_data.append(data)
+            self._act_moved.append(transferred)
             if transferred:
-                self.transfers.append((self._cycle, active, data))
+                self._tr_cycle.append(self._cycle)
+                self._tr_thread.append(active)
+                self._tr_data.append(data)
         self._next_cycle = self._cycle + 1
+
+    def compile_seq(self, seq):
+        """Columnar tick plan: slice-read observation, bulk idle replay.
+
+        The observation is a pure function of the watched channel slots,
+        so an unchanged watch set means the previous row repeats — the
+        ``repeat`` hook appends it ``k`` times (with advancing cycle
+        stamps for transfer rows), which is also how settle+tick fusion
+        accounts whole idle stretches in one call.
+        """
+        cls = type(self)
+        if (cls.capture is not MTMonitor.capture
+                or cls.commit is not MTMonitor.commit):
+            return None
+        store = seq.store
+        valid = store.range_of(self.channel.valid)
+        ready = store.range_of(self.channel.ready)
+        data_slot = store.slot_or_none(self.channel.data)
+        if None in (valid, ready, data_slot):
+            return None
+        values = store.values
+        vb, ve = valid
+        rb = ready[0]
+        ch_path = self.channel.path
+        act_thread = self._act_thread
+        act_data = self._act_data
+        act_moved = self._act_moved
+        tr_cycle = self._tr_cycle
+        tr_thread = self._tr_thread
+        tr_data = self._tr_data
+        last: list[Any] = [None, None, False]
+        from repro.kernel.values import X as unknown
+
+        def capture(cycle) -> None:
+            # Valid slots are only ever written as canonical bools by
+            # the producing steps, so raw count/index scans are exact
+            # once X has been ruled out — the X check comes first,
+            # exactly like the scalar path's bools() normalization.
+            vs = values[vb:ve]
+            if unknown in vs:
+                bools(vs)  # raises exactly like the scalar path
+            count = vs.count(True)
+            if count == 0:
+                act_thread.append(None)
+                act_data.append(None)
+                act_moved.append(False)
+                last[0] = last[1] = None
+                last[2] = False
+            elif count == 1:
+                active = vs.index(True)
+                data = values[data_slot]
+                moved = as_bool(values[rb + active])
+                act_thread.append(active)
+                act_data.append(data)
+                act_moved.append(moved)
+                if moved:
+                    tr_cycle.append(cycle)
+                    tr_thread.append(active)
+                    tr_data.append(data)
+                last[0], last[1], last[2] = active, data, moved
+            else:
+                one_hot_thread(bools(vs), ch_path)  # raises ProtocolError
+            self._next_cycle = cycle + 1
+
+        def repeat(k, start_cycle) -> None:
+            active, data, moved = last
+            act_thread.extend([active] * k)
+            act_data.extend([data] * k)
+            act_moved.extend([moved] * k)
+            if moved:
+                tr_cycle.extend(range(start_cycle, start_cycle + k))
+                tr_thread.extend([active] * k)
+                tr_data.extend([data] * k)
+            self._cycle += k
+
+        watch = (valid, ready, (data_slot, data_slot + 1))
+        return SeqPlan(self, capture, self.commit, watch, repeat=repeat)
 
     def commit(self) -> bool:
         if self._next_cycle is not None:
@@ -114,5 +219,11 @@ class MTMonitor(Component):
     def reset(self) -> None:
         self._cycle = 0
         self._next_cycle = None
-        self.activity = []
-        self.transfers = []
+        # In-place clears: the compiled tick plan's closures bind these
+        # column lists at compile time, so the identities must persist.
+        self._act_thread.clear()
+        self._act_data.clear()
+        self._act_moved.clear()
+        self._tr_cycle.clear()
+        self._tr_thread.clear()
+        self._tr_data.clear()

@@ -17,7 +17,7 @@ from repro.kernel.errors import (
 )
 from repro.kernel.signal import Signal, const
 from repro.kernel.simulator import Simulator, build
-from repro.kernel.slots import SlotStore
+from repro.kernel.slots import SeqPlan, SeqStore, SlotStore
 from repro.kernel.trace import TraceRecorder, trace_signals
 from repro.kernel.values import X, as_bool, bit, is_x, onehot_index, popcount, same_value
 
@@ -33,6 +33,8 @@ __all__ = [
     "SimulationError",
     "Signal",
     "Simulator",
+    "SeqPlan",
+    "SeqStore",
     "SlotStore",
     "TraceRecorder",
     "WiringError",

@@ -60,6 +60,7 @@ class Component:
         self._comb_reads: tuple[Signal, ...] | None = None
         self._comb_volatile = False
         self._engine_hook: Any = None
+        self._seq_hook: Any = None
         if parent is not None:
             parent._add_child(self)
 
@@ -176,12 +177,17 @@ class Component:
         Call this from any out-of-band mutator (``push``, ``block``,
         mid-simulation configuration) that changes state the settle
         engine cannot observe through signals or :meth:`commit` reports.
-        No-op before the simulator is finalized (everything starts
-        stale) and under the naive engine.
+        Also re-arms this component's compiled tick plan (if any), so a
+        delta-skipped capture cannot miss the mutation.  No-op before
+        the simulator is finalized (everything starts stale) and under
+        the naive engine.
         """
         hook = self._engine_hook
         if hook is not None:
             hook[0].mark_stale(hook[1])
+        seq_hook = self._seq_hook
+        if seq_hook is not None:
+            seq_hook.invalidate()
 
     def all_signals(self) -> list[Signal]:
         """Every signal owned by this component or any descendant."""
@@ -222,6 +228,38 @@ class Component:
         should return ``None`` whenever an assumption does not hold
         (non-contiguous signal blocks, subclass overrides of the methods
         they inline, ...) rather than approximate.
+        """
+        return None
+
+    def compile_seq(self, seq: Any) -> "Any | None":
+        """Return a tick-phase :class:`~repro.kernel.slots.SeqPlan`, or None.
+
+        The sibling of :meth:`compile_comb`, called once per engine
+        build by the simulator (compiled engine only, and only when
+        ``compile_seq`` is enabled) with the design's
+        :class:`~repro.kernel.slots.SeqStore`.  A component may:
+
+        * re-home its registered state into a block of ``seq.values``
+          via :meth:`SeqStore.alloc` (state must then be read/written
+          through the component's own ``(_sstore, base)`` indirection so
+          every engine and every introspection path observes the same
+          cells — the sequential analogue of Signal re-homing);
+        * return a :class:`~repro.kernel.slots.SeqPlan` whose
+          ``capture``/``commit`` steps are behaviourally identical to
+          :meth:`capture`/:meth:`commit` and whose ``watch`` ranges
+          cover **every signal the capture step may read in any internal
+          state** (the capture-side analogue of :meth:`declare_reads` —
+          under-declaring the watch set is a correctness bug).
+
+        The plan's capture/commit must be pure functions of (watched
+        signals, registered state, the passed cycle number): no hidden
+        per-cycle side effects outside the ``repeat`` hook.  Out-of-band
+        mutations must go through :meth:`invalidate`, which re-arms the
+        plan.  Returning ``None`` (the default) keeps the component on
+        the legacy per-cycle ``capture()``/``commit()`` dispatch —
+        always correct — and implementations must return ``None`` rather
+        than approximate whenever an assumption fails (overridden
+        capture/commit, unresolvable slots, ...).
         """
         return None
 

@@ -19,6 +19,21 @@ Each simulated clock cycle runs:
    updates are race-free regardless of component ordering, exactly like
    nonblocking assignment in RTL.
 
+Under the compiled engine the capture/commit phases (the **tick**) are
+additionally compiled onto the slot architecture: components that
+implement :meth:`~repro.kernel.component.Component.compile_seq` re-home
+their registered state into a columnar
+:class:`~repro.kernel.slots.SeqStore` and supply vectorized
+capture/commit steps that are **delta-gated** — a component whose
+watched inputs did not change since its last capture and whose last
+commit reported no state change is skipped outright.  When every plan
+would skip and the settle engine is quiescent, ``run(cycles=...)``
+fuses settle+tick and batches whole cycles without re-entering
+per-component dispatch.  Components without a plan keep the legacy
+per-cycle dispatch transparently; ``compile_seq`` can be force-disabled
+with ``REPRO_SIM_SEQ=0`` (or ``Simulator(compile_seq=False)``) for
+differential testing.
+
 *How* the settle phase reaches its fixed point is delegated to a settle
 engine (:mod:`repro.kernel.engine`), chosen per simulator:
 
@@ -63,7 +78,7 @@ from repro.kernel.component import Component
 from repro.kernel.engine import ENGINES, make_engine
 from repro.kernel.errors import SimulationError
 from repro.kernel.signal import Signal
-from repro.kernel.slots import SlotStore
+from repro.kernel.slots import SeqStore, SlotStore
 
 
 class Simulator:
@@ -82,12 +97,20 @@ class Simulator:
         (brute-force whole-design iteration).  ``None`` reads the
         ``REPRO_SIM_ENGINE`` environment variable, falling back to
         ``"compiled"``.
+    compile_seq:
+        Whether the compiled engine also compiles the tick phase
+        (:class:`~repro.kernel.slots.SeqStore` plans with delta-gated
+        capture and settle+tick fusion).  ``None`` reads the
+        ``REPRO_SIM_SEQ`` environment variable (default on); has no
+        effect under the event/naive engines, whose tick is always the
+        legacy per-component dispatch.
     """
 
     def __init__(
         self,
         max_settle_iterations: int = 64,
         engine: str | None = None,
+        compile_seq: bool | None = None,
     ):
         if engine is None:
             engine = os.environ.get("REPRO_SIM_ENGINE") or "compiled"
@@ -95,8 +118,13 @@ class Simulator:
             raise ValueError(
                 f"unknown settle engine {engine!r}; expected one of {ENGINES}"
             )
+        if compile_seq is None:
+            compile_seq = (os.environ.get("REPRO_SIM_SEQ") or "1") not in (
+                "0", "false", "off",
+            )
         self.max_settle_iterations = int(max_settle_iterations)
         self.engine_name = engine
+        self.seq_enabled = bool(compile_seq)
         self.cycle = 0
         self._components: list[Component] = []
         self._by_path: dict[str, Component] = {}
@@ -104,6 +132,11 @@ class Simulator:
         self._signal_by_name: dict[str, Signal] = {}
         self._observers: list[Callable[["Simulator"], None]] = []
         self._engine: Any = None
+        self._seq: SeqStore | None = None
+        self._seq_capture: Callable[[int], None] | None = None
+        self._seq_commit: Callable[[], None] | None = None
+        self._seq_fusible: Callable[[], bool] | None = None
+        self._seq_covers_ticks = False
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -155,12 +188,36 @@ class Simulator:
         self._reset_list = [
             c for c in self._components if type(c).reset is not Component.reset
         ]
-        self._captures = [c.capture for c in self._capture_list]
         self._build_engine()
         self._finalized = True
 
     def _build_engine(self) -> None:
-        """(Re)create the settle engine over the finalized structure."""
+        """(Re)create the settle engine and tick plans over the structure.
+
+        Tick plans are compiled *first* so that components re-home their
+        sequential state before the settle engine asks for
+        ``compile_comb`` closures — both then bind the same storage.
+        Re-compiling (``rebuild()``/``reset()``) re-homes live state
+        into the fresh :class:`SeqStore`, preserving it.
+        """
+        self._seq = None
+        seq_ids: set[int] = set()
+        for comp in self._components:
+            comp._seq_hook = None
+        if self.engine_name == "compiled" and self.seq_enabled:
+            seq = SeqStore(self._store)
+            tick_ids = {id(c) for c in self._capture_list}
+            tick_ids.update(id(c) for c in self._commit_list)
+            for comp in self._components:
+                if id(comp) not in tick_ids:
+                    continue
+                plan = comp.compile_seq(seq)
+                if plan is not None:
+                    seq.plans.append(plan)
+                    comp._seq_hook = plan
+                    seq_ids.add(id(comp))
+            if seq.plans:
+                self._seq = seq
         self._engine = make_engine(
             self.engine_name,
             self._components,
@@ -175,36 +232,73 @@ class Simulator:
         tracked = getattr(self._engine, "tracked_component_ids", frozenset())
         if self._note_state is None:
             tracked = frozenset()
+        self._captures = [
+            c.capture for c in self._capture_list if id(c) not in seq_ids
+        ]
         self._noted_commits = [
-            (c, c.commit) for c in self._commit_list if id(c) in tracked
+            (c, c.commit)
+            for c in self._commit_list
+            if id(c) in tracked and id(c) not in seq_ids
         ]
         self._plain_commits = [
-            c.commit for c in self._commit_list if id(c) not in tracked
+            c.commit
+            for c in self._commit_list
+            if id(c) not in tracked and id(c) not in seq_ids
         ]
+        if self._seq is not None:
+            # Fuse the whole schedule into generated capture/commit
+            # sweeps with the engine's stale bookkeeping baked in.
+            self._seq_capture, self._seq_commit, self._seq_fusible = (
+                self._seq.compile_driver(
+                    self._engine.stale_set, self._engine.component_index
+                )
+            )
+        else:
+            self._seq_capture = self._seq_commit = None
+            self._seq_fusible = None
+        # Fusion needs the *whole* tick expressible through plans.
+        self._seq_covers_ticks = (
+            self._seq is not None
+            and not self._captures
+            and not self._noted_commits
+            and not self._plain_commits
+        )
 
     # ------------------------------------------------------------------
-    # reset
+    # reset / rebuild
     # ------------------------------------------------------------------
-    def reset(self) -> None:
-        """Reset all registered state and the cycle counter.
+    def rebuild(self) -> None:
+        """Recompile the settle engine and tick plans, keeping all state.
 
-        On an already-finalized simulator the settle engine is rebuilt,
-        re-resolving everything the engines capture at compile time —
-        so post-finalize collaborator swaps (replacing an MEB's arbiter
-        in an ablation, re-wiring a function) take effect at the next
-        reset.  Mutating collaborators *without* a reset is undefined
-        under the compiled engine (its slot steps hold compile-time
-        bindings).
+        Post-finalize collaborator swaps (replacing an MEB's arbiter in
+        an ablation, re-wiring a function) need the compile-time
+        bindings of the compiled engine's slot/seq steps refreshed;
+        ``rebuild()`` does exactly that without touching registered
+        state — sequential slots are re-homed into the fresh
+        :class:`SeqStore` with their live values, so traces continue
+        seamlessly.  Everything is marked stale, as after any
+        out-of-band mutation.
         """
         already_finalized = self._finalized
         self._finalize()
         if already_finalized:
             self._build_engine()
-        for comp in self._reset_list:
-            comp.reset()
         invalidate_all = getattr(self._engine, "invalidate_all", None)
         if invalidate_all is not None:
             invalidate_all()
+
+    def reset(self) -> None:
+        """Reset all registered state and the cycle counter.
+
+        On an already-finalized simulator this includes a
+        :meth:`rebuild`, so collaborator swaps take effect at the next
+        reset.  Mutating collaborators *without* a reset or rebuild is
+        undefined under the compiled engine (its slot steps hold
+        compile-time bindings).
+        """
+        self.rebuild()
+        for comp in self._reset_list:
+            comp.reset()
         self.cycle = 0
 
     # ------------------------------------------------------------------
@@ -223,9 +317,20 @@ class Simulator:
         return self._engine.settle(self.cycle)
 
     def _tick(self) -> None:
-        """Observe, capture and commit one settled cycle."""
+        """Observe, capture and commit one settled cycle.
+
+        Phase order is capture-everything then commit-everything, as
+        before; within each phase the compiled tick plans run alongside
+        the legacy per-component dispatch (captures never write signals
+        and commits only apply their own state, so relative order within
+        a phase is immaterial).
+        """
         for observer in self._observers:
             observer(self)
+        seq_capture = self._seq_capture
+        cycle = self.cycle
+        if seq_capture is not None:
+            seq_capture(cycle)
         for capture in self._captures:
             capture()
         for commit in self._plain_commits:
@@ -239,7 +344,32 @@ class Simulator:
             for comp, commit in self._noted_commits:
                 if commit() is not False:
                     note(comp)
-        self.cycle += 1
+        seq_commit = self._seq_commit
+        if seq_commit is not None:
+            seq_commit()
+        self.cycle = cycle + 1
+
+    def _fuse_quiescent(self, budget: int) -> int:
+        """Batch up to *budget* fully quiescent cycles in one step.
+
+        Eligible only when the settled design provably reproduces itself
+        cycle-over-cycle: the compiled settle engine is quiescent
+        (nothing stale/dirty, no volatile or opaque components), every
+        tick-phase component runs through a plan, every plan would
+        delta-skip, and no observers sample per cycle.  Per-cycle
+        effects that survive skipping (monitor rows, endpoint cycle
+        counters) are applied in bulk through the plans' ``repeat``
+        hooks.  Returns the number of cycles fused (0 when ineligible).
+        """
+        if budget <= 0 or self._observers or not self._seq_covers_ticks:
+            return 0
+        if not getattr(self._engine, "quiescent", False):
+            return 0
+        if not self._seq_fusible():
+            return 0
+        self._seq.fast_forward(budget, self.cycle)
+        self.cycle += budget
+        return budget
 
     def step(self) -> None:
         """Advance the simulation by one clock cycle."""
@@ -278,7 +408,11 @@ class Simulator:
         # the engine mid-run.
         tick = self._tick
         if cycles is not None:
-            for _ in range(cycles):
+            while executed < cycles:
+                fused = self._fuse_quiescent(cycles - executed)
+                if fused:
+                    executed += fused
+                    continue
                 self._engine.settle(self.cycle)
                 tick()
                 executed += 1
@@ -314,6 +448,14 @@ class Simulator:
         self._finalize()
         return self._store
 
+    @property
+    def seq(self) -> SeqStore | None:
+        """The columnar sequential-state store (compiled engine with
+        ``compile_seq`` enabled and at least one planned component),
+        else ``None``."""
+        self._finalize()
+        return self._seq
+
     def find(self, path: str) -> Component:
         """Look up a component by hierarchical dotted path (O(1))."""
         try:
@@ -334,9 +476,14 @@ def build(
     *components: Component,
     max_settle_iterations: int = 64,
     engine: str | None = None,
+    compile_seq: bool | None = None,
 ) -> Simulator:
     """Convenience constructor: make a simulator, add components, reset."""
-    sim = Simulator(max_settle_iterations=max_settle_iterations, engine=engine)
+    sim = Simulator(
+        max_settle_iterations=max_settle_iterations,
+        engine=engine,
+        compile_seq=compile_seq,
+    )
     for comp in components:
         sim.add(comp)
     sim.reset()

@@ -1,4 +1,4 @@
-"""Slot-indexed value storage for signals (the compiled engine's core).
+"""Slot-indexed value storage: signals (settle) and sequential state (tick).
 
 A :class:`SlotStore` owns one flat Python list holding the current value
 of every signal in a finalized design.  At finalize time the simulator
@@ -9,6 +9,14 @@ its *value* now lives at ``store.values[slot]``.  Because
 ``(_store, _slot)`` pair, the migration is transparent to every engine
 and every component — a signal read costs the same two attribute loads
 and one list index before and after.
+
+A :class:`SeqStore` is the tick-phase sibling: one flat list holding the
+*sequential* (registered) state of every component that opted in through
+:meth:`~repro.kernel.component.Component.compile_seq` — MEB per-thread
+queues and main/state registers, elastic-buffer stages, barrier arrival
+masks — plus the :class:`SeqPlan` schedule that replaces per-component
+``capture()``/``commit()`` dispatch with vectorized, delta-gated slot
+steps (see the class docstrings below).
 
 What the flat store buys:
 
@@ -127,3 +135,234 @@ class SlotStore:
         for sig in signals:
             out.update(self._reader_map.get(id(sig), ()))
         return tuple(sorted(out))
+
+
+class SeqPlan:
+    """One component's compiled tick-phase schedule entry.
+
+    Produced by :meth:`~repro.kernel.component.Component.compile_seq`;
+    the per-cycle driving is code-generated from these fields by
+    :meth:`SeqStore.compile_driver`.  Fields:
+
+    ``capture``
+        ``fn(cycle) -> None`` — behaviourally identical to the
+        component's ``capture()`` (it may stage next state and raise the
+        same protocol/simulation errors) but typically reading settled
+        handshake inputs as raw slot slices.  Receives the simulator's
+        cycle counter so endpoint/monitor steps need no private counter
+        reads on the hot path.
+
+    ``commit``
+        ``fn() -> bool | None`` — the component's ``commit()`` contract:
+        apply staged state, report whether combinationally relevant
+        state changed (``False`` enables delta-skipping; anything else
+        keeps the plan dirty and, for engine-tracked components, feeds
+        the settle engine's cross-cycle staleness).
+
+    ``watch``
+        Slot ranges ``((base, end), ...)`` of every *signal* the capture
+        step may read.  Together with ``clean`` (last commit returned
+        ``False``) an unchanged watch set proves this cycle's
+        capture+commit is a no-op, so both are skipped — the delta-driven
+        replacement for per-component idle early-outs.
+
+    ``repeat``
+        Optional ``fn(k, start_cycle) -> None`` for components with an
+        unconditional per-cycle effect (monitors appending activity
+        rows, endpoints advancing local cycle counters).  When the plan
+        would otherwise skip, ``repeat(1, cycle)`` replays the last
+        observation instead; settle+tick fusion calls it with ``k > 1``
+        to batch whole quiescent stretches.  ``None`` means skipping has
+        no observable effect at all (pure register components).
+
+    ``state``
+        Seq-store ranges ``((base, end), ...)`` of the component's own
+        re-homed state block.  Included in the delta snapshot so an
+        *external* poke of slot-backed state (a fault-injection test
+        corrupting registers directly) re-arms the plan without an
+        explicit ``invalidate()`` — matching the legacy behaviour where
+        capture/commit ran unconditionally every cycle.
+    """
+
+    __slots__ = (
+        "component", "capture", "commit", "watch", "repeat", "state",
+        "clean", "snap", "ran",
+    )
+
+    def __init__(self, component, capture, commit, watch, repeat=None,
+                 state=()):
+        self.component = component
+        self.capture = capture
+        self.commit = commit
+        self.watch = tuple(watch)
+        self.repeat = repeat
+        self.state = tuple(state)
+        #: True when the last commit reported no relevant state change.
+        self.clean = False
+        #: Watch/state snapshot from the last clean commit (scalar
+        #: ranges store the bare value, wider ranges a slice — the
+        #: layout the generated driver bakes in).
+        self.snap: list[Any] | None = None
+        #: Whether capture ran this cycle (commit pairs with it).
+        self.ran = False
+
+    def invalidate(self) -> None:
+        """Force the next tick to run capture/commit (out-of-band mutation)."""
+        self.clean = False
+
+
+class SeqStore:
+    """Columnar store + schedule for the compiled tick phase.
+
+    Mirrors :class:`SlotStore` one phase later: where the slot store
+    re-homes every *signal* value into one flat list for the settle
+    phase, the seq store re-homes opted-in components' *registered*
+    state (``values``) and replaces the simulator's per-component
+    ``capture()``/``commit()`` dispatch with :class:`SeqPlan` steps.
+
+    Scheduling is **delta-driven**: a plan whose watch slices are
+    unchanged since its last capture and whose last commit reported no
+    state change is skipped outright (or handed to its ``repeat`` hook
+    when it has an unconditional per-cycle effect).  The same predicate,
+    asked over every plan at once (the generated ``_fusible`` sweep), is
+    the tick half of settle+tick fusion: when it holds and the settle
+    engine is quiescent, :meth:`fast_forward` batches an arbitrary
+    number of cycles without re-entering per-component dispatch.
+
+    Component state is migrated exactly like signal values: a component
+    keeps its state behind a private ``(_sstore, _sbase)``-style pair
+    from construction, and :meth:`alloc` hands it a block of cells in
+    the shared ``values`` list at compile time, *copying the current
+    values in* — so re-homing (first finalize, or a
+    :meth:`~repro.kernel.simulator.Simulator.rebuild` after a
+    collaborator swap) preserves all live state.
+    """
+
+    __slots__ = ("store", "values", "plans")
+
+    def __init__(self, store: SlotStore):
+        self.store = store
+        #: Flat columnar sequential-state cells; index = seq slot.
+        self.values: list[Any] = []
+        self.plans: list[SeqPlan] = []
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    # ------------------------------------------------------------------
+    # compilation helpers (used by compile_seq implementations)
+    # ------------------------------------------------------------------
+    def alloc(self, cells: Sequence[Any]) -> int:
+        """Append *cells* (the component's current state) and return the
+        base index of the new block."""
+        base = len(self.values)
+        self.values.extend(cells)
+        return base
+
+    # ------------------------------------------------------------------
+    # fused driver (code-generated; the per-cycle hot path)
+    # ------------------------------------------------------------------
+    def compile_driver(self, stale, engine_index):
+        """Generate the fused (capture_fn, commit_fn) tick driver.
+
+        Like the compiled settle engine's region fusion, the whole
+        schedule becomes two straight-line functions with per-plan
+        constants baked in:
+
+        * the capture sweep inlines each plan's skip predicate —
+          ``clean`` plus watch/state compares against the stored
+          snapshot (scalar ranges compare without slicing) — and calls
+          ``capture``/``repeat`` directly;
+        * the commit sweep inlines the clean/dirty bookkeeping, rebuilds
+          the snapshot only when a plan *ends* clean (a dirty plan will
+          re-run regardless, so its snapshot is dead), and marks the
+          settle engine's stale set with the component's baked-in index
+          instead of going through ``note_state_change``.
+
+        *stale* is the compiled engine's cross-cycle stale set and
+        *engine_index* maps ``id(component)`` to engine indices;
+        untracked components (pure observers) skip the marking.
+        Snapshot timing relies on the kernel-wide invariant that commits
+        never write signals (outputs are driven during settle).
+        """
+        ns: dict[str, Any] = {
+            "_V": self.store.values,
+            "_S": self.values,
+            "_stale": stale,
+        }
+        cap_lines = ["def _capture(cycle):"]
+        com_lines = ["def _commit():"]
+        fus_lines = ["def _fusible():", "    try:"]
+        for k, plan in enumerate(self.plans):
+            p, c, m = f"_p{k}", f"_c{k}", f"_m{k}"
+            ns[p] = plan
+            ns[c] = plan.capture
+            ns[m] = plan.commit
+            segments: list[tuple[str, int, int]] = [
+                ("_V", b, e) for b, e in plan.watch
+            ]
+            segments += [("_S", b, e) for b, e in plan.state]
+            compares = []
+            rebuild = []
+            for i, (arr, b, e) in enumerate(segments):
+                snap = f"{p}.snap[{i}]"
+                if e == b + 1:
+                    compares.append(f"{arr}[{b}] == {snap}")
+                    rebuild.append(f"{arr}[{b}]")
+                else:
+                    compares.append(f"{arr}[{b}:{e}] == {snap}")
+                    rebuild.append(f"{arr}[{b}:{e}]")
+            cond = " and ".join(compares) or "True"
+            cap_lines += [
+                f"    if {p}.clean:",
+                "        try:",
+                f"            _skip = {cond}",
+                "        except Exception:",
+                "            _skip = False",
+                "    else:",
+                "        _skip = False",
+                "    if _skip:",
+                f"        {p}.ran = False",
+            ]
+            if plan.repeat is not None:
+                r = f"_r{k}"
+                ns[r] = plan.repeat
+                cap_lines.append(f"        {r}(1, cycle)")
+            cap_lines += [
+                "    else:",
+                f"        {c}(cycle)",
+                f"        {p}.ran = True",
+            ]
+            com_lines += [
+                f"    if {p}.ran:",
+                f"        if {m}() is False:",
+                f"            {p}.clean = True",
+                f"            {p}.snap = [{', '.join(rebuild)}]",
+                "        else:",
+                f"            {p}.clean = False",
+            ]
+            index = engine_index.get(id(plan.component))
+            if index is not None:
+                com_lines.append(f"            _stale.add({index})")
+            fus_lines.append(
+                f"        if not ({p}.clean and {cond}): return False"
+            )
+        fus_lines += [
+            "    except Exception:",
+            "        return False",
+            "    return True",
+        ]
+        exec("\n".join(cap_lines), ns)  # noqa: S102 - trusted codegen
+        exec("\n".join(com_lines), ns)  # noqa: S102 - trusted codegen
+        exec("\n".join(fus_lines), ns)  # noqa: S102 - trusted codegen
+        return ns["_capture"], ns["_commit"], ns["_fusible"]
+
+    # ------------------------------------------------------------------
+    # settle+tick fusion
+    # ------------------------------------------------------------------
+    def fast_forward(self, k: int, start_cycle: int) -> None:
+        """Apply *k* quiescent cycles' worth of per-cycle effects at once."""
+        for plan in self.plans:
+            repeat = plan.repeat
+            if repeat is not None:
+                repeat(k, start_cycle)

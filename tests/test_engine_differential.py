@@ -18,6 +18,8 @@ replaying the shipped examples under every engine via the
 
 from __future__ import annotations
 
+import contextlib
+import os
 import pathlib
 import runpy
 import sys
@@ -51,6 +53,33 @@ from tests.conftest import make_mt_pipeline
 
 ENGINES = ("naive", "event", "compiled")
 
+#: The trace/application differentials additionally pin the compiled
+#: engine with its tick-phase compilation force-disabled, so the legacy
+#: per-component capture/commit dispatch stays cycle-identical to the
+#: SeqStore plans (and to the other engines).
+TICK_VARIANTS = ENGINES + ("compiled-noseq",)
+
+
+@contextlib.contextmanager
+def engine_context(variant: str):
+    """Yield the engine name for *variant*, pinning env for noseq.
+
+    ``Simulator`` reads ``REPRO_SIM_SEQ`` at construction time, so the
+    variable only needs to be set while the factory builds the sim.
+    """
+    if variant != "compiled-noseq":
+        yield variant
+        return
+    old = os.environ.get("REPRO_SIM_SEQ")
+    os.environ["REPRO_SIM_SEQ"] = "0"
+    try:
+        yield "compiled"
+    finally:
+        if old is None:
+            del os.environ["REPRO_SIM_SEQ"]
+        else:
+            os.environ["REPRO_SIM_SEQ"] = old
+
 
 def run_and_trace(sim: Simulator, cycles: int) -> list[dict[str, object]]:
     """Step *cycles* times, sampling every signal after each settle."""
@@ -64,14 +93,15 @@ def run_and_trace(sim: Simulator, cycles: int) -> list[dict[str, object]]:
 
 
 def assert_identical_traces(factory, cycles: int) -> None:
-    """Build the network once per engine and compare full traces."""
+    """Build the network once per engine variant and compare traces."""
     traces = {}
-    for engine in ENGINES:
-        sim = factory(engine)
-        traces[engine] = run_and_trace(sim, cycles)
+    for variant in TICK_VARIANTS:
+        with engine_context(variant) as engine:
+            sim = factory(engine)
+        traces[variant] = run_and_trace(sim, cycles)
     naive = traces["naive"]
     assert len(naive) == cycles
-    for engine in ENGINES[1:]:
+    for engine in TICK_VARIANTS[1:]:
         other = traces[engine]
         assert len(other) == cycles
         for cycle, (rown, rowe) in enumerate(zip(naive, other)):
@@ -213,46 +243,50 @@ class TestMultithreadedNetworks:
 class TestApplications:
     def test_md5_identical_digests_and_cycles(self):
         results = {}
-        for engine in ENGINES:
-            h = MD5Hasher(threads=4, engine=engine)
+        for variant in TICK_VARIANTS:
+            with engine_context(variant) as engine:
+                h = MD5Hasher(threads=4, engine=engine)
             digests = h.hash_batch([b"alpha", b"beta", b"gamma", b"delta"])
-            results[engine] = (digests, h.circuit.sim.cycle,
-                               h.circuit.round_counter)
-        for engine in ENGINES[1:]:
-            assert results["naive"] == results[engine], engine
+            results[variant] = (digests, h.circuit.sim.cycle,
+                                h.circuit.round_counter)
+        for variant in TICK_VARIANTS[1:]:
+            assert results["naive"] == results[variant], variant
 
     def test_md5_pipelined_rounds_identical(self):
         results = {}
-        for engine in ENGINES:
-            h = MD5Hasher(threads=4, round_stages=4, engine=engine)
+        for variant in TICK_VARIANTS:
+            with engine_context(variant) as engine:
+                h = MD5Hasher(threads=4, round_stages=4, engine=engine)
             digests = h.hash_batch([b"pipelined", b"round"])
-            results[engine] = (digests, h.circuit.sim.cycle)
-        for engine in ENGINES[1:]:
-            assert results["naive"] == results[engine], engine
+            results[variant] = (digests, h.circuit.sim.cycle)
+        for variant in TICK_VARIANTS[1:]:
+            assert results["naive"] == results[variant], variant
 
     def test_processor_identical_execution(self):
         results = {}
-        for engine in ENGINES:
-            cpu = Processor(threads=4, meb="reduced", engine=engine)
+        for variant in TICK_VARIANTS:
+            with engine_context(variant) as engine:
+                cpu = Processor(threads=4, meb="reduced", engine=engine)
             mix = programs.standard_mix()
             for t in range(4):
                 cpu.load_program(t, mix[t % len(mix)].source)
             stats = cpu.run()
             regs = [[cpu.reg(t, r) for r in range(8)] for t in range(4)]
-            results[engine] = (stats.cycles, tuple(stats.retired), regs)
-        for engine in ENGINES[1:]:
-            assert results["naive"] == results[engine], engine
+            results[variant] = (stats.cycles, tuple(stats.retired), regs)
+        for variant in TICK_VARIANTS[1:]:
+            assert results["naive"] == results[variant], variant
 
     def test_processor_full_meb_identical(self):
         results = {}
-        for engine in ENGINES:
-            cpu = Processor(threads=2, meb="full", engine=engine)
+        for variant in TICK_VARIANTS:
+            with engine_context(variant) as engine:
+                cpu = Processor(threads=2, meb="full", engine=engine)
             cpu.load_program(0, programs.standard_mix()[0].source)
             cpu.load_program(1, programs.standard_mix()[1].source)
             stats = cpu.run()
-            results[engine] = (stats.cycles, tuple(stats.retired))
-        for engine in ENGINES[1:]:
-            assert results["naive"] == results[engine], engine
+            results[variant] = (stats.cycles, tuple(stats.retired))
+        for variant in TICK_VARIANTS[1:]:
+            assert results["naive"] == results[variant], variant
 
 
 # ----------------------------------------------------------------------
@@ -496,14 +530,16 @@ EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[1] / "examples"
 )
 def test_example_output_engine_invariant(example, capsys, monkeypatch):
     outputs = {}
-    for engine in ENGINES:
-        monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
-        argv = sys.argv
-        try:
-            sys.argv = [str(EXAMPLES_DIR / example)]
-            runpy.run_path(str(EXAMPLES_DIR / example), run_name="__main__")
-        finally:
-            sys.argv = argv
-        outputs[engine] = capsys.readouterr().out
-    for engine in ENGINES[1:]:
-        assert outputs["naive"] == outputs[engine], engine
+    for variant in TICK_VARIANTS:
+        with engine_context(variant) as engine:
+            monkeypatch.setenv("REPRO_SIM_ENGINE", engine)
+            argv = sys.argv
+            try:
+                sys.argv = [str(EXAMPLES_DIR / example)]
+                runpy.run_path(str(EXAMPLES_DIR / example),
+                               run_name="__main__")
+            finally:
+                sys.argv = argv
+        outputs[variant] = capsys.readouterr().out
+    for variant in TICK_VARIANTS[1:]:
+        assert outputs["naive"] == outputs[variant], variant
