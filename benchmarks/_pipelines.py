@@ -1,151 +1,25 @@
-"""Pipeline builders shared by the benchmark harness."""
+"""Pipeline builders shared by the benchmark harness.
+
+The factories now live in :mod:`repro.sweep.families` — the campaign
+subsystem's design-family registry is their single home — and this
+module re-exports them so existing benchmark scripts keep importing
+from ``_pipelines``.  New code should import from ``repro.sweep``
+directly (or declare campaigns instead of hand-rolling loops; see
+``docs/sweep.md``).
+"""
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Mapping, Sequence
-
-from repro.core import (
-    FullMEB,
-    GrantPolicy,
-    MBranch,
-    MMerge,
-    MTChannel,
-    MTFunction,
-    MTMonitor,
-    MTSink,
-    MTSource,
+from repro.sweep.families import (  # noqa: F401
+    make_mt_bursty,
+    make_mt_chain,
+    make_mt_pipeline,
+    make_mt_ring,
 )
-from repro.elastic.endpoints import Pattern
-from repro.kernel import build
 
-
-def make_mt_pipeline(
-    meb_cls,
-    threads: int,
-    items: Sequence[Iterable[Any]],
-    n_stages: int = 2,
-    src_patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
-    sink_patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
-    policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
-    width: int = 32,
-    engine: str | None = None,
-):
-    """source -> MEB^n_stages -> sink with a monitor on every channel."""
-    chans = [
-        MTChannel(f"ch{i}", threads=threads, width=width)
-        for i in range(n_stages + 1)
-    ]
-    source = MTSource("src", chans[0], items=items, patterns=src_patterns)
-    mebs = [
-        meb_cls(f"meb{i}", chans[i], chans[i + 1], policy=policy)
-        for i in range(n_stages)
-    ]
-    sink = MTSink("snk", chans[-1], patterns=sink_patterns)
-    monitors = [MTMonitor(f"mon{i}", ch) for i, ch in enumerate(chans)]
-    sim = build(*chans, source, *mebs, sink, *monitors, engine=engine)
-    return sim, source, sink, mebs, monitors
-
-
-def make_mt_bursty(
-    meb_cls,
-    threads: int,
-    n_stages: int = 2,
-    width: int = 32,
-    engine: str | None = None,
-):
-    """An MT pipeline fed in bursts with long quiescent gaps.
-
-    Built like :func:`make_mt_pipeline` (monitors included) but with
-    empty source streams: the caller pushes a burst of items per thread,
-    runs a fixed-length window (``sim.run(cycles=gap)``), and repeats.
-    Once a burst drains, the design is fully quiescent for the rest of
-    the window — the workload shape the compiled engine's settle+tick
-    fusion batches, while the event engine still pays per-cycle
-    scheduling and the full tick dispatch.
-    """
-    items = [[] for _ in range(threads)]
-    return make_mt_pipeline(
-        meb_cls, threads=threads, items=items, n_stages=n_stages,
-        width=width, engine=engine,
-    )
-
-
-def make_mt_chain(
-    threads: int,
-    n_funcs: int,
-    n_items: int,
-    width: int = 32,
-    engine: str | None = None,
-):
-    """source -> MEB -> shared-function chain -> MEB -> sink.
-
-    The paper's §I motif — one copy of the datapath logic serving all
-    threads time-multiplexed — as a pure dense chain: every stage is a
-    combinational :class:`MTFunction`, so the settle phase dominates and
-    the declared dependency graph is one long acyclic run (the compiled
-    engine fuses it into a single straight-line function).
-    """
-    chans = [
-        MTChannel(f"c{i}", threads=threads, width=width)
-        for i in range(n_funcs + 3)
-    ]
-    source = MTSource(
-        "src", chans[0],
-        items=[list(range(n_items)) for _ in range(threads)],
-    )
-    meb_in = FullMEB("meb_in", chans[0], chans[1])
-    funcs = [
-        MTFunction(
-            f"f{k}", chans[1 + k], chans[2 + k],
-            fn=(lambda x, k=k: (x * 7 + k) & 0xFFFF), pure=True,
-        )
-        for k in range(n_funcs)
-    ]
-    meb_out = FullMEB("meb_out", chans[n_funcs + 1], chans[n_funcs + 2])
-    sink = MTSink("snk", chans[-1])
-    sim = build(*chans, source, meb_in, *funcs, meb_out, sink,
-                engine=engine)
-    return sim, source, sink
-
-
-def make_mt_ring(
-    threads: int,
-    n_funcs: int,
-    trips: int,
-    width: int = 32,
-    engine: str | None = None,
-):
-    """Recirculating elastic ring: merge -> MEB -> functions -> branch.
-
-    The MD5-style loop topology (paper Fig. 1) distilled to the
-    substrate: one token per thread makes *trips* passes around the
-    ring before the branch releases it.  The whole ring is one cyclic
-    SCC, exercising the engines' worklist path with ~every member
-    switching every cycle.
-    """
-    c_new = MTChannel("c_new", threads, width)
-    c_loop = MTChannel("c_loop", threads, width)
-    c_rec = MTChannel("c_rec", threads, width)
-    c_out = MTChannel("c_out", threads, width)
-    c_fin = MTChannel("c_fin", threads, width)
-    inner = [MTChannel(f"ci{k}", threads, width) for k in range(n_funcs + 1)]
-    source = MTSource("src", c_new, items=[[(t, 0)] for t in range(threads)])
-    merge = MMerge("merge", [c_new, c_rec], c_loop)
-    meb_in = FullMEB("meb_in", c_loop, inner[0])
-    funcs = [
-        MTFunction(
-            f"f{k}", inner[k], inner[k + 1],
-            fn=(lambda d, k=k: ((d[0] * 5 + k) & 0xFFFF, d[1])), pure=True,
-        )
-        for k in range(n_funcs)
-    ]
-    meb_out = FullMEB("meb_out", inner[-1], c_out)
-    branch = MBranch(
-        "br", c_out, [c_rec, c_fin],
-        selector=lambda d: 1 if d[1] >= trips - 1 else 0,
-        route=lambda d: (d[0], d[1] + 1),
-    )
-    sink = MTSink("snk", c_fin)
-    sim = build(c_new, c_loop, c_rec, c_out, c_fin, *inner, source, merge,
-                meb_in, *funcs, meb_out, branch, sink, engine=engine)
-    return sim, source, sink
+__all__ = [
+    "make_mt_bursty",
+    "make_mt_chain",
+    "make_mt_pipeline",
+    "make_mt_ring",
+]

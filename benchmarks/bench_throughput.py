@@ -14,36 +14,40 @@ from __future__ import annotations
 
 import io
 
-from repro.analysis import steady_state_window
 from repro.apps.md5 import MD5Hasher
 from repro.apps.processor import Processor, programs
 from repro.core import FullMEB, ReducedMEB
-
-from _pipelines import make_mt_pipeline
+from repro.sweep import get_family, make_scenario
 
 MEBS = {"full": FullMEB, "reduced": ReducedMEB}
 
 
 def throughput_vs_active_threads():
-    """Per-thread steady-state throughput with M of 4 threads active."""
+    """Per-thread steady-state throughput with M of 4 threads active.
+
+    Re-based onto the sweep registry: each (MEB kind, M) point is the
+    ``mt_pipeline`` family's ``active`` scenario — the same measurement
+    a declared campaign makes (see ``examples/campaigns/``), so the
+    benchmark and the campaign layer can never drift apart.
+    """
     results: dict[str, dict[int, float]] = {}
-    n_items = 40
-    for name, meb_cls in MEBS.items():
+    family = get_family("mt_pipeline")
+    for name in MEBS:
         results[name] = {}
+        handle = family.build({"threads": 4, "n_stages": 3, "meb": name},
+                              None)
+        pristine = handle.sim.snapshot()
         for m in (1, 2, 3, 4):
-            items = [
-                list(range(n_items)) if t < m else [] for t in range(4)
-            ]
-            sim, _src, sink, _mebs, mons = make_mt_pipeline(
-                meb_cls, threads=4, items=items, n_stages=3
+            handle.sim.restore(pristine)
+            scenario = make_scenario(
+                "mt_pipeline",
+                params={"threads": 4, "n_stages": 3, "meb": name},
+                stimulus={"kind": "active", "active": m,
+                          "items_per_thread": 40, "max_cycles": 2000},
+                metrics={"warmup": 6, "drain": 4},
             )
-            sim.run(until=lambda s: sink.count == n_items * m,
-                    max_cycles=2000)
-            window = steady_state_window(mons[-1], warmup=6, drain=4)
-            per_thread = [
-                mons[-1].throughput_window(*window, thread=t)
-                for t in range(m)
-            ]
+            metrics = family.run(handle, scenario)
+            per_thread = metrics["per_thread_throughput"][:m]
             results[name][m] = sum(per_thread) / m
     return results
 

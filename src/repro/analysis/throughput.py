@@ -42,34 +42,57 @@ class ChannelStats:
 def channel_stats(
     monitor: MTMonitor, start: int = 0, end: int | None = None
 ) -> ChannelStats:
-    """Summarize a monitor's recording over cycles ``[start, end)``."""
+    """Summarize a monitor's recording over cycles ``[start, end)``.
+
+    One columnar pass over the monitor's transfer columns — O(rows),
+    independent of the thread count — instead of re-materializing the
+    row list once per thread.  The window must lie inside the observed
+    range: asking for ``end`` beyond ``monitor.cycles_observed`` would
+    silently dilute throughput with never-simulated cycles, so it
+    raises instead.
+    """
+    observed = monitor.cycles_observed
     if end is None:
-        end = monitor.cycles_observed
+        end = observed
     if end <= start:
         raise ValueError(f"empty window [{start}, {end})")
-    span = end - start
-    per_thread = []
-    total = 0
-    transfers = monitor.transfers  # one row-major materialization
-    for t in range(monitor.threads):
-        cycles = [
-            c for c, th, _d in transfers if th == t and start <= c < end
-        ]
-        per_thread.append(
-            ThreadStats(
-                thread=t,
-                transfers=len(cycles),
-                throughput=len(cycles) / span,
-                first_cycle=min(cycles) if cycles else None,
-                last_cycle=max(cycles) if cycles else None,
-            )
+    if end > observed:
+        raise ValueError(
+            f"window [{start}, {end}) extends beyond the "
+            f"{observed} observed cycles; run the simulation further or "
+            f"clamp the window"
         )
-        total += len(cycles)
+    span = end - start
+    threads = monitor.threads
+    counts = [0] * threads
+    first: list[int | None] = [None] * threads
+    last: list[int | None] = [None] * threads
+    tr_cycle, tr_thread = monitor.transfer_columns()
+    # Columns are appended in simulation order, so cycles ascend: the
+    # first in-window hit per thread is its first_cycle, the latest its
+    # last_cycle.
+    for c, t in zip(tr_cycle, tr_thread):
+        if start <= c < end:
+            counts[t] += 1
+            if first[t] is None:
+                first[t] = c
+            last[t] = c
+    per_thread = tuple(
+        ThreadStats(
+            thread=t,
+            transfers=counts[t],
+            throughput=counts[t] / span,
+            first_cycle=first[t],
+            last_cycle=last[t],
+        )
+        for t in range(threads)
+    )
+    total = sum(counts)
     return ChannelStats(
         cycles=span,
         transfers=total,
         utilization=total / span,
-        per_thread=tuple(per_thread),
+        per_thread=per_thread,
     )
 
 
@@ -81,12 +104,18 @@ def steady_state_window(
     The tail is clipped at the last observed transfer minus *drain* so a
     finite workload's trailing idle cycles do not dilute throughput.
     """
-    transfers = monitor.transfers  # one row-major materialization
-    if not transfers:
-        return (0, max(1, monitor.cycles_observed))
-    last = max(c for c, _t, _d in transfers)
+    observed = max(1, monitor.cycles_observed)
+    tr_cycle, _tr_thread = monitor.transfer_columns()
+    if not tr_cycle:
+        return (0, observed)
+    last = tr_cycle[-1]  # columns are in ascending cycle order
     start = warmup
     end = max(start + 1, last - drain)
+    # A run shorter than the requested warmup would otherwise yield a
+    # window past the recording, which channel_stats (correctly)
+    # rejects; clamp to the observed range instead.
+    end = min(end, observed)
+    start = max(0, min(start, end - 1))
     return (start, end)
 
 

@@ -94,6 +94,78 @@ class MessageStore(Component):
         return []  # block RAM, excluded like the paper's memories
 
 
+# ----------------------------------------------------------------------
+# compiled round steps
+# ----------------------------------------------------------------------
+# One settled cycle of the unrolled datapath applies up to 16 MD5 steps
+# to the active thread's token; the straightforward implementation pays
+# ~5 Python calls per step (md5_step -> round_function, message_index,
+# rotl32, table indexing).  Because the per-round configuration (boolean
+# function, message schedule, rotation amounts, additive constants) is
+# static, the whole slice can instead be code-generated once per
+# (round, step-window) into a single straight-line function with every
+# constant folded in — the software analogue of the paper's unrolled
+# single-cycle round, and the "batch the per-thread fn calls" lever: a
+# thread's pass through the datapath is now ONE call instead of ~80.
+# The generated arithmetic mirrors reference.md5_step expression for
+# expression, so results stay bit-identical to the reference (which the
+# MD5 tests check against hashlib).
+
+_ROUND_F = (
+    "(({b} & {c}) | (~{b} & {d} & {M}))",          # F
+    "(({d} & {b}) | (~{d} & {c} & {M}))",          # G
+    "({b} ^ {c} ^ {d})",                           # H
+    "({c} ^ ({b} | (~{d} & {M})))",                # I
+)
+
+_STEP_FNS: dict[tuple[int, int, int], object] = {}
+
+
+def compiled_round_steps(round_idx: int, start_step: int, n_steps: int):
+    """``fn(state, block) -> state`` applying the given step window.
+
+    Generated on first use and cached; behaviourally identical to
+    folding :func:`repro.apps.md5.reference.md5_step` over
+    ``range(start_step, start_step + n_steps)``.
+    """
+    key = (round_idx, start_step, n_steps)
+    fn = _STEP_FNS.get(key)
+    if fn is None:
+        mask = ref.MASK32
+        needed = sorted(
+            {
+                ref.message_index(round_idx, step)
+                for step in range(start_step, start_step + n_steps)
+            }
+        )
+        lines = ["def _steps(state, block):", "    a, b, c, d = state"]
+        lines += [f"    m{g} = block[{g}]" for g in needed]
+        # Role rotation without per-step tuple assignment: after each
+        # step the working registers are (d, new_b, b, c); track the
+        # names statically and introduce one fresh temporary per step.
+        na, nb, nc, nd = "a", "b", "c", "d"
+        for step in range(start_step, start_step + n_steps):
+            i = round_idx * ref.STEPS_PER_ROUND + step
+            g = ref.message_index(round_idx, step)
+            s = ref.S[i]
+            f_expr = _ROUND_F[round_idx].format(b=nb, c=nc, d=nd, M=mask)
+            x = f"x{step}"
+            t = f"t{step}"
+            lines.append(
+                f"    {x} = ({na} + {f_expr} + {ref.K[i]} + m{g}) & {mask}"
+            )
+            lines.append(
+                f"    {t} = ({nb} + ((({x} << {s}) | ({x} >> {32 - s}))"
+                f" & {mask})) & {mask}"
+            )
+            na, nb, nc, nd = nd, t, nb, nc
+        lines.append(f"    return ({na}, {nb}, {nc}, {nd})")
+        ns: dict[str, object] = {}
+        exec("\n".join(lines), ns)  # noqa: S102 - trusted codegen
+        fn = _STEP_FNS[key] = ns["_steps"]
+    return fn
+
+
 def round_logic(
     token: MD5Token,
     thread: int,
@@ -118,7 +190,8 @@ def round_logic(
             "(barrier invariant broken)"
         )
     block = store.read(thread, token.block_ref)
-    state = ref.md5_round(token.state, block, token.round_idx)
+    steps = compiled_round_steps(token.round_idx, 0, ref.STEPS_PER_ROUND)
+    state = steps(token.state, block)
     return MD5Token(state, token.round_idx + 1, token.block_ref)
 
 
@@ -154,9 +227,8 @@ def partial_round_logic(
             f"global counter at {expected_round % ref.N_ROUNDS}"
         )
     block = store.read(thread, token.block_ref)
-    state = token.state
-    for step in range(token.step_idx, token.step_idx + n_steps):
-        state = ref.md5_step(state, block, token.round_idx, step)
+    steps = compiled_round_steps(token.round_idx, token.step_idx, n_steps)
+    state = steps(token.state, block)
     next_step = token.step_idx + n_steps
     if next_step >= ref.STEPS_PER_ROUND:
         return MD5Token(state, token.round_idx + 1, token.block_ref, 0)

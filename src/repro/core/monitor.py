@@ -62,6 +62,16 @@ class MTMonitor(Component):
         """Transfer rows: (cycle, thread, data)."""
         return list(zip(self._tr_cycle, self._tr_thread, self._tr_data))
 
+    def transfer_columns(self) -> tuple[list[int], list[int]]:
+        """The raw (cycle, thread) transfer columns, ascending by cycle.
+
+        Zero-copy views of the live recording for columnar consumers
+        (:func:`repro.analysis.throughput.channel_stats` does one pass
+        over these instead of re-materializing row tuples per thread);
+        callers must not mutate them.
+        """
+        return self._tr_cycle, self._tr_thread
+
     @property
     def cycles_observed(self) -> int:
         return self._cycle

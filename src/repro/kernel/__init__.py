@@ -13,11 +13,13 @@ from repro.kernel.errors import (
     KernelError,
     ProtocolError,
     SimulationError,
+    SnapshotError,
     WiringError,
 )
 from repro.kernel.signal import Signal, const
 from repro.kernel.simulator import Simulator, build
 from repro.kernel.slots import SeqPlan, SeqStore, SlotStore
+from repro.kernel.snapshot import SimSnapshot
 from repro.kernel.trace import TraceRecorder, trace_signals
 from repro.kernel.values import X, as_bool, bit, is_x, onehot_index, popcount, same_value
 
@@ -30,9 +32,11 @@ __all__ = [
     "NaiveEngine",
     "KernelError",
     "ProtocolError",
+    "SimSnapshot",
     "SimulationError",
     "Signal",
     "Simulator",
+    "SnapshotError",
     "SeqPlan",
     "SeqStore",
     "SlotStore",

@@ -55,3 +55,12 @@ class WiringError(KernelError):
 
 class SimulationError(KernelError):
     """A generic runtime failure during simulation (bad state, bad value)."""
+
+
+class SnapshotError(KernelError):
+    """A simulator snapshot could not be taken or restored.
+
+    Raised by :mod:`repro.kernel.snapshot` when a component holds state
+    that cannot be copied (e.g. a live iterator), or when a snapshot is
+    restored onto a simulator whose structure no longer matches it.
+    """

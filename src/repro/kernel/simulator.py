@@ -79,6 +79,12 @@ from repro.kernel.engine import ENGINES, make_engine
 from repro.kernel.errors import SimulationError
 from repro.kernel.signal import Signal
 from repro.kernel.slots import SeqStore, SlotStore
+from repro.kernel.snapshot import (
+    ForkContext,
+    SimSnapshot,
+    restore_snapshot,
+    take_snapshot,
+)
 
 
 class Simulator:
@@ -137,6 +143,9 @@ class Simulator:
         self._seq_commit: Callable[[], None] | None = None
         self._seq_fusible: Callable[[], bool] | None = None
         self._seq_covers_ticks = False
+        self._snapshot_hooks: list[
+            tuple[Callable[[], Any], Callable[[Any], None]]
+        ] = []
         self._finalized = False
 
     # ------------------------------------------------------------------
@@ -300,6 +309,61 @@ class Simulator:
         for comp in self._reset_list:
             comp.reset()
         self.cycle = 0
+
+    # ------------------------------------------------------------------
+    # snapshot / restore / fork
+    # ------------------------------------------------------------------
+    def add_snapshot_hook(
+        self,
+        save: Callable[[], Any],
+        load: Callable[[Any], None],
+    ) -> None:
+        """Register extra (non-component) state with the snapshot layer.
+
+        *save* returns a copyable blob of the state; *load* receives a
+        private copy of that blob on every restore.  Used for state that
+        lives outside the component tree but inside the simulated
+        semantics — e.g. the MD5 circuit's global round counter.
+        """
+        self._snapshot_hooks.append((save, load))
+
+    def snapshot(self) -> SimSnapshot:
+        """Capture the complete simulation state at this point.
+
+        One columnar copy of the signal store and the sequential-state
+        store plus a structure-sharing copy of every component's
+        registered Python state (monitor columns, endpoint logs, FSMs).
+        The snapshot is immutable with respect to further simulation:
+        restoring and running never corrupts it, so a single warm-up
+        snapshot can seed any number of forked trajectories.  See
+        :mod:`repro.kernel.snapshot` for the exact contract.
+        """
+        self._finalize()
+        return take_snapshot(self)
+
+    def restore(self, snap: SimSnapshot) -> None:
+        """Rewind this simulator to *snap* (taken from this instance).
+
+        State is written through the existing objects (lists in place,
+        helper objects' ``__dict__`` rewritten) so compiled closures
+        keep their bindings; afterwards everything is marked stale, as
+        after any out-of-band mutation.  Out-of-band inputs applied
+        since the snapshot (``push``, ``block``) are rewound with it.
+        """
+        self._finalize()
+        restore_snapshot(self, snap)
+
+    def fork(self) -> ForkContext:
+        """Branch point: ``with sim.fork(): ...`` rewinds on exit.
+
+        Takes a snapshot immediately; the ``with`` body runs one
+        trajectory (push stimulus, run, measure) and the exit restores
+        the branch-point state — warm-up cycles are paid once and
+        shared by every variant.  Entering the context yields the
+        underlying :class:`SimSnapshot` for explicit reuse.
+        """
+        self._finalize()
+        return ForkContext(self)
 
     # ------------------------------------------------------------------
     # evaluation

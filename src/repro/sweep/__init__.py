@@ -1,0 +1,47 @@
+"""Batch simulation campaigns: declarative sweeps over the design space.
+
+The paper's evaluation is a *campaign* — one elastic SMT design family
+swept over thread counts, buffer depths, MEB flavors and stimulus
+patterns.  This package is the layer that runs such campaigns:
+
+* :mod:`repro.sweep.spec` — declarative scenario specs (design family ×
+  parameter grid × stimulus × metrics), loadable from a dict, JSON, or
+  TOML (Python 3.11+).
+* :mod:`repro.sweep.registry` / :mod:`repro.sweep.families` — the
+  design-family registry, absorbing the workload factories previously
+  duplicated across the ``benchmarks/`` scripts.
+* :mod:`repro.sweep.runner` — campaign execution: deterministic
+  scenario seeds, multiprocess sharding with per-worker design reuse
+  (built once, rewound between scenarios via the kernel's columnar
+  :meth:`~repro.kernel.simulator.Simulator.snapshot`/``restore``), and
+  graceful per-scenario failure reporting.
+* :mod:`repro.sweep.report` — aggregation of throughput and cost-model
+  numbers into one JSON/markdown campaign report.
+
+CLI: ``python -m repro.sweep run <spec> [--workers N]``.
+"""
+
+from repro.sweep.registry import family_names, get_family, register_family
+from repro.sweep.report import aggregate, render_markdown
+from repro.sweep.runner import run_campaign
+from repro.sweep.spec import (
+    CampaignSpec,
+    ScenarioSpec,
+    SweepSpecError,
+    load_spec,
+    make_scenario,
+)
+
+__all__ = [
+    "CampaignSpec",
+    "ScenarioSpec",
+    "SweepSpecError",
+    "aggregate",
+    "family_names",
+    "get_family",
+    "load_spec",
+    "make_scenario",
+    "register_family",
+    "render_markdown",
+    "run_campaign",
+]

@@ -1,0 +1,108 @@
+"""CLI for simulation campaigns: ``python -m repro.sweep <command>``.
+
+Commands:
+
+* ``run <spec> [--workers N] [--engine E] [--out DIR] [--name BASE]`` —
+  execute a campaign spec (TOML on Python 3.11+, JSON everywhere) and
+  write ``<BASE>.json`` + ``<BASE>.md`` reports.  Exit status is
+  non-zero when any scenario failed.
+* ``validate <spec>`` — expand the spec, check every family is
+  registered, and print the scenario list without running anything.
+* ``families`` — list the registered design families.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.sweep.registry import family_names, get_family
+from repro.sweep.report import write_report
+from repro.sweep.runner import run_campaign
+from repro.sweep.spec import SweepSpecError, load_spec
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    report = run_campaign(spec, workers=args.workers, engine=args.engine)
+    json_path, md_path = write_report(report, args.out, args.name)
+    summary = report["summary"]
+    print(
+        f"campaign {spec.name!r}: {summary['ok']}/{summary['scenarios']} "
+        f"scenarios ok in {summary['elapsed_s']}s "
+        f"({report['campaign']['workers']} worker(s))"
+    )
+    print(f"wrote {json_path} and {md_path}")
+    if summary["failed"]:
+        for row in report["scenarios"]:
+            if row.get("status") != "ok":
+                print(
+                    f"FAILED {row['key']}: {row['status']}",
+                    file=sys.stderr,
+                )
+        return 1
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    spec = load_spec(args.spec)
+    problems = 0
+    for scenario in spec.scenarios:
+        try:
+            get_family(scenario.family)
+            status = "ok"
+        except KeyError as exc:
+            status = f"ERROR: {exc}"
+            problems += 1
+        print(f"{scenario.key:50s} seed={scenario.seed} {status}")
+    print(
+        f"{len(spec.scenarios)} scenarios, "
+        f"{len({s.design_key() for s in spec.scenarios})} distinct designs"
+    )
+    return 1 if problems else 0
+
+
+def _cmd_families(_args: argparse.Namespace) -> int:
+    for name in family_names():
+        family = get_family(name)
+        reuse = "reusable" if family.reusable else "rebuilt per scenario"
+        print(f"{name:12s} [{reuse}] {family.description}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.sweep",
+        description="Batch simulation campaigns over the elastic designs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="execute a campaign spec")
+    p_run.add_argument("spec", help="path to a .toml or .json campaign spec")
+    p_run.add_argument("--workers", type=int, default=None,
+                       help="process count (default: spec's campaign.workers)")
+    p_run.add_argument("--engine", default=None,
+                       help="settle engine override (naive/event/compiled)")
+    p_run.add_argument("--out", default="sweep-results",
+                       help="output directory (default: sweep-results)")
+    p_run.add_argument("--name", default="campaign",
+                       help="report basename (default: campaign)")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_val = sub.add_parser("validate", help="expand and check a spec")
+    p_val.add_argument("spec")
+    p_val.set_defaults(fn=_cmd_validate)
+
+    p_fam = sub.add_parser("families", help="list registered families")
+    p_fam.set_defaults(fn=_cmd_families)
+
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except SweepSpecError as exc:
+        print(f"spec error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

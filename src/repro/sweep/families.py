@@ -1,0 +1,595 @@
+"""Built-in design families and the shared workload factories.
+
+The ``make_*`` factories here are the single home of the pipeline
+builders that the benchmark harness used to carry privately
+(``benchmarks/_pipelines.py`` now re-exports them): an MT pipeline, the
+bursty variant, the dense shared-function chain and the recirculating
+elastic ring.  On top of them, this module registers the campaign
+design families (see :mod:`repro.sweep.registry`):
+
+========================  =====================================  =========
+family                    structural params                      reusable
+========================  =====================================  =========
+``mt_pipeline``           threads, n_stages, meb, width          yes
+``mt_chain``              threads, n_funcs, width                yes
+``mt_ring``               threads, n_funcs, trips, width         yes
+``md5``                   threads, meb, round_stages             no
+``processor``             threads, meb                           no
+========================  =====================================  =========
+
+Reusable families are built once per worker and rewound between
+scenarios through the kernel's columnar snapshot/restore; traffic is
+applied exclusively through ``push`` so a warm simulator never needs a
+recompile.  Stimulus kinds for the channel families:
+
+* ``uniform`` — ``items_per_thread`` items on every thread.
+* ``active`` — the 1/M-law shape: ``items_per_thread`` items on the
+  first ``active`` threads, the rest idle.
+* ``random`` — per-thread item counts drawn from
+  ``[items_min, items_max]`` with the scenario's deterministic seed.
+* ``bursty`` — ``bursts`` rounds of ``burst`` items per thread, each
+  followed by a fixed ``gap``-cycle window (the settle+tick fusion
+  shape).
+
+Any of these may carry ``variants`` — a list of stimulus blocks run
+from a shared branch point: the base stimulus plus ``warmup_cycles``
+are simulated once, a fork snapshot marks the branch, and every variant
+replays from it (:meth:`~repro.kernel.simulator.Simulator.fork`), so
+the warm-up is paid once per design instead of once per variant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.throughput import (
+    channel_stats,
+    fairness_index,
+    steady_state_window,
+)
+from repro.core import (
+    FullMEB,
+    GrantPolicy,
+    MBranch,
+    MMerge,
+    MTChannel,
+    MTFunction,
+    MTMonitor,
+    MTSink,
+    MTSource,
+    ReducedMEB,
+)
+from repro.cost.model import AreaModel, TimingModel
+from repro.elastic.endpoints import Pattern
+from repro.kernel import Component, Simulator, build
+from repro.sweep.registry import Family, register_family
+from repro.sweep.spec import ScenarioSpec
+
+MEB_KINDS = {"full": FullMEB, "reduced": ReducedMEB}
+
+
+# ----------------------------------------------------------------------
+# shared workload factories (previously benchmarks/_pipelines.py)
+# ----------------------------------------------------------------------
+
+def make_mt_pipeline(
+    meb_cls,
+    threads: int,
+    items: Sequence[Iterable[Any]],
+    n_stages: int = 2,
+    src_patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
+    sink_patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
+    policy: GrantPolicy = GrantPolicy.MASKED_FALLBACK,
+    width: int = 32,
+    engine: str | None = None,
+):
+    """source -> MEB^n_stages -> sink with a monitor on every channel."""
+    chans = [
+        MTChannel(f"ch{i}", threads=threads, width=width)
+        for i in range(n_stages + 1)
+    ]
+    source = MTSource("src", chans[0], items=items, patterns=src_patterns)
+    mebs = [
+        meb_cls(f"meb{i}", chans[i], chans[i + 1], policy=policy)
+        for i in range(n_stages)
+    ]
+    sink = MTSink("snk", chans[-1], patterns=sink_patterns)
+    monitors = [MTMonitor(f"mon{i}", ch) for i, ch in enumerate(chans)]
+    sim = build(*chans, source, *mebs, sink, *monitors, engine=engine)
+    return sim, source, sink, mebs, monitors
+
+
+def make_mt_bursty(
+    meb_cls,
+    threads: int,
+    n_stages: int = 2,
+    width: int = 32,
+    engine: str | None = None,
+):
+    """An MT pipeline fed in bursts with long quiescent gaps.
+
+    Built like :func:`make_mt_pipeline` (monitors included) but with
+    empty source streams: the caller pushes a burst of items per thread,
+    runs a fixed-length window (``sim.run(cycles=gap)``), and repeats.
+    Once a burst drains, the design is fully quiescent for the rest of
+    the window — the workload shape the compiled engine's settle+tick
+    fusion batches, while the event engine still pays per-cycle
+    scheduling and the full tick dispatch.
+    """
+    items = [[] for _ in range(threads)]
+    return make_mt_pipeline(
+        meb_cls, threads=threads, items=items, n_stages=n_stages,
+        width=width, engine=engine,
+    )
+
+
+def make_mt_chain(
+    threads: int,
+    n_funcs: int,
+    n_items: int,
+    width: int = 32,
+    engine: str | None = None,
+    with_monitor: bool = False,
+):
+    """source -> MEB -> shared-function chain -> MEB -> sink.
+
+    The paper's §I motif — one copy of the datapath logic serving all
+    threads time-multiplexed — as a pure dense chain: every stage is a
+    combinational :class:`MTFunction`, so the settle phase dominates and
+    the declared dependency graph is one long acyclic run (the compiled
+    engine fuses it into a single straight-line function).
+
+    ``with_monitor=True`` adds an output-channel monitor and returns it
+    as a fourth element (the campaign runner's measurement point); the
+    default keeps the monitor-free three-tuple the perf benchmarks time.
+    """
+    chans = [
+        MTChannel(f"c{i}", threads=threads, width=width)
+        for i in range(n_funcs + 3)
+    ]
+    source = MTSource(
+        "src", chans[0],
+        items=[list(range(n_items)) for _ in range(threads)],
+    )
+    meb_in = FullMEB("meb_in", chans[0], chans[1])
+    funcs = [
+        MTFunction(
+            f"f{k}", chans[1 + k], chans[2 + k],
+            fn=(lambda x, k=k: (x * 7 + k) & 0xFFFF), pure=True,
+        )
+        for k in range(n_funcs)
+    ]
+    meb_out = FullMEB("meb_out", chans[n_funcs + 1], chans[n_funcs + 2])
+    sink = MTSink("snk", chans[-1])
+    extra = [MTMonitor("out_mon", chans[-1])] if with_monitor else []
+    sim = build(*chans, source, meb_in, *funcs, meb_out, sink, *extra,
+                engine=engine)
+    if with_monitor:
+        return sim, source, sink, extra[0]
+    return sim, source, sink
+
+
+def make_mt_ring(
+    threads: int,
+    n_funcs: int,
+    trips: int,
+    width: int = 32,
+    engine: str | None = None,
+    items: Sequence[Iterable[Any]] | None = None,
+    with_monitor: bool = False,
+):
+    """Recirculating elastic ring: merge -> MEB -> functions -> branch.
+
+    The MD5-style loop topology (paper Fig. 1) distilled to the
+    substrate: one token per thread makes *trips* passes around the
+    ring before the branch releases it.  The whole ring is one cyclic
+    SCC, exercising the engines' worklist path with ~every member
+    switching every cycle.  Ring tokens are ``(value, trip_count)``
+    pairs; *items* overrides the default one-token-per-thread streams
+    (pass empty streams for push-based stimulus), and
+    ``with_monitor=True`` appends an exit-channel monitor as a fourth
+    return element.
+    """
+    c_new = MTChannel("c_new", threads, width)
+    c_loop = MTChannel("c_loop", threads, width)
+    c_rec = MTChannel("c_rec", threads, width)
+    c_out = MTChannel("c_out", threads, width)
+    c_fin = MTChannel("c_fin", threads, width)
+    inner = [MTChannel(f"ci{k}", threads, width) for k in range(n_funcs + 1)]
+    if items is None:
+        items = [[(t, 0)] for t in range(threads)]
+    source = MTSource("src", c_new, items=items)
+    merge = MMerge("merge", [c_new, c_rec], c_loop)
+    meb_in = FullMEB("meb_in", c_loop, inner[0])
+    funcs = [
+        MTFunction(
+            f"f{k}", inner[k], inner[k + 1],
+            fn=(lambda d, k=k: ((d[0] * 5 + k) & 0xFFFF, d[1])), pure=True,
+        )
+        for k in range(n_funcs)
+    ]
+    meb_out = FullMEB("meb_out", inner[-1], c_out)
+    branch = MBranch(
+        "br", c_out, [c_rec, c_fin],
+        selector=lambda d: 1 if d[1] >= trips - 1 else 0,
+        route=lambda d: (d[0], d[1] + 1),
+    )
+    sink = MTSink("snk", c_fin)
+    extra = [MTMonitor("out_mon", c_fin)] if with_monitor else []
+    sim = build(c_new, c_loop, c_rec, c_out, c_fin, *inner, source, merge,
+                meb_in, *funcs, meb_out, branch, sink, *extra,
+                engine=engine)
+    if with_monitor:
+        return sim, source, sink, extra[0]
+    return sim, source, sink
+
+
+# ----------------------------------------------------------------------
+# family handles and shared metric helpers
+# ----------------------------------------------------------------------
+
+@dataclass
+class DesignHandle:
+    """What a built channel family hands the campaign runner."""
+
+    sim: Simulator
+    source: Any
+    sink: Any
+    monitor: Any                      # the output-channel monitor
+    area_components: list[Component] = field(default_factory=list)
+    threads: int = 0
+
+
+def _cost_metrics(components: Iterable[Component]) -> dict:
+    """Fold the structural inventory through the Table-I cost models.
+
+    ``fmax_mhz`` is the wire-dominated relative estimate (zero logic
+    depth): meaningful for comparing points of one sweep, not as an
+    absolute frequency.
+    """
+    model = AreaModel()
+    total = None
+    for comp in components:
+        area = model.component_area(comp)
+        total = area if total is None else total + area
+    if total is None:
+        return {}
+    timing = TimingModel()
+    return {
+        "area_le": round(total.total_le, 1),
+        "ff_bits": total.ff_bits,
+        "mux_bits": total.mux_bits,
+        "luts": total.luts,
+        "fmax_mhz": round(timing.fmax_mhz(0.0, total.total_le), 2)
+        if total.total_le > 0
+        else None,
+    }
+
+
+def _channel_metrics(handle: DesignHandle, metrics: Mapping[str, Any]) -> dict:
+    """Throughput/utilization numbers over the scenario's window."""
+    monitor = handle.monitor
+    warmup = int(metrics.get("warmup", 0))
+    drain = int(metrics.get("drain", 0))
+    if metrics.get("window", "steady") == "steady" and (warmup or drain):
+        window = steady_state_window(monitor, warmup=warmup, drain=drain)
+    else:
+        window = (0, max(1, monitor.cycles_observed))
+    stats = channel_stats(monitor, *window)
+    per_thread = [ts.throughput for ts in stats.per_thread]
+    return {
+        "cycles": handle.sim.cycle,
+        "window": list(window),
+        "transfers": stats.transfers,
+        "utilization": stats.utilization,
+        "per_thread_throughput": per_thread,
+        "fairness": fairness_index([tp for tp in per_thread if tp > 0]),
+    }
+
+
+def _item_value(thread: int, k: int) -> int:
+    return (thread << 16) | (k & 0xFFFF)
+
+
+def _per_thread_counts(
+    threads: int, stimulus: Mapping[str, Any], seed: int
+) -> list[int]:
+    """Resolve a stimulus block into per-thread item counts."""
+    kind = stimulus.get("kind", "uniform")
+    if kind == "uniform":
+        return [int(stimulus.get("items_per_thread", 16))] * threads
+    if kind == "active":
+        active = int(stimulus.get("active", threads))
+        n = int(stimulus.get("items_per_thread", 16))
+        return [n if t < active else 0 for t in range(threads)]
+    if kind == "random":
+        rng = random.Random(seed)
+        lo = int(stimulus.get("items_min", 1))
+        hi = int(stimulus.get("items_max", 24))
+        return [rng.randint(lo, hi) for _ in range(threads)]
+    raise ValueError(f"unknown stimulus kind {kind!r}")
+
+
+def _push_plan(
+    handle: DesignHandle,
+    stimulus: Mapping[str, Any],
+    seed: int,
+    make_item=_item_value,
+) -> int:
+    """Push one stimulus block's items; returns the number pushed."""
+    per_thread = _per_thread_counts(handle.threads, stimulus, seed)
+    pushed = 0
+    for t, n in enumerate(per_thread):
+        for k in range(n):
+            handle.source.push(t, make_item(t, k))
+        pushed += n
+    return pushed
+
+
+def _drive_to_completion(
+    handle: DesignHandle, expected: int, stimulus: Mapping[str, Any]
+) -> None:
+    base = handle.sink.count
+    max_cycles = int(stimulus.get("max_cycles", 50_000))
+    handle.sim.run(
+        until=lambda _s: handle.sink.count >= base + expected,
+        max_cycles=max_cycles,
+    )
+
+
+def _run_channel_scenario(
+    handle: DesignHandle,
+    scenario: ScenarioSpec,
+    make_item=_item_value,
+) -> dict:
+    stimulus = scenario.stimulus
+    kind = stimulus.get("kind", "uniform")
+    variants = stimulus.get("variants")
+    if variants:
+        return _run_variants(handle, scenario, make_item)
+    if kind == "bursty":
+        bursts = int(stimulus.get("bursts", 3))
+        burst = int(stimulus.get("burst", 8))
+        gap = int(stimulus.get("gap", 200))
+        for b in range(bursts):
+            for t in range(handle.threads):
+                for k in range(burst):
+                    handle.source.push(t, make_item(t, b * burst + k))
+            handle.sim.run(cycles=gap)
+        out = _channel_metrics(handle, scenario.metrics)
+    else:
+        expected = _push_plan(handle, stimulus, scenario.seed, make_item)
+        _drive_to_completion(handle, expected, stimulus)
+        out = _channel_metrics(handle, scenario.metrics)
+    out.update(_cost_metrics(handle.area_components))
+    return out
+
+
+def _run_variants(
+    handle: DesignHandle, scenario: ScenarioSpec, make_item=_item_value
+) -> dict:
+    """Fork-based variant execution: warm up once, branch per variant."""
+    stimulus = scenario.stimulus
+    base = stimulus.get("base")
+    if base:
+        _push_plan(handle, base, scenario.seed, make_item)
+    warmup_cycles = int(stimulus.get("warmup_cycles", 0))
+    if warmup_cycles:
+        handle.sim.run(cycles=warmup_cycles)
+    results = []
+    for i, variant in enumerate(stimulus["variants"]):
+        with handle.sim.fork():
+            expected = _push_plan(
+                handle, variant, scenario.seed + i, make_item
+            )
+            _drive_to_completion(handle, expected, variant)
+            row = _channel_metrics(handle, scenario.metrics)
+            row["variant"] = i
+            results.append(row)
+    out = {
+        "cycles": handle.sim.cycle,
+        "branch_cycle": handle.sim.cycle,
+        "variants": results,
+    }
+    out.update(_cost_metrics(handle.area_components))
+    return out
+
+
+# ----------------------------------------------------------------------
+# built-in family definitions
+# ----------------------------------------------------------------------
+
+def _meb_cls(params: Mapping[str, Any]):
+    kind = str(params.get("meb", "reduced"))
+    if kind not in MEB_KINDS:
+        raise ValueError(f"meb must be one of {sorted(MEB_KINDS)}")
+    return MEB_KINDS[kind]
+
+
+def _build_mt_pipeline(params: Mapping[str, Any], engine: str | None):
+    threads = int(params.get("threads", 4))
+    n_stages = int(params.get("n_stages", 2))
+    width = int(params.get("width", 32))
+    sim, source, sink, mebs, monitors = make_mt_pipeline(
+        _meb_cls(params),
+        threads=threads,
+        items=[[] for _ in range(threads)],
+        n_stages=n_stages,
+        width=width,
+        engine=engine,
+    )
+    return DesignHandle(
+        sim=sim, source=source, sink=sink, monitor=monitors[-1],
+        area_components=list(mebs), threads=threads,
+    )
+
+
+def _build_mt_chain(params: Mapping[str, Any], engine: str | None):
+    threads = int(params.get("threads", 4))
+    n_funcs = int(params.get("n_funcs", 4))
+    width = int(params.get("width", 32))
+    sim, source, sink, monitor = make_mt_chain(
+        threads=threads, n_funcs=n_funcs, n_items=0, width=width,
+        engine=engine, with_monitor=True,
+    )
+    mebs = [sim.find("meb_in"), sim.find("meb_out")]
+    return DesignHandle(
+        sim=sim, source=source, sink=sink, monitor=monitor,
+        area_components=mebs, threads=threads,
+    )
+
+
+def _build_mt_ring(params: Mapping[str, Any], engine: str | None):
+    threads = int(params.get("threads", 4))
+    n_funcs = int(params.get("n_funcs", 2))
+    trips = int(params.get("trips", 4))
+    width = int(params.get("width", 32))
+    sim, source, sink, monitor = make_mt_ring(
+        threads=threads, n_funcs=n_funcs, trips=trips, width=width,
+        engine=engine, items=[[] for _ in range(threads)],
+        with_monitor=True,
+    )
+    mebs = [sim.find("meb_in"), sim.find("meb_out"), sim.find("merge"),
+            sim.find("br")]
+    return DesignHandle(
+        sim=sim, source=source, sink=sink, monitor=monitor,
+        area_components=mebs, threads=threads,
+    )
+
+
+def _run_mt_ring(handle: DesignHandle, scenario: ScenarioSpec) -> dict:
+    """Wave-based ring stimulus: at most one in-flight token per thread.
+
+    A thread's fresh token (on ``c_new``) and its recirculating token
+    (on ``c_rec``) would otherwise reach the M-Merge simultaneously — a
+    protocol violation — so ``items_per_thread`` is delivered as that
+    many complete waves, exactly like the MD5 driver's block waves.
+    """
+    stimulus = scenario.stimulus
+    counts = _per_thread_counts(
+        handle.threads, stimulus, scenario.seed
+    )
+    wave = 0
+    while any(counts):
+        pushed = 0
+        for t in range(handle.threads):
+            if counts[t]:
+                handle.source.push(t, (_item_value(t, wave), 0))
+                counts[t] -= 1
+                pushed += 1
+        _drive_to_completion(handle, pushed, stimulus)
+        wave += 1
+    out = _channel_metrics(handle, scenario.metrics)
+    out.update(_cost_metrics(handle.area_components))
+    return out
+
+
+def _build_md5(params: Mapping[str, Any], engine: str | None):
+    from repro.apps.md5 import MD5Hasher
+
+    return MD5Hasher(
+        threads=int(params.get("threads", 4)),
+        meb=str(params.get("meb", "reduced")),
+        round_stages=int(params.get("round_stages", 1)),
+        engine=engine,
+    )
+
+
+def _run_md5(hasher, scenario: ScenarioSpec) -> dict:
+    import hashlib
+
+    stimulus = scenario.stimulus
+    count = int(stimulus.get("messages", hasher.threads))
+    size = int(stimulus.get("size", 24))
+    rng = random.Random(scenario.seed)
+    messages = [
+        bytes(rng.randrange(256) for _ in range(size)) for _ in range(count)
+    ]
+    digests = hasher.hash_messages(messages)
+    ok = digests == [hashlib.md5(m).hexdigest() for m in messages]
+    circuit = hasher.circuit
+    cycles = circuit.sim.cycle
+    stats = channel_stats(
+        circuit.out_monitor, 0, max(1, circuit.out_monitor.cycles_observed)
+    )
+    out = {
+        "cycles": cycles,
+        "messages": count,
+        "cycles_per_digest": cycles / count,
+        "digests_ok": ok,
+        "transfers": stats.transfers,
+        "utilization": stats.utilization,
+        "per_thread_throughput": [
+            ts.throughput for ts in stats.per_thread
+        ],
+    }
+    out.update(_cost_metrics(circuit.area_components()))
+    return out
+
+
+def _build_processor(params: Mapping[str, Any], engine: str | None):
+    from repro.apps.processor import Processor
+
+    return Processor(
+        threads=int(params.get("threads", 4)),
+        meb=str(params.get("meb", "reduced")),
+        engine=engine,
+    )
+
+
+def _run_processor(cpu, scenario: ScenarioSpec) -> dict:
+    from repro.apps.processor import programs
+
+    mix = programs.standard_mix()
+    for t in range(cpu.threads):
+        cpu.load_program(t, mix[t % len(mix)].source)
+    stats = cpu.run()
+    return {
+        "cycles": stats.cycles,
+        "retired": stats.total_retired,
+        "ipc": stats.ipc,
+    }
+
+
+register_family(Family(
+    name="mt_pipeline",
+    build=_build_mt_pipeline,
+    run=_run_channel_scenario,
+    reusable=True,
+    description="source -> MEB^n -> sink (params: threads, n_stages, "
+                "meb, width)",
+))
+register_family(Family(
+    name="mt_chain",
+    build=_build_mt_chain,
+    run=_run_channel_scenario,
+    reusable=True,
+    description="MEB-bounded shared-function chain (params: threads, "
+                "n_funcs, width)",
+))
+register_family(Family(
+    name="mt_ring",
+    build=_build_mt_ring,
+    run=_run_mt_ring,
+    reusable=True,
+    description="recirculating elastic ring (params: threads, n_funcs, "
+                "trips, width)",
+))
+register_family(Family(
+    name="md5",
+    build=_build_md5,
+    run=_run_md5,
+    reusable=False,
+    description="multithreaded elastic MD5 (params: threads, meb, "
+                "round_stages)",
+))
+register_family(Family(
+    name="processor",
+    build=_build_processor,
+    run=_run_processor,
+    reusable=False,
+    description="multithreaded elastic processor, standard program mix "
+                "(params: threads, meb)",
+))

@@ -1,0 +1,80 @@
+"""The design-family registry: name → builder/runner pair.
+
+A *family* is one buildable design shape (an MT pipeline, the elastic
+ring, the MD5 circuit, ...) exposed to the campaign layer through two
+callables:
+
+``build(params, engine) -> handle``
+    Construct and reset the design.  The handle carries the simulator
+    plus whatever the runner needs (sources, sinks, monitors, area
+    components).  Structural knobs (thread count, stage count, MEB
+    kind) are *params*; traffic is not — stimulus is applied by ``run``
+    so one built design serves many scenarios.
+
+``run(handle, scenario) -> metrics dict``
+    Apply the scenario's stimulus, drive the simulation, and return
+    JSON-serializable metrics.
+
+``reusable=True`` families keep no driver state outside the simulator,
+so the campaign runner builds them once per worker and rewinds between
+scenarios with the kernel's columnar snapshot/restore instead of a full
+recompile.  Families with software drivers holding their own state
+(MD5's hasher, the processor's program loader) set ``reusable=False``
+and are rebuilt per scenario.
+
+Built-in families live in :mod:`repro.sweep.families` and register
+themselves on import; external code can add more with
+:func:`register_family`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Callable, Mapping
+
+
+@dataclasses.dataclass(frozen=True)
+class Family:
+    """One registered design family (see module docstring)."""
+
+    name: str
+    build: Callable[[Mapping[str, Any], str | None], Any]
+    run: Callable[[Any, Any], dict]
+    reusable: bool = True
+    description: str = ""
+
+
+_REGISTRY: dict[str, Family] = {}
+
+
+def register_family(family: Family) -> Family:
+    """Register *family*; raises on duplicate names."""
+    if family.name in _REGISTRY:
+        raise ValueError(f"design family {family.name!r} already registered")
+    _REGISTRY[family.name] = family
+    return family
+
+
+def _ensure_builtins() -> None:
+    # Built-ins register on first lookup, not at package import, so the
+    # spec layer stays importable without pulling the whole component
+    # library in.
+    if "mt_pipeline" not in _REGISTRY:
+        import repro.sweep.families  # noqa: F401  (registers on import)
+
+
+def get_family(name: str) -> Family:
+    """Look up a family by name (built-ins load lazily)."""
+    _ensure_builtins()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(
+            f"unknown design family {name!r}; registered: {known}"
+        ) from None
+
+
+def family_names() -> list[str]:
+    _ensure_builtins()
+    return sorted(_REGISTRY)

@@ -1,0 +1,148 @@
+"""Campaign aggregation: one JSON structure, one markdown table.
+
+:func:`aggregate` folds the runner's per-scenario rows together with
+the campaign metadata into a single JSON-serializable report — the
+artifact CI uploads and the regression-diffable record of a campaign.
+:func:`render_markdown` turns the same structure into a human-readable
+summary: campaign header, per-family tables of throughput/cost numbers,
+and a failure section quoting each error.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import pathlib
+from typing import Any, Mapping, Sequence
+
+from repro.sweep.spec import CampaignSpec
+
+
+def aggregate(
+    spec: CampaignSpec,
+    rows: Sequence[Mapping[str, Any]],
+    engine: str | None,
+    workers: int,
+    elapsed_s: float,
+) -> dict[str, Any]:
+    """Fold scenario rows into the campaign report structure."""
+    ok = [r for r in rows if r.get("status") == "ok"]
+    failed = [r for r in rows if r.get("status") != "ok"]
+    families: dict[str, dict[str, Any]] = {}
+    for row in rows:
+        fam = families.setdefault(
+            row["family"], {"scenarios": 0, "ok": 0, "failed": 0}
+        )
+        fam["scenarios"] += 1
+        fam["ok" if row.get("status") == "ok" else "failed"] += 1
+    summary: dict[str, Any] = {
+        "scenarios": len(rows),
+        "ok": len(ok),
+        "failed": len(failed),
+        "families": families,
+        "elapsed_s": round(elapsed_s, 3),
+    }
+    cycles = [
+        r["metrics"]["cycles"]
+        for r in ok
+        if isinstance(r.get("metrics", {}).get("cycles"), int)
+    ]
+    if cycles:
+        summary["total_cycles"] = sum(cycles)
+    return {
+        "campaign": {
+            "name": spec.name,
+            "seed": spec.seed,
+            "engine": engine,
+            "workers": workers,
+        },
+        "summary": summary,
+        "scenarios": list(rows),
+    }
+
+
+_THROUGHPUT_COLS = (
+    ("cycles", "cycles"),
+    ("transfers", "transfers"),
+    ("utilization", "util"),
+    ("fairness", "fairness"),
+    ("cycles_per_digest", "cyc/digest"),
+    ("ipc", "ipc"),
+    ("retired", "retired"),
+    ("area_le", "area LE"),
+    ("fmax_mhz", "fmax MHz"),
+)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_markdown(report: Mapping[str, Any]) -> str:
+    """Render an aggregated campaign report as GitHub-flavored markdown."""
+    campaign = report["campaign"]
+    summary = report["summary"]
+    out = io.StringIO()
+    out.write(f"# Campaign `{campaign['name']}`\n\n")
+    out.write(
+        f"seed {campaign['seed']} · engine "
+        f"`{campaign['engine'] or 'default'}` · {campaign['workers']} "
+        f"worker(s) · {summary['scenarios']} scenarios "
+        f"({summary['ok']} ok, {summary['failed']} failed) · "
+        f"{summary['elapsed_s']}s\n\n"
+    )
+    by_family: dict[str, list[Mapping[str, Any]]] = {}
+    for row in report["scenarios"]:
+        by_family.setdefault(row["family"], []).append(row)
+    for family, rows in by_family.items():
+        ok_rows = [r for r in rows if r.get("status") == "ok"]
+        out.write(f"## {family}\n\n")
+        if not ok_rows:
+            out.write("(no successful scenarios)\n\n")
+            continue
+        cols = [
+            (key, label)
+            for key, label in _THROUGHPUT_COLS
+            if any(key in r["metrics"] for r in ok_rows)
+        ]
+        out.write(
+            "| scenario | " + " | ".join(label for _k, label in cols)
+            + " |\n"
+        )
+        out.write("|---" * (len(cols) + 1) + "|\n")
+        for row in ok_rows:
+            metrics = row["metrics"]
+            cells = [
+                _fmt(metrics[key]) if key in metrics else ""
+                for key, _label in cols
+            ]
+            out.write(f"| `{row['key']}` | " + " | ".join(cells) + " |\n")
+        out.write("\n")
+    if summary["failed"]:
+        out.write("## Failures\n\n")
+        for row in report["scenarios"]:
+            if row.get("status") != "ok":
+                out.write(
+                    f"* `{row['key']}` — {row['status']}\n\n```\n"
+                    f"{row.get('error', '').strip()}\n```\n\n"
+                )
+    return out.getvalue()
+
+
+def write_report(
+    report: Mapping[str, Any],
+    out_dir: str | pathlib.Path,
+    basename: str = "campaign",
+) -> tuple[pathlib.Path, pathlib.Path]:
+    """Write ``<basename>.json`` and ``<basename>.md`` under *out_dir*."""
+    out_dir = pathlib.Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    json_path = out_dir / f"{basename}.json"
+    md_path = out_dir / f"{basename}.md"
+    json_path.write_text(
+        json.dumps(report, indent=2, default=str) + "\n", encoding="utf-8"
+    )
+    md_path.write_text(render_markdown(report), encoding="utf-8")
+    return json_path, md_path

@@ -184,3 +184,60 @@ class TestRendering:
         sim.run(cycles=6)
         assert len(probe.series) == 6
         assert probe.series[-1] == 2
+
+
+class TestChannelStatsColumnar:
+    """The columnar rewrite of channel_stats (one pass over the monitor
+    transfer columns) and its window-bound contract."""
+
+    def test_end_beyond_observed_rejected(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=5)
+        observed = mons[-1].cycles_observed
+        with pytest.raises(ValueError, match="beyond the"):
+            channel_stats(mons[-1], 0, observed + 1)
+        # The full observed window itself is fine.
+        stats = channel_stats(mons[-1], 0, observed)
+        assert stats.cycles == observed
+
+    def test_matches_rowwise_rescan(self):
+        """The one-pass fold equals the original per-thread rescan."""
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=8, threads=3)
+        monitor = mons[-1]
+        start, end = 3, monitor.cycles_observed - 2
+        stats = channel_stats(monitor, start, end)
+        transfers = monitor.transfers
+        for t in range(monitor.threads):
+            cycles = [
+                c for c, th, _d in transfers if th == t and start <= c < end
+            ]
+            ts = stats.thread(t)
+            assert ts.transfers == len(cycles)
+            assert ts.first_cycle == (min(cycles) if cycles else None)
+            assert ts.last_cycle == (max(cycles) if cycles else None)
+
+    def test_transfer_columns_are_live_views(self):
+        _sim, _src, _snk, _mebs, mons = run_simple(n_items=4)
+        monitor = mons[-1]
+        cycles, threads = monitor.transfer_columns()
+        assert len(cycles) == len(threads) == monitor.transfer_count()
+        assert list(zip(cycles, threads)) == [
+            (c, t) for c, t, _d in monitor.transfers
+        ]
+        # Ascending cycle order is what first/last-cycle folding relies on.
+        assert cycles == sorted(cycles)
+
+    def test_steady_window_clamped_to_short_runs(self):
+        """A run shorter than the warmup must still yield a usable
+        window (regression: the unclamped window tripped the new
+        out-of-bounds check in channel_stats)."""
+        items = [[0], [1]]
+        sim, _src, sink, _mebs, mons = make_mt_pipeline(
+            FullMEB, threads=2, items=items, n_stages=2
+        )
+        sim.run(until=lambda s: sink.count == 2, max_cycles=100)
+        monitor = mons[-1]
+        assert monitor.cycles_observed < 8
+        start, end = steady_state_window(monitor, warmup=6, drain=4)
+        assert 0 <= start < end <= monitor.cycles_observed
+        stats = channel_stats(monitor, start, end)  # must not raise
+        assert stats.cycles == end - start

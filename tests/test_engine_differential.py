@@ -543,3 +543,63 @@ def test_example_output_engine_invariant(example, capsys, monkeypatch):
         outputs[variant] = capsys.readouterr().out
     for variant in TICK_VARIANTS[1:]:
         assert outputs["naive"] == outputs[variant], variant
+
+
+# ----------------------------------------------------------------------
+# snapshot/fork differential: rewound trajectories are engine-invariant
+# ----------------------------------------------------------------------
+
+class TestForkDifferential:
+    """``fork()`` mid-run must be unobservable — under every engine.
+
+    For each engine variant (including the compiled engine with the
+    tick compilation disabled), a run that snapshots mid-flight and a
+    rewound re-run of the same stretch must produce the state an
+    uninterrupted run produces; and because the engines are themselves
+    cycle-identical, the fingerprints must also agree *across* engines.
+    """
+
+    @staticmethod
+    def _factory(engine):
+        items = [list(range(12)) for _ in range(4)]
+        return make_mt_pipeline(
+            ReducedMEB, threads=4, items=items, n_stages=3,
+            sink_patterns=[None, duty_cycle(1, 3), None, duty_cycle(2, 5)],
+            engine=engine,
+        )
+
+    @staticmethod
+    def _fingerprint(sim, sink, monitor):
+        sim.settle()
+        return (
+            sim.cycle,
+            tuple(sink.received),
+            tuple(monitor.transfers),
+            monitor.cycles_observed,
+            tuple(sig.value for sig in sim.signals),
+        )
+
+    def test_fork_mid_run_equals_uninterrupted(self):
+        fingerprints = {}
+        for variant in TICK_VARIANTS:
+            with engine_context(variant) as engine:
+                sim, _src, sink, _mebs, mons = self._factory(engine)
+            sim.run(cycles=13)
+            snap = sim.snapshot()
+            sim.run(cycles=50)
+            interrupted = self._fingerprint(sim, sink, mons[-1])
+
+            sim.restore(snap)
+            assert sim.cycle == 13
+            sim.run(cycles=50)
+            rewound = self._fingerprint(sim, sink, mons[-1])
+            assert rewound == interrupted, variant
+
+            with engine_context(variant) as engine:
+                ref_sim, _s, ref_sink, _m, ref_mons = self._factory(engine)
+            ref_sim.run(cycles=63)
+            reference = self._fingerprint(ref_sim, ref_sink, ref_mons[-1])
+            assert reference == interrupted, variant
+            fingerprints[variant] = interrupted
+        for variant in TICK_VARIANTS[1:]:
+            assert fingerprints[variant] == fingerprints["naive"], variant

@@ -1,0 +1,351 @@
+"""The campaign subsystem: specs, registry, runner, report, CLI.
+
+The load-bearing property is at the bottom of the file: a sharded
+multiprocess campaign and a serial single-process campaign — and runs
+under different settle engines — produce bit-identical per-scenario
+metrics, because scenario seeds derive from (campaign seed, scenario
+key) alone and the engines are cycle-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+import pytest
+
+from repro.sweep import (
+    SweepSpecError,
+    family_names,
+    get_family,
+    load_spec,
+    make_scenario,
+    run_campaign,
+)
+from repro.sweep.registry import Family, register_family
+from repro.sweep.report import render_markdown, write_report
+from repro.sweep.runner import run_scenarios, shard_scenarios
+from repro.sweep.spec import from_dict
+
+#: A small but representative campaign: three families, grids over
+#: structural and stimulus axes, one seeded-random traffic scenario.
+SMALL_CAMPAIGN = {
+    "campaign": {"name": "test", "seed": 7, "workers": 2},
+    "scenarios": [
+        {
+            "family": "mt_pipeline",
+            "params": {"threads": 2, "n_stages": 2},
+            "grid": {"meb": ["full", "reduced"]},
+            "stimulus": {"kind": "uniform", "items_per_thread": 8},
+            "metrics": {"warmup": 4, "drain": 2},
+        },
+        {
+            "family": "mt_pipeline",
+            "params": {"threads": 2, "n_stages": 2, "meb": "full"},
+            "stimulus": {"kind": "random", "items_min": 2, "items_max": 9},
+        },
+        {
+            "family": "mt_chain",
+            "params": {"threads": 2, "n_funcs": 2},
+            "stimulus": {"kind": "uniform", "items_per_thread": 6},
+        },
+        {
+            "family": "mt_ring",
+            "params": {"threads": 2, "n_funcs": 1, "trips": 3},
+            "stimulus": {"kind": "uniform", "items_per_thread": 2},
+        },
+    ],
+}
+
+
+def _metrics_by_key(report):
+    return {
+        row["key"]: row["metrics"] for row in report["scenarios"]
+        if row["status"] == "ok"
+    }
+
+
+class TestSpec:
+    def test_grid_expansion_cross_product(self):
+        spec = from_dict(
+            {
+                "campaign": {"name": "g", "seed": 1},
+                "scenarios": [
+                    {
+                        "family": "mt_pipeline",
+                        "grid": {
+                            "threads": [2, 4],
+                            "meb": ["full", "reduced"],
+                            "stimulus.active": [1, 2],
+                        },
+                        "stimulus": {"kind": "active"},
+                    }
+                ],
+            }
+        )
+        assert len(spec.scenarios) == 8
+        keys = {sc.key for sc in spec.scenarios}
+        assert len(keys) == 8  # all distinct
+        # Stimulus axes land in the stimulus block, not the params.
+        for sc in spec.scenarios:
+            assert "active" in sc.stimulus
+            assert "active" not in sc.params
+        # 4 distinct designs (stimulus axes don't change the build).
+        assert len({sc.design_key() for sc in spec.scenarios}) == 4
+
+    def test_seed_depends_on_scenario_not_position(self):
+        spec_a = from_dict(SMALL_CAMPAIGN)
+        reordered = dict(SMALL_CAMPAIGN)
+        reordered["scenarios"] = list(reversed(SMALL_CAMPAIGN["scenarios"]))
+        spec_b = from_dict(reordered)
+        seeds_a = {sc.key: sc.seed for sc in spec_a.scenarios}
+        seeds_b = {sc.key: sc.seed for sc in spec_b.scenarios}
+        assert seeds_a == seeds_b
+
+    def test_make_scenario_matches_campaign_seed(self):
+        spec = from_dict(SMALL_CAMPAIGN)
+        declared = spec.scenario(
+            "mt_chain(n_funcs=2,threads=2)/uniform"
+        )
+        adhoc = make_scenario(
+            "mt_chain",
+            params={"threads": 2, "n_funcs": 2},
+            stimulus={"kind": "uniform", "items_per_thread": 6},
+            seed=7,
+        )
+        assert adhoc.seed == declared.seed
+        assert adhoc.key == declared.key
+
+    def test_spec_errors(self):
+        with pytest.raises(SweepSpecError):
+            from_dict({"campaign": {}})  # no scenarios
+        with pytest.raises(SweepSpecError):
+            from_dict({"scenarios": [{"params": {}}]})  # no family
+        with pytest.raises(SweepSpecError):
+            from_dict(
+                {"scenarios": [{"family": "x", "grid": {"threads": []}}]}
+            )
+        with pytest.raises(SweepSpecError):
+            from_dict(
+                {"scenarios": [{"family": "x", "typo_block": {}}]}
+            )
+
+    def test_load_json_spec(self, tmp_path):
+        path = tmp_path / "campaign.json"
+        path.write_text(json.dumps(SMALL_CAMPAIGN), encoding="utf-8")
+        spec = load_spec(path)
+        assert spec.name == "test"
+        assert len(spec.scenarios) == 5
+
+    @pytest.mark.skipif(
+        sys.version_info < (3, 11), reason="tomllib needs Python 3.11+"
+    )
+    def test_load_toml_spec(self, tmp_path):
+        path = tmp_path / "campaign.toml"
+        path.write_text(
+            '[campaign]\nname = "t"\nseed = 3\n\n'
+            '[[scenarios]]\nfamily = "mt_chain"\n'
+            "params = { threads = 2, n_funcs = 1 }\n"
+            'stimulus = { kind = "uniform", items_per_thread = 4 }\n',
+            encoding="utf-8",
+        )
+        spec = load_spec(path)
+        assert spec.scenarios[0].family == "mt_chain"
+
+    def test_example_campaign_spec_is_valid(self):
+        import pathlib
+
+        if sys.version_info < (3, 11):
+            pytest.skip("tomllib needs Python 3.11+")
+        spec = load_spec(
+            pathlib.Path(__file__).resolve().parents[1]
+            / "examples" / "campaigns" / "paper_sweep.toml"
+        )
+        # The acceptance shape: >= 3 design families x >= 4 points.
+        families = {sc.family for sc in spec.scenarios}
+        assert len(families) >= 3
+        for family in families:
+            assert (
+                sum(1 for sc in spec.scenarios if sc.family == family) >= 4
+            )
+        for sc in spec.scenarios:
+            get_family(sc.family)  # every family resolves
+
+
+class TestRegistry:
+    def test_builtin_families_registered(self):
+        names = family_names()
+        for expected in (
+            "mt_pipeline", "mt_chain", "mt_ring", "md5", "processor",
+        ):
+            assert expected in names
+
+    def test_unknown_family(self):
+        with pytest.raises(KeyError, match="unknown design family"):
+            get_family("warp_drive")
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_family(
+                Family(name="mt_pipeline", build=None, run=None)
+            )
+
+
+class TestRunner:
+    def test_sharding_groups_designs(self):
+        spec = from_dict(SMALL_CAMPAIGN)
+        shards = shard_scenarios(spec, 2)
+        assert sum(len(s) for s in shards) == len(spec.scenarios)
+        # Scenarios of one design key never split across shards.
+        for key in {sc.design_key() for sc in spec.scenarios}:
+            holders = [
+                i for i, shard in enumerate(shards)
+                if any(sc.design_key() == key for sc in shard)
+            ]
+            assert len(holders) == 1
+
+    def test_serial_campaign_runs_and_reuses_designs(self):
+        spec = from_dict(SMALL_CAMPAIGN)
+        report = run_campaign(spec, workers=1)
+        assert report["summary"]["failed"] == 0
+        assert report["summary"]["ok"] == 5
+        # Rows come back in spec order regardless of grouping.
+        assert [r["index"] for r in report["scenarios"]] == list(range(5))
+
+    def test_sharded_equals_serial(self):
+        spec = from_dict(SMALL_CAMPAIGN)
+        serial = run_campaign(spec, workers=1)
+        sharded = run_campaign(spec, workers=2)
+        assert _metrics_by_key(serial) == _metrics_by_key(sharded)
+        shards_used = {r["shard"] for r in sharded["scenarios"]}
+        assert len(shards_used) == 2  # it really ran on two workers
+
+    def test_engines_agree(self):
+        spec = from_dict(SMALL_CAMPAIGN)
+        event = run_campaign(spec, workers=1, engine="event")
+        compiled = run_campaign(spec, workers=2, engine="compiled")
+        assert _metrics_by_key(event) == _metrics_by_key(compiled)
+
+    def test_scenario_failure_is_contained(self):
+        register_family(
+            Family(
+                name="_always_fails",
+                build=lambda params, engine: object(),
+                run=lambda handle, sc: (_ for _ in ()).throw(
+                    RuntimeError("boom")
+                ),
+                reusable=False,
+            )
+        )
+        try:
+            spec = from_dict(
+                {
+                    "campaign": {"name": "f", "seed": 1},
+                    "scenarios": [
+                        {"family": "_always_fails"},
+                        {
+                            "family": "mt_chain",
+                            "params": {"threads": 2, "n_funcs": 1},
+                            "stimulus": {
+                                "kind": "uniform", "items_per_thread": 3,
+                            },
+                        },
+                    ],
+                }
+            )
+            report = run_campaign(spec, workers=1)
+        finally:
+            from repro.sweep.registry import _REGISTRY
+
+            _REGISTRY.pop("_always_fails", None)
+        rows = {r["key"]: r for r in report["scenarios"]}
+        failed = rows["_always_fails()/uniform"]
+        assert failed["status"] == "error"
+        assert "boom" in failed["error"]
+        ok = [r for r in report["scenarios"] if r["status"] == "ok"]
+        assert len(ok) == 1  # the healthy scenario still ran
+
+    def test_unknown_family_reported_not_raised(self):
+        spec = from_dict(
+            {
+                "campaign": {"name": "u", "seed": 1},
+                "scenarios": [{"family": "warp_drive"}],
+            }
+        )
+        report = run_campaign(spec, workers=1)
+        row = report["scenarios"][0]
+        assert row["status"] == "error"
+        assert "unknown design family" in row["error"]
+
+    def test_fork_variant_scenarios(self):
+        scenario = make_scenario(
+            "mt_pipeline",
+            params={"threads": 2, "n_stages": 2, "meb": "full"},
+            stimulus={
+                "kind": "uniform",
+                "base": {"kind": "uniform", "items_per_thread": 4},
+                "warmup_cycles": 10,
+                "variants": [
+                    {"kind": "uniform", "items_per_thread": 2},
+                    {"kind": "active", "active": 1,
+                     "items_per_thread": 6},
+                ],
+            },
+            metrics={"window": "full"},
+        )
+        rows_a = run_scenarios([scenario], engine="compiled")
+        rows_b = run_scenarios([scenario], engine="event")
+        assert rows_a[0]["status"] == "ok", rows_a[0].get("error")
+        variants = rows_a[0]["metrics"]["variants"]
+        assert [v["variant"] for v in variants] == [0, 1]
+        # Each variant replayed from the same branch point, so variant
+        # metrics are engine-invariant and mutually independent.
+        assert rows_a[0]["metrics"] == rows_b[0]["metrics"]
+
+
+class TestReportAndCLI:
+    def test_report_render_and_write(self, tmp_path):
+        spec = from_dict(SMALL_CAMPAIGN)
+        report = run_campaign(spec, workers=1)
+        md = render_markdown(report)
+        assert "# Campaign `test`" in md
+        assert "mt_pipeline" in md and "mt_ring" in md
+        json_path, md_path = write_report(report, tmp_path, "camp")
+        loaded = json.loads(json_path.read_text(encoding="utf-8"))
+        assert loaded["summary"]["ok"] == 5
+        assert md_path.read_text(encoding="utf-8") == md
+
+    def test_cli_run_and_validate(self, tmp_path, capsys):
+        from repro.sweep.__main__ import main
+
+        path = tmp_path / "c.json"
+        path.write_text(json.dumps(SMALL_CAMPAIGN), encoding="utf-8")
+        out_dir = tmp_path / "results"
+        rc = main([
+            "run", str(path), "--workers", "1", "--out", str(out_dir),
+            "--name", "smoke",
+        ])
+        assert rc == 0
+        assert (out_dir / "smoke.json").exists()
+        assert (out_dir / "smoke.md").exists()
+        assert "5/5 scenarios ok" in capsys.readouterr().out
+
+        assert main(["validate", str(path)]) == 0
+        assert "5 scenarios" in capsys.readouterr().out
+
+        assert main(["families"]) == 0
+        assert "mt_pipeline" in capsys.readouterr().out
+
+    def test_cli_failure_exit_code(self, tmp_path):
+        from repro.sweep.__main__ import main
+
+        bad = {
+            "campaign": {"name": "bad", "seed": 1},
+            "scenarios": [{"family": "warp_drive"}],
+        }
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps(bad), encoding="utf-8")
+        assert main([
+            "run", str(path), "--workers", "1",
+            "--out", str(tmp_path / "r"),
+        ]) == 1
