@@ -9,6 +9,7 @@ thread counts.
 
 from __future__ import annotations
 
+import hashlib
 import io
 
 from repro.apps.md5 import MD5Hasher
@@ -58,8 +59,6 @@ def test_barrier_trace(benchmark, report):
     assert flips == 4
     # Counter never exceeds the participant count.
     assert max(p_count.series) <= 4
-    import hashlib
-
     assert digests == [
         hashlib.md5(f"msg-{i}".encode()).hexdigest() for i in range(4)
     ]

@@ -200,7 +200,7 @@ WORKLOADS = {
     "mt_bursty": (_run_mt_bursty, 1.5, 2.0),
     "md5": (_run_md5, 1.5, 1.0),
     "md5_pipelined": (_run_md5_pipelined, 3.0, 1.3),
-    "processor": (_run_processor, 1.5, 1.0),
+    "processor": (_run_processor, 1.5, 1.5),
 }
 
 #: Smoke mode runs tiny configurations on shared CI runners where

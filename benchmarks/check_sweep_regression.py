@@ -1,0 +1,168 @@
+"""Campaign regression gate: diff a sweep report against the baseline.
+
+The sweep analogue of ``check_regression.py``: CI re-runs the example
+campaign (``examples/campaigns/paper_sweep.toml``) and then calls this
+script to diff the aggregated ``sweep-results/paper_sweep.json`` against
+the committed repo-root ``BENCH_sweep.json`` baseline.  Campaign metrics
+are deterministic (seeded stimulus, cycle-identical engines, shard-count
+invariant), so unlike the kernel gate nothing here is machine-dependent —
+the ratio tolerance exists to separate deliberate re-baselining from
+accidental drift, and to let small intentional changes through with an
+explicit ``BENCH_TOLERANCE`` bump instead of a silent overwrite.
+
+Per scenario key, the gate guards:
+
+* ``cycles`` (and ``cycles_per_digest``) — lower is better; a rise of
+  more than ``BENCH_TOLERANCE`` (default 0.25) is a regression (an
+  *application-level* throughput drift, e.g. an elastic-control change
+  that adds stall cycles);
+* ``utilization`` / ``ipc`` — higher is better; a drop beyond the
+  tolerance regresses.
+
+A scenario present in the baseline but missing (or failed) in the
+current report always regresses; new scenarios are reported but not
+gated (they become gated once the baseline is regenerated).
+
+Usage::
+
+    python benchmarks/check_sweep_regression.py [baseline.json] [current.json]
+
+Writes a markdown delta table to stdout, to
+``<current dir>/sweep_regression_delta.md`` (uploaded as a CI artifact
+even when the gate passes) and, when ``GITHUB_STEP_SUMMARY`` is set,
+appends the same table to the job summary.  Exits non-zero if any
+scenario regressed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_sweep.json"
+DEFAULT_CURRENT = REPO_ROOT / "sweep-results" / "paper_sweep.json"
+
+#: metric key -> (display label, True when higher is better).
+METRICS = (
+    ("cycles", "cycles", False),
+    ("cycles_per_digest", "cyc/digest", False),
+    ("utilization", "util", True),
+    ("ipc", "ipc", True),
+)
+
+
+def tolerance() -> float:
+    raw = os.environ.get("BENCH_TOLERANCE", "0.25")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SystemExit(f"invalid BENCH_TOLERANCE {raw!r} (want a float)")
+    if not 0 <= value < 1:
+        raise SystemExit(f"BENCH_TOLERANCE {value} out of range [0, 1)")
+    return value
+
+
+def _metric_rows(report: dict) -> dict[str, dict]:
+    """``scenario key -> metrics`` for the report's ok scenarios."""
+    return {
+        row["key"]: row.get("metrics", {})
+        for row in report.get("scenarios", ())
+        if row.get("status") == "ok"
+    }
+
+
+def compare(baseline: dict, current: dict, tol: float):
+    """Return (markdown lines, regression messages)."""
+    base_name = baseline.get("campaign", {}).get("name", "?")
+    cur_name = current.get("campaign", {}).get("name", "?")
+    lines = [
+        "### Campaign regression gate",
+        "",
+        f"baseline campaign `{base_name}` vs current `{cur_name}`; "
+        f"tolerance {tol:.0%}",
+        "",
+        "| scenario | metric | baseline | current | delta | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    regressions: list[str] = []
+    base_rows = _metric_rows(baseline)
+    cur_rows = _metric_rows(current)
+    for key, base_metrics in base_rows.items():
+        cur_metrics = cur_rows.get(key)
+        if cur_metrics is None:
+            regressions.append(f"{key}: missing or failed in current report")
+            lines.append(f"| `{key}` | — | — | — | — | ❌ missing |")
+            continue
+        for metric, label, higher_better in METRICS:
+            base_val = base_metrics.get(metric)
+            cur_val = cur_metrics.get(metric)
+            if not isinstance(base_val, (int, float)):
+                continue
+            if not isinstance(cur_val, (int, float)):
+                # A gated metric vanished (or changed shape): that is a
+                # report regression, not a reason to skip the scenario.
+                regressions.append(
+                    f"{key}: gated metric {label!r} missing from the "
+                    f"current report"
+                )
+                lines.append(
+                    f"| `{key}` | {label} | {base_val:g} | — | — | "
+                    f"❌ missing metric |"
+                )
+                continue
+            if base_val == 0:
+                continue  # a ratio over zero is meaningless; skip
+            delta = (cur_val - base_val) / base_val
+            if higher_better:
+                ok = cur_val >= base_val * (1 - tol)
+            else:
+                ok = cur_val <= base_val * (1 + tol)
+            status = "✅ ok" if ok else "❌ regressed"
+            lines.append(
+                f"| `{key}` | {label} | {base_val:g} | {cur_val:g} | "
+                f"{delta:+.1%} | {status} |"
+            )
+            if not ok:
+                direction = "dropped" if higher_better else "rose"
+                regressions.append(
+                    f"{key}: {label} {direction} {base_val:g} -> "
+                    f"{cur_val:g} ({delta:+.1%}, tolerance {tol:.0%})"
+                )
+    for key in cur_rows:
+        if key not in base_rows:
+            lines.append(f"| `{key}` | — | new | — | — | ℹ not gated |")
+    return lines, regressions
+
+
+def main(argv: list[str]) -> int:
+    baseline_path = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_BASELINE
+    current_path = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_CURRENT
+    for path, what in ((baseline_path, "baseline"), (current_path, "current")):
+        if not path.is_file():
+            print(f"error: {what} campaign report not found at {path}")
+            return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    lines, regressions = compare(baseline, current, tolerance())
+    if regressions:
+        lines += ["", "**Regressions:**", ""]
+        lines += [f"- {msg}" for msg in regressions]
+    report = "\n".join(lines) + "\n"
+    print(report)
+    delta_path = current_path.parent / "sweep_regression_delta.md"
+    try:
+        delta_path.write_text(report, encoding="utf-8")
+    except OSError as exc:  # the table is advisory; never fail on it
+        print(f"warning: could not write {delta_path}: {exc}")
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as fh:
+            fh.write(report)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

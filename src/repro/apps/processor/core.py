@@ -52,9 +52,11 @@ from repro.cost.model import (
     mux_tree_luts,
     shifter_luts,
 )
+from repro.core.mtchannel import one_hot_thread
 from repro.kernel import Component, Simulator
 from repro.kernel.errors import SimulationError
-from repro.kernel.values import X, as_bool
+from repro.kernel.slots import SeqPlan
+from repro.kernel.values import X, as_bool, bools, same_value
 
 MEB_KINDS = {"full": FullMEB, "reduced": ReducedMEB}
 
@@ -89,6 +91,13 @@ class PCUnit(Component):
     through its arbiter (this is the "private program counter" file of
     the paper), and retires incoming :class:`MemToken` results: register
     writeback, next-PC update, or thread halt.
+
+    The registered state is slot-backed, laid out columnar as
+    ``[pending×S][alive×S][retired×S]`` in ``_sstore`` starting at
+    ``_sq`` — a private list until :meth:`compile_seq` re-homes the
+    block into the design-wide :class:`~repro.kernel.slots.SeqStore`.
+    The ``_pending``/``_alive``/``retired`` properties view the same
+    cells.
     """
 
     def __init__(
@@ -113,18 +122,53 @@ class PCUnit(Component):
         # always accepted, so the input handshakes are not read.
         self.declare_reads(out.ready)
         self._start_pcs: dict[int, int] = {}
-        self._pending: list[int | None] = [None] * self.threads
-        self._alive: list[bool] = [False] * self.threads
-        self.retired: list[int] = [0] * self.threads
+        self._sstore: list[Any] = (
+            [None] * self.threads + [False] * self.threads
+            + [0] * self.threads
+        )
+        self._sq = 0
         self._grant: int | None = None
         self._next: tuple[list[int | None], list[bool], list[int]] | None = None
+
+    # -- slot-backed state views ---------------------------------------
+    @property
+    def _pending(self) -> list[int | None]:
+        b = self._sq
+        return self._sstore[b:b + self.threads]
+
+    @_pending.setter
+    def _pending(self, pending: list[int | None]) -> None:
+        b = self._sq
+        self._sstore[b:b + self.threads] = pending
+
+    @property
+    def _alive(self) -> list[bool]:
+        b = self._sq + self.threads
+        return self._sstore[b:b + self.threads]
+
+    @_alive.setter
+    def _alive(self, alive: list[bool]) -> None:
+        b = self._sq + self.threads
+        self._sstore[b:b + self.threads] = alive
+
+    @property
+    def retired(self) -> list[int]:
+        """Per-thread retired-instruction counters."""
+        b = self._sq + 2 * self.threads
+        return self._sstore[b:b + self.threads]
+
+    @retired.setter
+    def retired(self, retired: list[int]) -> None:
+        b = self._sq + 2 * self.threads
+        self._sstore[b:b + self.threads] = retired
 
     # ------------------------------------------------------------------
     def set_start(self, thread: int, pc: int) -> None:
         """Arm *thread* to begin execution at byte address *pc*."""
         self._start_pcs[thread] = pc
-        self._pending[thread] = pc
-        self._alive[thread] = True
+        b = self._sq
+        self._sstore[b + thread] = pc
+        self._sstore[b + self.threads + thread] = True
         self.invalidate()
 
     @property
@@ -132,7 +176,7 @@ class PCUnit(Component):
         return not any(self._alive)
 
     def alive(self, thread: int) -> bool:
-        return self._alive[thread]
+        return self._sstore[self._sq + self.threads + thread]
 
     # ------------------------------------------------------------------
     def combinational(self) -> None:
@@ -148,6 +192,83 @@ class PCUnit(Component):
             self.out.data.set(PCToken(self._pending[grant]))
         else:
             self.out.data.set(X)
+
+    def compile_comb(self, store):
+        """Slot-compiled :meth:`combinational`: one slice read for the S
+        downstream readies, ``grant_fast`` index probes, and one slice
+        compare-and-assign each for the S ``valid`` and S (constant-true)
+        ``ready`` outputs.
+        """
+        if type(self).combinational is not PCUnit.combinational:
+            return None
+        if type(self.arbiter).grant is not RoundRobinArbiter.grant:
+            return None
+        out_valid = store.range_of(self.out.valid)
+        out_ready = store.range_of(self.out.ready)
+        in_ready = store.range_of(self.inp.ready)
+        data_slot = store.slot_or_none(self.out.data)
+        if None in (out_valid, out_ready, in_ready, data_slot):
+            return None
+        values = store.values
+        dirty = store.dirty
+        valid_readers = store.readers_of(self.out.valid)
+        ready_readers = store.readers_of(self.inp.ready)
+        data_readers = store.readers_of((self.out.data,))
+        ovb, ove = out_valid
+        orb, ore = out_ready
+        irb, ire = in_ready
+        unmasked = self.policy is GrantPolicy.UNMASKED
+        masked_only = self.policy is GrantPolicy.MASKED
+        grant_fast = self.arbiter.grant_fast
+        falses = [False] * self.threads
+        trues = [True] * self.threads
+        unknown = X
+        # Compile-time binding of the (possibly re-homed) state block;
+        # rebuild()/reset() recompiles, so the binding stays fresh.
+        sstore = self._sstore
+        sq = self._sq
+        sqe = sq + self.threads
+
+        def step() -> bool:
+            pending = sstore[sq:sqe]
+            readies = bools(values[orb:ore])
+            if unmasked:
+                requests = [pc is not None for pc in pending]
+            else:
+                requests = [
+                    pc is not None and r for pc, r in zip(pending, readies)
+                ]
+                if not masked_only and True not in requests:
+                    requests = [pc is not None for pc in pending]
+            grant = grant_fast(requests)
+            self._grant = grant
+            if grant is None:
+                new_valid = falses
+                new_data = unknown
+            else:
+                new_valid = falses[:]
+                new_valid[grant] = True
+                new_data = PCToken(pending[grant])
+            changed = False
+            if values[ovb:ove] != new_valid:
+                values[ovb:ove] = new_valid
+                if valid_readers:
+                    dirty.update(valid_readers)
+                changed = True
+            if values[irb:ire] != trues:
+                values[irb:ire] = trues[:]
+                if ready_readers:
+                    dirty.update(ready_readers)
+                changed = True
+            old = values[data_slot]
+            if old is not new_data and not same_value(old, new_data):
+                values[data_slot] = new_data
+                if data_readers:
+                    dirty.update(data_readers)
+                changed = True
+            return changed
+
+        return step
 
     def capture(self) -> None:
         pending = list(self._pending)
@@ -190,14 +311,107 @@ class PCUnit(Component):
             self._next = None
         return changed
 
+    def compile_seq(self, seq):
+        """Columnar tick plan: pending/alive/retired re-homed into one
+        ``[pending×S][alive×S][retired×S]`` block, dispatch and
+        retirement detected with slot-level probes, and the whole
+        capture/commit delta-gated — a fully halted (or token-less)
+        PC/WB unit costs nothing per cycle.
+        """
+        cls = type(self)
+        if cls.capture is not PCUnit.capture or cls.commit is not PCUnit.commit:
+            return None
+        store = seq.store
+        out_ready = store.range_of(self.out.ready)
+        in_valid = store.range_of(self.inp.valid)
+        in_ready = store.range_of(self.inp.ready)
+        in_data = store.slot_or_none(self.inp.data)
+        if None in (out_ready, in_valid, in_ready, in_data):
+            return None
+        threads = self.threads
+        sq = seq.alloc(self._sstore[self._sq:self._sq + 3 * threads])
+        self._sstore = seq.values
+        self._sq = sq
+        svalues = seq.values
+        ab = sq + threads           # alive base
+        rb = ab + threads           # retired base
+        re_ = rb + threads
+        values = store.values
+        orb = out_ready[0]
+        ivb, ive = in_valid
+        irb = in_ready[0]
+        arb = self.arbiter
+        regfile_write = self.regfile.write
+        writes_rd = _WRITES_RD
+        inp_path = self.inp.path
+        path = self.path
+
+        def capture(cycle) -> None:
+            g = self._grant
+            transferred = g is not None and as_bool(values[orb + g])
+            t = one_hot_thread(bools(values[ivb:ive]), inp_path)
+            if t is not None and not as_bool(values[irb + t]):
+                t = None
+            if not transferred and t is None:
+                # Idle cycle: no dispatch, no retirement.
+                self._next = None
+                arb.note(g, False)
+                return
+            pending = svalues[sq:ab]
+            alive = svalues[ab:rb]
+            retired = svalues[rb:re_]
+            if transferred:
+                pending[g] = None  # token dispatched into the ring
+            if t is not None:
+                token: MemToken = values[in_data]
+                instr = token.instr
+                if instr.op in writes_rd:
+                    regfile_write(t, instr.rd, token.value)
+                retired[t] += 1
+                if token.halt:
+                    alive[t] = False
+                    pending[t] = None
+                else:
+                    if pending[t] is not None:
+                        raise SimulationError(
+                            f"{path}: thread {t} retired while a fetch "
+                            "was already pending (duplicate token)"
+                        )
+                    pending[t] = token.next_pc
+            arb.note(g, transferred)
+            self._next = (pending, alive, retired)
+
+        def commit() -> bool:
+            changed = arb.commit()
+            nxt = self._next
+            if nxt is not None:
+                changed = (
+                    changed
+                    or svalues[sq:ab] != nxt[0]
+                    or svalues[ab:rb] != nxt[1]
+                )
+                svalues[sq:ab] = nxt[0]
+                svalues[ab:rb] = nxt[1]
+                svalues[rb:re_] = nxt[2]
+                self._next = None
+            return changed
+
+        watch = (out_ready, in_valid, in_ready, (in_data, in_data + 1))
+        return SeqPlan(self, capture, commit, watch,
+                       state=((sq, re_),))
+
     def reset(self) -> None:
         self.arbiter.reset()
-        self._pending = [None] * self.threads
-        self._alive = [False] * self.threads
+        b = self._sq
+        s = self.threads
+        pending: list[int | None] = [None] * s
+        alive = [False] * s
         for t, pc in self._start_pcs.items():
-            self._pending[t] = pc
-            self._alive[t] = True
-        self.retired = [0] * self.threads
+            pending[t] = pc
+            alive[t] = True
+        self._sstore[b:b + s] = pending
+        self._sstore[b + s:b + 2 * s] = alive
+        self._sstore[b + 2 * s:b + 3 * s] = [0] * s
         self._grant = None
         self._next = None
 
@@ -275,9 +489,17 @@ class Processor:
             latency=imem_latency,
         )
         self.meb_id = meb_cls("meb_id", self.c_fo, self.c_id, policy=policy)
+        # pure=True although _decode reads the register file: one token
+        # per thread circulates the ring, so thread t's bank is only
+        # written while t's token sits in the PC/WB stage — never while
+        # a FetchedToken of t is parked at decode's input.  By the time
+        # t's next token reaches decode, the input handshake signals
+        # have changed and the engine re-evaluates.  Out-of-band regfile
+        # writes mid-run must call decode.invalidate() (the standard
+        # kernel rule for mutated closure context).
         self.decode = MTContextFunction(
             "decode", self.c_id, self.c_do, fn=self._decode,
-            area_luts=decode_luts(),
+            area_luts=decode_luts(), pure=True,
         )
         self.meb_ex = meb_cls("meb_ex", self.c_do, self.c_ex, policy=policy)
         # The reference iDEA processor [10] maps its ALU onto a DSP block,

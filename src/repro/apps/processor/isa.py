@@ -140,8 +140,17 @@ def encode(instr: Instruction) -> int:
     return word & MASK32
 
 
+#: Word -> Instruction memo.  Decoding is a pure function of the word
+#: and Instruction is frozen, so fetched words (a loop body is decoded
+#: once per trip) share one cached object across every engine.
+_DECODE_CACHE: dict[int, Instruction] = {}
+
+
 def decode(word: int) -> Instruction:
     """Decode a 32-bit word (inverse of :func:`encode`)."""
+    cached = _DECODE_CACHE.get(word)
+    if cached is not None:
+        return cached
     opcode = (word >> 26) & 0x3F
     try:
         op = Op(opcode)
@@ -149,15 +158,19 @@ def decode(word: int) -> Instruction:
         raise ValueError(f"illegal opcode {opcode} in word {word:#010x}") from exc
     fmt = FORMATS[op]
     if fmt is Format.R:
-        return Instruction(op, rd=(word >> 21) & 31, rs1=(word >> 16) & 31,
-                           rs2=(word >> 11) & 31)
-    if fmt is Format.I:
-        return Instruction(op, rd=(word >> 21) & 31, rs1=(word >> 16) & 31,
-                           imm=_from_u16(word & 0xFFFF))
-    if fmt is Format.B:
-        return Instruction(op, rs2=(word >> 21) & 31, rs1=(word >> 16) & 31,
-                           imm=_from_u16(word & 0xFFFF))
-    return Instruction(op)
+        instr = Instruction(op, rd=(word >> 21) & 31, rs1=(word >> 16) & 31,
+                            rs2=(word >> 11) & 31)
+    elif fmt is Format.I:
+        instr = Instruction(op, rd=(word >> 21) & 31, rs1=(word >> 16) & 31,
+                            imm=_from_u16(word & 0xFFFF))
+    elif fmt is Format.B:
+        instr = Instruction(op, rs2=(word >> 21) & 31, rs1=(word >> 16) & 31,
+                            imm=_from_u16(word & 0xFFFF))
+    else:
+        instr = Instruction(op)
+    if len(_DECODE_CACHE) < 65536:
+        _DECODE_CACHE[word] = instr
+    return instr
 
 
 def _signed32(x: int) -> int:

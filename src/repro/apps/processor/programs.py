@@ -9,6 +9,7 @@ stores (variable-latency memory), branches, jumps, and halt.
 from __future__ import annotations
 
 import dataclasses
+import math
 
 
 @dataclasses.dataclass(frozen=True)
@@ -83,8 +84,6 @@ def gcd(a: int, b: int) -> Program:
     done:
         halt
     """
-    import math
-
     return Program("gcd", source, ("reg", 1), math.gcd(a, b))
 
 

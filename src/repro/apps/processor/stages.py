@@ -21,11 +21,10 @@ import dataclasses
 from typing import Any, Callable
 
 from repro.apps.processor.isa import Instruction
+from repro.core.function import MTVariableLatencyUnit
 from repro.core.mtchannel import MTChannel
 from repro.elastic.function import LatencyPolicy
 from repro.kernel.component import Component
-from repro.kernel.errors import SimulationError
-from repro.kernel.values import X, as_bool, state_changed
 
 
 # ----------------------------------------------------------------------
@@ -96,14 +95,22 @@ class MemToken:
 # sequenced unit
 # ----------------------------------------------------------------------
 
-class MTSequencedUnit(Component):
+class MTSequencedUnit(MTVariableLatencyUnit):
     """Variable-latency MT unit whose ``fn(data, thread)`` may mutate state.
 
     Same external timing contract as
     :class:`~repro.core.function.MTVariableLatencyUnit` (accept at *t*,
-    result valid from *t+L*), but the function is evaluated exactly once,
-    at acceptance, inside the capture phase.
+    result valid from *t+L*), but the function also receives the
+    accepting thread index and runs exactly once per accepted item,
+    during the capture phase, where state mutation is legal — never
+    inside combinational evaluation.  It inherits the base unit's whole
+    slot compilation: the settle handshake is a ``compile_comb`` slice
+    step and the capture/commit pair a delta-gated
+    :class:`~repro.kernel.slots.SeqPlan` over the re-homed
+    busy/owner/remaining/result block.
     """
+
+    _fn_takes_thread = True
 
     def __init__(
         self,
@@ -115,93 +122,5 @@ class MTSequencedUnit(Component):
         area_luts: int = 0,
         parent: Component | None = None,
     ):
-        super().__init__(name, parent=parent)
-        if inp.threads != out.threads:
-            raise SimulationError(f"{name}: thread-count mismatch")
-        self.threads = inp.threads
-        self.inp = inp
-        self.out = out
-        self.fn = fn
-        self._latency_policy = latency
-        self._area_luts = int(area_luts)
-        inp.connect_consumer(self)
-        out.connect_producer(self)
-        # Acceptance bypasses through the owner's downstream ready.
-        self.declare_reads(out.ready)
-        self._busy = False
-        self._owner: int | None = None
-        self._remaining = 0
-        self._result: Any = X
-        self._accepted = 0
-        self._next: tuple[bool, int | None, int, Any, int] | None = None
-
-    def _latency_for(self, data: Any) -> int:
-        policy = self._latency_policy
-        lat = policy(data, self._accepted) if callable(policy) else policy
-        if lat < 1:
-            raise SimulationError(f"{self.path}: latency must be >= 1")
-        return int(lat)
-
-    @property
-    def done(self) -> bool:
-        return self._busy and self._remaining == 0
-
-    def combinational(self) -> None:
-        draining = self.done and as_bool(self.out.ready[self._owner].value)
-        accepting = (not self._busy) or draining
-        for t in range(self.threads):
-            self.inp.ready[t].set(accepting)
-            self.out.valid[t].set(self.done and self._owner == t)
-        self.out.data.set(self._result if self.done else X)
-
-    def capture(self) -> None:
-        busy, owner = self._busy, self._owner
-        remaining, result = self._remaining, self._result
-        accepted = self._accepted
-        if self.done and as_bool(self.out.ready[self._owner].value):
-            busy, owner, result = False, None, X
-        if not busy:
-            t = self.inp.transfer_thread()
-            if t is not None:
-                data = self.inp.data.value
-                remaining = self._latency_for(data) - 1
-                result = self.fn(data, t)  # the one-and-only evaluation
-                busy, owner = True, t
-                accepted += 1
-        elif remaining > 0:
-            remaining -= 1
-        self._next = (busy, owner, remaining, result, accepted)
-
-    def commit(self) -> bool:
-        if self._next is None:
-            return False
-        changed = state_changed(
-            (self._busy, self._owner, self._remaining, self._result),
-            self._next[:4],
-        )
-        (self._busy, self._owner, self._remaining, self._result,
-         self._accepted) = self._next
-        self._next = None
-        return changed
-
-    def reset(self) -> None:
-        self._busy = False
-        self._owner = None
-        self._remaining = 0
-        self._result = X
-        self._accepted = 0
-        self._next = None
-
-    def area_items(self) -> list[tuple[str, int, int]]:
-        import math
-
-        width = self.out.width
-        owner_bits = max(1, math.ceil(math.log2(max(2, self.threads))))
-        items: list[tuple[str, int, int]] = [
-            ("ff", 1, width),
-            ("ff", 1, 4 + owner_bits),
-            ("lut", 4 + self.threads, 1),
-        ]
-        if self._area_luts:
-            items.append(("lut", self._area_luts, 1))
-        return items
+        super().__init__(name, inp, out, fn, latency=latency,
+                         area_luts=area_luts, parent=parent)

@@ -24,6 +24,7 @@ discusses this; the three policies below make the trade-off explicit:
 from __future__ import annotations
 
 import enum
+import math
 
 
 class GrantPolicy(enum.Enum):
@@ -125,8 +126,6 @@ class RoundRobinArbiter:
 
     def area_items(self) -> list[tuple[str, int, int]]:
         # Rotating priority encoder + pointer register.
-        import math
-
         bits = max(1, math.ceil(math.log2(self.n)))
         return [("ff", 1, bits), ("lut", 2 * self.n, 1)]
 

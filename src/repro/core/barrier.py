@@ -20,6 +20,7 @@ through transparently until its transfer completes, returning it to IDLE
 
 from __future__ import annotations
 
+import math
 from typing import Callable, Sequence
 
 from repro.core.mtchannel import MTChannel
@@ -342,8 +343,6 @@ class Barrier(Component):
     # cost model
     # ------------------------------------------------------------------
     def area_items(self) -> list[tuple[str, int, int]]:
-        import math
-
         s = len(self.participants)
         counter_bits = max(1, math.ceil(math.log2(s + 1)))
         return [

@@ -17,12 +17,14 @@ units implement that sharing on MT channels:
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable
 
 from repro.core.mtchannel import MTChannel, one_hot_thread
 from repro.elastic.function import LatencyPolicy
 from repro.kernel.component import Component
 from repro.kernel.errors import SimulationError
+from repro.kernel.slots import SeqPlan
 from repro.kernel.values import X, as_bool, bools, same_value, state_changed
 
 
@@ -182,7 +184,19 @@ class MTVariableLatencyUnit(Component):
     cycles; with ``bypass=False`` an idle handoff cycle separates items
     (and ``ready`` has no combinational dependence on downstream
     ``ready``).
+
+    The registered state — ``[busy, owner, remaining, result, accepted]``
+    — is slot-backed: a private five-cell list until :meth:`compile_seq`
+    re-homes the block into the design-wide
+    :class:`~repro.kernel.slots.SeqStore` (exactly like the MEB queues),
+    so the compiled engine's settle step and tick plan read the same
+    cells every other engine does.
     """
+
+    #: Whether ``fn`` receives the accepting thread index as a second
+    #: argument (the :class:`~repro.apps.processor.stages.MTSequencedUnit`
+    #: variant for side-effecting per-thread stage functions).
+    _fn_takes_thread = False
 
     def __init__(
         self,
@@ -215,13 +229,52 @@ class MTVariableLatencyUnit(Component):
             self.declare_reads(out.ready)
         else:
             self.declare_reads()
-        # Registered state.
-        self._busy = False
-        self._owner: int | None = None
-        self._remaining = 0
-        self._result: Any = X
-        self._accepted = 0
+        # Slot-backed registered state [busy, owner, remaining, result,
+        # accepted]; see the class docstring.
+        self._sstore: list[Any] = [False, None, 0, X, 0]
+        self._sq = 0
         self._next: tuple[bool, int | None, int, Any, int] | None = None
+
+    # -- slot-backed state views -------------------------------------------
+    @property
+    def _busy(self) -> bool:
+        return self._sstore[self._sq]
+
+    @_busy.setter
+    def _busy(self, value: bool) -> None:
+        self._sstore[self._sq] = value
+
+    @property
+    def _owner(self) -> int | None:
+        return self._sstore[self._sq + 1]
+
+    @_owner.setter
+    def _owner(self, value: int | None) -> None:
+        self._sstore[self._sq + 1] = value
+
+    @property
+    def _remaining(self) -> int:
+        return self._sstore[self._sq + 2]
+
+    @_remaining.setter
+    def _remaining(self, value: int) -> None:
+        self._sstore[self._sq + 2] = value
+
+    @property
+    def _result(self) -> Any:
+        return self._sstore[self._sq + 3]
+
+    @_result.setter
+    def _result(self, value: Any) -> None:
+        self._sstore[self._sq + 3] = value
+
+    @property
+    def _accepted(self) -> int:
+        return self._sstore[self._sq + 4]
+
+    @_accepted.setter
+    def _accepted(self, value: int) -> None:
+        self._sstore[self._sq + 4] = value
 
     def _latency_for(self, data: Any) -> int:
         policy = self._latency_policy
@@ -262,6 +315,71 @@ class MTVariableLatencyUnit(Component):
             self.out.valid[t].set(self.done and self._owner == t)
         self.out.data.set(self._result if self.done else X)
 
+    def compile_comb(self, store):
+        """Slot-compiled :meth:`combinational`: the whole handshake is
+        two constant slice writes (all-S ``ready``, one-hot ``valid``)
+        plus a data compare-and-assign, with the busy/owner/remaining
+        cells read straight out of the (possibly re-homed) state block.
+        """
+        if type(self).combinational is not MTVariableLatencyUnit.combinational:
+            return None
+        in_ready = store.range_of(self.inp.ready)
+        out_valid = store.range_of(self.out.valid)
+        out_ready = store.range_of(self.out.ready)
+        out_data = store.slot_or_none(self.out.data)
+        if None in (in_ready, out_valid, out_ready, out_data):
+            return None
+        values = store.values
+        dirty = store.dirty
+        ready_readers = store.readers_of(self.inp.ready)
+        valid_readers = store.readers_of(self.out.valid)
+        data_readers = store.readers_of((self.out.data,))
+        irb, ire = in_ready
+        ovb, ove = out_valid
+        orb = out_ready[0]
+        bypass = self.bypass
+        falses = [False] * self.threads
+        trues = [True] * self.threads
+        unknown = X
+        # Compile-time binding of the (possibly re-homed) state block;
+        # rebuild()/reset() recompiles, so the binding stays fresh.
+        sstore = self._sstore
+        sq = self._sq
+
+        def step() -> bool:
+            busy = sstore[sq]
+            if busy and sstore[sq + 2] == 0:
+                owner = sstore[sq + 1]
+                new_valid = falses[:]
+                new_valid[owner] = True
+                new_data = sstore[sq + 3]
+                accepting = bypass and as_bool(values[orb + owner])
+            else:
+                new_valid = falses
+                new_data = unknown
+                accepting = not busy
+            changed = False
+            new_ready = trues if accepting else falses
+            if values[irb:ire] != new_ready:
+                values[irb:ire] = new_ready
+                if ready_readers:
+                    dirty.update(ready_readers)
+                changed = True
+            if values[ovb:ove] != new_valid:
+                values[ovb:ove] = new_valid
+                if valid_readers:
+                    dirty.update(valid_readers)
+                changed = True
+            old = values[out_data]
+            if old is not new_data and not same_value(old, new_data):
+                values[out_data] = new_data
+                if data_readers:
+                    dirty.update(data_readers)
+                changed = True
+            return changed
+
+        return step
+
     def capture(self) -> None:
         busy, owner = self._busy, self._owner
         remaining, result = self._remaining, self._result
@@ -273,7 +391,10 @@ class MTVariableLatencyUnit(Component):
             if t is not None:
                 data = self.inp.data.value
                 remaining = self._latency_for(data) - 1
-                result = self.fn(data)
+                result = (
+                    self.fn(data, t) if self._fn_takes_thread
+                    else self.fn(data)
+                )
                 busy, owner = True, t
                 accepted += 1
         elif remaining > 0:
@@ -297,18 +418,92 @@ class MTVariableLatencyUnit(Component):
         self._next = None
         return changed
 
+    def compile_seq(self, seq):
+        """Columnar tick plan: busy/owner/remaining/result re-homed into
+        a :class:`~repro.kernel.slots.SeqStore` block, the acceptance
+        handshake resolved with slot-level one-hot probes, and the whole
+        capture/commit delta-gated by the declared watch set (a parked
+        result or an idle unit costs nothing per cycle).
+
+        Subclasses that override capture/commit fall back to legacy
+        dispatch (``None``); the latency policy and ``fn`` are bound
+        through ``self``, so overrides of those still apply.
+        """
+        cls = type(self)
+        if (cls.capture is not MTVariableLatencyUnit.capture
+                or cls.commit is not MTVariableLatencyUnit.commit):
+            return None
+        store = seq.store
+        in_valid = store.range_of(self.inp.valid)
+        in_ready = store.range_of(self.inp.ready)
+        out_ready = store.range_of(self.out.ready)
+        in_data = store.slot_or_none(self.inp.data)
+        if None in (in_valid, in_ready, out_ready, in_data):
+            return None
+        # Re-home [busy, owner, remaining, result, accepted], carrying
+        # the live values across (state-preserving rebuild).
+        sq = seq.alloc(self._sstore[self._sq:self._sq + 5])
+        self._sstore = seq.values
+        self._sq = sq
+        svalues = seq.values
+        sqe = sq + 5
+        values = store.values
+        ivb, ive = in_valid
+        irb = in_ready[0]
+        orb = out_ready[0]
+        fn = self.fn
+        with_thread = self._fn_takes_thread
+        inp_path = self.inp.path
+        unknown = X
+
+        def capture(cycle) -> None:
+            busy = svalues[sq]
+            if busy:
+                remaining = svalues[sq + 2]
+                if remaining > 0:
+                    self._next = (
+                        True, svalues[sq + 1], remaining - 1,
+                        svalues[sq + 3], svalues[sq + 4],
+                    )
+                    return
+                if not as_bool(values[orb + svalues[sq + 1]]):
+                    # Parked: result presented, downstream not ready.
+                    self._next = None
+                    return
+                # Drained this cycle; may accept a new item right away.
+            t = one_hot_thread(bools(values[ivb:ive]), inp_path)
+            if t is not None and as_bool(values[irb + t]):
+                data = values[in_data]
+                remaining = self._latency_for(data) - 1
+                result = fn(data, t) if with_thread else fn(data)
+                self._next = (True, t, remaining, result,
+                              svalues[sq + 4] + 1)
+            elif busy:
+                # Drain with no refill: back to idle.
+                self._next = (False, None, 0, unknown, svalues[sq + 4])
+            else:
+                # Idle cycle: nothing accepted, state untouched.
+                self._next = None
+
+        def commit() -> bool:
+            nxt = self._next
+            if nxt is None:
+                return False
+            changed = state_changed(tuple(svalues[sq:sqe - 1]), nxt[:4])
+            svalues[sq:sqe] = nxt
+            self._next = None
+            return changed
+
+        watch = (out_ready, in_valid, in_ready, (in_data, in_data + 1))
+        return SeqPlan(self, capture, commit, watch, state=((sq, sqe),))
+
     def reset(self) -> None:
-        self._busy = False
-        self._owner = None
-        self._remaining = 0
-        self._result = X
-        self._accepted = 0
+        sq = self._sq
+        self._sstore[sq:sq + 5] = [False, None, 0, X, 0]
         self._next = None
         self._latency_iter = None
 
     def area_items(self) -> list[tuple[str, int, int]]:
-        import math
-
         width = self.out.width
         owner_bits = max(1, math.ceil(math.log2(self.threads)))
         items: list[tuple[str, int, int]] = [

@@ -40,6 +40,7 @@ the warm-up is paid once per design instead of once per variant.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
@@ -498,8 +499,6 @@ def _build_md5(params: Mapping[str, Any], engine: str | None):
 
 
 def _run_md5(hasher, scenario: ScenarioSpec) -> dict:
-    import hashlib
-
     stimulus = scenario.stimulus
     count = int(stimulus.get("messages", hasher.threads))
     size = int(stimulus.get("size", 24))
@@ -539,18 +538,130 @@ def _build_processor(params: Mapping[str, Any], engine: str | None):
     )
 
 
-def _run_processor(cpu, scenario: ScenarioSpec) -> dict:
+def _processor_catalog() -> dict[str, Any]:
+    """Named processor programs selectable from a stimulus block."""
     from repro.apps.processor import programs
 
-    mix = programs.standard_mix()
-    for t in range(cpu.threads):
-        cpu.load_program(t, mix[t % len(mix)].source)
-    stats = cpu.run()
     return {
-        "cycles": stats.cycles,
-        "retired": stats.total_retired,
-        "ipc": stats.ipc,
+        "sum": programs.sum_to_n(10),
+        "fib": programs.fibonacci(12),
+        "gcd": programs.gcd(126, 84),
+        "shift": programs.shift_playground(37),
+        "spin": programs.spin(15),
     }
+
+
+def _processor_check(cpu, thread: int, program) -> bool:
+    kind, where = program.check
+    got = (
+        cpu.reg(thread, where) if kind == "reg"
+        else cpu.mem_word(thread, where)
+    )
+    return got == program.expected
+
+
+def _run_processor(cpu, scenario: ScenarioSpec) -> dict:
+    """Drive the processor under one of three stimulus kinds.
+
+    * ``mix`` (default) — every thread runs the standard program mix,
+      round-robin, to completion (the kernel benchmark's shape).
+    * ``bursty`` — ``bursts`` program phases: each phase loads one
+      program per thread from the named ``programs`` set (rotated per
+      phase), runs to completion, then idles a fixed ``gap``-cycle
+      window — the settle+tick fusion shape, now reachable because the
+      whole pipeline runs through compiled tick plans.
+    * ``random`` — per-thread program choice drawn from ``programs``
+      with the scenario's deterministic seed.
+
+    Every completed program is verified against its architectural
+    oracle (``programs_ok``); per-phase/per-thread retirement counts
+    land in the metrics so campaign diffs see RunStats-level drift.
+    """
+    from repro.apps.processor import programs as programs_mod
+
+    stimulus = scenario.stimulus
+    kind = stimulus.get("kind", "mix")
+    max_cycles = int(stimulus.get("max_cycles", 50_000))
+    out: dict[str, Any]
+    if kind == "mix":
+        mix = programs_mod.standard_mix()
+        loaded = [mix[t % len(mix)] for t in range(cpu.threads)]
+        for t, program in enumerate(loaded):
+            cpu.load_program(t, program.source)
+        stats = cpu.run(max_cycles=max_cycles)
+        out = {
+            "cycles": stats.cycles,
+            "retired": stats.total_retired,
+            "ipc": stats.ipc,
+            "retired_per_thread": list(stats.retired),
+            "programs_ok": all(
+                _processor_check(cpu, t, program)
+                for t, program in enumerate(loaded)
+            ),
+        }
+    elif kind in ("bursty", "random"):
+        catalog = _processor_catalog()
+        names = list(stimulus.get("programs", ("sum", "fib", "gcd", "spin")))
+        unknown = [n for n in names if n not in catalog]
+        if unknown:
+            raise ValueError(
+                f"unknown processor programs {unknown}; "
+                f"available: {sorted(catalog)}"
+            )
+        if len(names) < 2:
+            raise ValueError("processor stimulus needs >= 2 programs")
+        if kind == "random":
+            rng = random.Random(scenario.seed)
+            gap = 0
+            pick = [
+                names[rng.randrange(len(names))] for _ in range(cpu.threads)
+            ]
+            schedule = [pick]
+        else:
+            rounds = int(stimulus.get("bursts", 2))
+            gap = int(stimulus.get("gap", 150))
+            schedule = [
+                [names[(b + t) % len(names)] for t in range(cpu.threads)]
+                for b in range(rounds)
+            ]
+        phases = []
+        ok = True
+        for chosen in schedule:
+            before = list(cpu.pc_unit.retired)
+            start_cycle = cpu.sim.cycle
+            for t, name in enumerate(chosen):
+                cpu.load_program(t, catalog[name].source)
+            stats = cpu.run(max_cycles=max_cycles)
+            ok = ok and all(
+                _processor_check(cpu, t, catalog[name])
+                for t, name in enumerate(chosen)
+            )
+            phases.append({
+                "programs": list(chosen),
+                # Per-phase deltas, like "retired": cycles spent running
+                # this wave, excluding the idle gap that follows it.
+                "cycles": stats.cycles - start_cycle,
+                "retired": [
+                    now - prev for now, prev in zip(stats.retired, before)
+                ],
+            })
+            if gap:
+                # Fully halted: the idle window is one fused batch under
+                # the compiled engine.
+                cpu.run_cycles(gap)
+        stats = cpu.run_cycles(0)
+        out = {
+            "cycles": stats.cycles,
+            "retired": stats.total_retired,
+            "ipc": stats.ipc,
+            "retired_per_thread": list(stats.retired),
+            "programs_ok": ok,
+            "phases": phases,
+        }
+    else:
+        raise ValueError(f"unknown processor stimulus kind {kind!r}")
+    out.update(_cost_metrics(cpu.area_components()))
+    return out
 
 
 register_family(Family(
@@ -589,7 +700,12 @@ register_family(Family(
     name="processor",
     build=_build_processor,
     run=_run_processor,
-    reusable=False,
-    description="multithreaded elastic processor, standard program mix "
-                "(params: threads, meb)",
+    # All driver state (instruction memory, armed PCs, register banks,
+    # the re-homed stage blocks) lives in components, so one built
+    # pipeline rewinds to pristine between scenarios via the kernel
+    # snapshot — the campaign-scale proof of the slot-ported stages.
+    reusable=True,
+    description="multithreaded elastic processor (params: threads, meb; "
+                "stimulus kinds: mix, bursty, random over named "
+                "programs)",
 ))

@@ -153,7 +153,10 @@ def test_ff_and_latch_buffers_deliver_identical_traces(src_bits, snk_bits, n_ite
             cls, n_items=n_items,
             src_pattern=src_bits, sink_pattern=snk_bits, n_stages=2,
         )
-        sim.run(cycles=150)
+        # Budget for the slowest admissible patterns: one transfer per
+        # pattern period at each gate (~13 cycles/item at len<=13) plus
+        # pipeline latency.
+        sim.run(cycles=600)
         results.append(list(sink.received))
     ff_trace, latch_trace = results
     assert [d for _c, d in ff_trace] == [d for _c, d in latch_trace]

@@ -288,6 +288,58 @@ class TestApplications:
         for variant in TICK_VARIANTS[1:]:
             assert results["naive"] == results[variant], variant
 
+    @pytest.mark.parametrize(
+        "program", programs.standard_mix()[:5], ids=lambda p: p.name
+    )
+    def test_processor_each_program_identical(self, program):
+        """Per-program RunStats and architectural state pinned across
+        naive/event/compiled/compiled-noseq (the slot-ported stages must
+        be cycle-exact for every instruction class, not just the mix)."""
+        results = {}
+        for variant in TICK_VARIANTS:
+            with engine_context(variant) as engine:
+                cpu = Processor(threads=1, meb="reduced", engine=engine)
+            cpu.load_program(0, program.source)
+            stats = cpu.run()
+            results[variant] = (
+                stats.cycles,
+                tuple(stats.retired),
+                cpu.regfile.dump(0),
+                cpu.dmem.dump(0),
+            )
+        for variant in TICK_VARIANTS[1:]:
+            assert results["naive"] == results[variant], variant
+
+    def test_processor_memory_programs_identical(self):
+        """memcpy + dot-product: loads, stores and the long-latency
+        multiplier, with a pre-seeded data-memory image, across all
+        engine variants."""
+        memcpy_prog, memcpy_image = programs.memcpy([7, 11, 13, 17])
+        dot_prog, dot_image = programs.dot_product([3, 5, 7], [2, 4, 6])
+        results = {}
+        for variant in TICK_VARIANTS:
+            with engine_context(variant) as engine:
+                cpu = Processor(threads=2, meb="reduced", engine=engine)
+            for addr, value in memcpy_image.items():
+                cpu.dmem.write(0, addr, value)
+            for addr, value in dot_image.items():
+                cpu.dmem.write(1, addr, value)
+            cpu.load_program(0, memcpy_prog.source)
+            cpu.load_program(1, dot_prog.source)
+            stats = cpu.run()
+            results[variant] = (
+                stats.cycles,
+                tuple(stats.retired),
+                cpu.dmem.dump(0),
+                cpu.dmem.dump(1),
+            )
+        for variant in TICK_VARIANTS[1:]:
+            assert results["naive"] == results[variant], variant
+        kind, where = memcpy_prog.check
+        assert results["naive"][2][where] == memcpy_prog.expected
+        kind, where = dot_prog.check
+        assert results["naive"][3][where] == dot_prog.expected
+
 
 # ----------------------------------------------------------------------
 # convergence-error parity

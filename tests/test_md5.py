@@ -7,6 +7,7 @@ barrier/round-counter synchronization invariants.
 """
 
 import hashlib
+import random as _random
 
 import pytest
 from hypothesis import given, settings
@@ -272,8 +273,6 @@ class TestCompiledRoundSteps:
     """The code-generated round datapath vs the step-by-step reference."""
 
     def test_all_round_windows_match_reference(self):
-        import random as _random
-
         from repro.apps.md5.datapath import compiled_round_steps
 
         rng = _random.Random(0xD5)

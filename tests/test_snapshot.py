@@ -15,6 +15,8 @@ The contract under test (see ``repro/kernel/snapshot.py``):
 
 from __future__ import annotations
 
+import hashlib
+
 import pytest
 
 from repro.core import FullMEB, ReducedMEB
@@ -231,8 +233,6 @@ def test_snapshot_hook_round_trip():
 def test_md5_fork_mid_wave_matches_uninterrupted():
     """Fork inside the MD5 loop: barrier, arbiter pointers, message
     store and the circuit-level round counter all rewind together."""
-    import hashlib
-
     from repro.apps.md5 import MD5Hasher
     from repro.apps.md5 import reference as ref
     from repro.apps.md5.datapath import MD5Token

@@ -10,6 +10,7 @@ key) alone and the engines are cycle-identical.
 from __future__ import annotations
 
 import json
+import pathlib
 import sys
 
 import pytest
@@ -153,8 +154,6 @@ class TestSpec:
         assert spec.scenarios[0].family == "mt_chain"
 
     def test_example_campaign_spec_is_valid(self):
-        import pathlib
-
         if sys.version_info < (3, 11):
             pytest.skip("tomllib needs Python 3.11+")
         spec = load_spec(
@@ -349,3 +348,113 @@ class TestReportAndCLI:
             "run", str(path), "--workers", "1",
             "--out", str(tmp_path / "r"),
         ]) == 1
+
+
+class TestSweepRegressionGate:
+    """benchmarks/check_sweep_regression.py — the campaign-level gate."""
+
+    @staticmethod
+    def _gate():
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_sweep_regression",
+            pathlib.Path(__file__).parent.parent
+            / "benchmarks" / "check_sweep_regression.py",
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    @staticmethod
+    def _report(**overrides):
+        base = {
+            "campaign": {"name": "t", "seed": 1, "engine": None, "workers": 1},
+            "summary": {},
+            "scenarios": [
+                {
+                    "key": "mt_pipeline(threads=2)/uniform",
+                    "status": "ok",
+                    "metrics": {"cycles": 100, "utilization": 0.8},
+                },
+                {
+                    "key": "processor(threads=2)/bursty[kind=bursty]",
+                    "status": "ok",
+                    "metrics": {"cycles": 500, "ipc": 1.5},
+                },
+            ],
+        }
+        base.update(overrides)
+        return base
+
+    def test_identical_reports_pass(self):
+        gate = self._gate()
+        lines, regressions = gate.compare(self._report(), self._report(), 0.25)
+        assert not regressions
+        assert any("✅" in line for line in lines)
+
+    def test_cycle_rise_and_ipc_drop_regress(self):
+        gate = self._gate()
+        current = self._report()
+        current["scenarios"][0]["metrics"]["cycles"] = 150   # +50% cycles
+        current["scenarios"][1]["metrics"]["ipc"] = 1.0      # -33% ipc
+        lines, regressions = gate.compare(self._report(), current, 0.25)
+        assert len(regressions) == 2
+        assert any("cycles" in msg for msg in regressions)
+        assert any("ipc" in msg for msg in regressions)
+
+    def test_vanished_gated_metric_regresses(self):
+        gate = self._gate()
+        current = self._report()
+        del current["scenarios"][0]["metrics"]["cycles"]  # shape drift
+        _lines, regressions = gate.compare(self._report(), current, 0.25)
+        assert regressions and "missing from the current report" in regressions[0]
+
+    def test_missing_or_failed_scenario_regresses(self):
+        gate = self._gate()
+        current = self._report()
+        current["scenarios"][1]["status"] = "error"
+        _lines, regressions = gate.compare(self._report(), current, 0.25)
+        assert regressions and "missing or failed" in regressions[0]
+
+    def test_new_scenario_not_gated(self):
+        gate = self._gate()
+        current = self._report()
+        current["scenarios"].append({
+            "key": "mt_ring(trips=2)/uniform",
+            "status": "ok",
+            "metrics": {"cycles": 10},
+        })
+        lines, regressions = gate.compare(self._report(), current, 0.25)
+        assert not regressions
+        assert any("not gated" in line for line in lines)
+
+    def test_main_writes_delta_and_exit_codes(self, tmp_path, monkeypatch):
+        gate = self._gate()
+        base_path = tmp_path / "base.json"
+        cur_path = tmp_path / "cur.json"
+        base_path.write_text(json.dumps(self._report()), encoding="utf-8")
+        current = self._report()
+        cur_path.write_text(json.dumps(current), encoding="utf-8")
+        monkeypatch.delenv("BENCH_TOLERANCE", raising=False)
+        assert gate.main(["x", str(base_path), str(cur_path)]) == 0
+        assert (tmp_path / "sweep_regression_delta.md").exists()
+        current["scenarios"][0]["metrics"]["cycles"] = 1000
+        cur_path.write_text(json.dumps(current), encoding="utf-8")
+        assert gate.main(["x", str(base_path), str(cur_path)]) == 1
+        assert gate.main(["x", str(tmp_path / "nope.json"), str(cur_path)]) == 2
+
+    def test_committed_baseline_matches_a_fresh_campaign_run(self):
+        """The acceptance property: the example campaign reproduces the
+        committed BENCH_sweep.json scenario metrics bit-for-bit."""
+        if sys.version_info < (3, 11):
+            pytest.skip("tomllib needs Python 3.11+")
+        gate = self._gate()
+        root = pathlib.Path(__file__).parent.parent
+        baseline = json.loads(
+            (root / "BENCH_sweep.json").read_text(encoding="utf-8")
+        )
+        spec = load_spec(root / "examples" / "campaigns" / "paper_sweep.toml")
+        report = run_campaign(spec, workers=1)
+        _lines, regressions = gate.compare(baseline, report, 0.0)
+        assert not regressions
