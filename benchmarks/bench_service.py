@@ -1,0 +1,197 @@
+"""Load harness for the campaign service (``python -m repro.serve``).
+
+Not a paper experiment — this measures and asserts the service-level
+contract of the jobs API end to end, over a real server process:
+
+1. **Reference run** — the campaign spec executes through the CLI path
+   (``run_campaign``) in this process; its canonical report is the
+   parity oracle.
+2. **Cold pass** — one HTTP client submits the campaign to a freshly
+   started ``python -m repro.serve`` subprocess and waits for the
+   report: every scenario simulates (cache cold), and the report must
+   equal the reference modulo placement/timestamps.
+3. **Warm passes** — N concurrent clients resubmit the identical
+   campaign R times each.  Every one of those jobs must complete with
+   100% dedup hits (zero simulated scenarios) and a bit-identical
+   canonical report; their submit→report latencies give the p50/p99.
+
+Results land in ``benchmarks/results/BENCH_service.json`` (plus a
+markdown latency table next to it) so CI can upload them as artifacts;
+the committed repo-root ``BENCH_service.json`` is the reference
+trajectory (see docs/service.md for the re-baseline recipe).  Set
+``BENCH_SMOKE=1`` to shrink the client count and repeats.
+"""
+
+from __future__ import annotations
+
+import argparse
+import concurrent.futures
+import json
+import os
+import pathlib
+import platform
+import re
+import statistics
+import subprocess
+import sys
+import time
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.serve.client import ServiceClient  # noqa: E402
+from repro.sweep.report import canonical_report  # noqa: E402
+from repro.sweep.runner import run_campaign  # noqa: E402
+from repro.sweep.spec import from_dict  # noqa: E402
+
+SMOKE = os.environ.get("BENCH_SMOKE", "") not in ("", "0")
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+DEFAULT_SPEC = REPO_ROOT / "examples" / "campaigns" / "paper_sweep.toml"
+
+_LISTEN_RE = re.compile(r"listening on http://([\w.\-]+):(\d+)")
+
+
+def load_spec_mapping(path: pathlib.Path) -> dict:
+    """The raw spec mapping — what an HTTP client POSTs as JSON."""
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        with path.open("rb") as fh:
+            return tomllib.load(fh)
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+def start_server(workers: int) -> tuple[subprocess.Popen, str]:
+    """Spawn ``python -m repro.serve`` and return (process, base_url)."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src")
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro.serve", "--port", "0",
+         "--workers", str(workers), "--memory-store"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.monotonic() + 30
+    while True:
+        line = process.stdout.readline()
+        match = _LISTEN_RE.search(line or "")
+        if match:
+            return process, f"http://{match.group(1)}:{match.group(2)}"
+        if process.poll() is not None or time.monotonic() > deadline:
+            raise RuntimeError(f"server failed to start: {line!r}")
+
+
+def percentile(samples: list[float], q: float) -> float:
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def timed_run(client: ServiceClient, spec: dict) -> tuple[float, dict]:
+    start = time.perf_counter()
+    report = client.run(spec, timeout=600)
+    return time.perf_counter() - start, report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--spec", type=pathlib.Path, default=DEFAULT_SPEC)
+    parser.add_argument("--clients", type=int, default=2 if SMOKE else 4)
+    parser.add_argument("--repeats", type=int, default=2 if SMOKE else 5,
+                        help="warm submissions per client")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="service worker processes")
+    parser.add_argument("--out", type=pathlib.Path,
+                        default=RESULTS_DIR / "BENCH_service.json")
+    args = parser.parse_args(argv)
+
+    spec_mapping = load_spec_mapping(args.spec)
+    scenario_count = len(from_dict(spec_mapping).scenarios)
+    print(f"campaign: {args.spec.name} ({scenario_count} scenarios), "
+          f"{args.clients} client(s) x {args.repeats} warm repeat(s), "
+          f"{args.workers} worker(s)")
+
+    reference = canonical_report(run_campaign(from_dict(spec_mapping)))
+
+    process, base_url = start_server(args.workers)
+    try:
+        client = ServiceClient(base_url, timeout=60)
+        client.wait_ready()
+
+        cold_s, cold_report = timed_run(client, spec_mapping)
+        assert "dedup_hits" not in cold_report["summary"], (
+            "cold pass must simulate every scenario"
+        )
+        assert canonical_report(cold_report) == reference, (
+            "HTTP report diverged from the CLI reference"
+        )
+        print(f"cold submit->report: {cold_s * 1000:.1f} ms")
+
+        def one_client(client_index: int) -> list[float]:
+            own = ServiceClient(base_url, timeout=60)
+            latencies = []
+            for _ in range(args.repeats):
+                elapsed, report = timed_run(own, spec_mapping)
+                summary = report["summary"]
+                assert summary.get("dedup_hits") == scenario_count, (
+                    f"warm pass simulated scenarios: {summary}"
+                )
+                assert canonical_report(report) == reference
+                latencies.append(elapsed)
+            return latencies
+
+        with concurrent.futures.ThreadPoolExecutor(args.clients) as pool:
+            warm = [
+                s for lat in pool.map(one_client, range(args.clients))
+                for s in lat
+            ]
+
+        health = client.healthz()
+    finally:
+        process.terminate()
+        process.wait(timeout=15)
+
+    warm_ms = [s * 1000 for s in warm]
+    p50, p99 = percentile(warm_ms, 0.50), percentile(warm_ms, 0.99)
+    print(f"warm submit->report over {len(warm_ms)} requests: "
+          f"p50 {p50:.1f} ms, p99 {p99:.1f} ms "
+          f"(speedup x{cold_s * 1000 / p50:.1f} vs cold)")
+
+    results = {
+        "bench": "service",
+        "smoke": SMOKE,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "spec": args.spec.name,
+        "scenarios": scenario_count,
+        "clients": args.clients,
+        "repeats": args.repeats,
+        "workers": args.workers,
+        "cold_ms": round(cold_s * 1000, 2),
+        "warm_requests": len(warm_ms),
+        "warm_p50_ms": round(p50, 2),
+        "warm_p99_ms": round(p99, 2),
+        "warm_mean_ms": round(statistics.mean(warm_ms), 2),
+        "dedup_rate": 1.0,
+        "store": health["store"],
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(
+        json.dumps(results, indent=2) + "\n", encoding="utf-8"
+    )
+
+    table = args.out.with_name(args.out.stem + "_latency.md")
+    table.write_text(
+        "| pass | requests | p50 (ms) | p99 (ms) |\n"
+        "|---|---:|---:|---:|\n"
+        f"| cold | 1 | {results['cold_ms']} | {results['cold_ms']} |\n"
+        f"| warm (dedup) | {len(warm_ms)} | {results['warm_p50_ms']} "
+        f"| {results['warm_p99_ms']} |\n",
+        encoding="utf-8",
+    )
+    print(f"wrote {args.out} and {table}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

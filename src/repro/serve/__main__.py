@@ -1,0 +1,82 @@
+"""CLI for the campaign service: ``python -m repro.serve``.
+
+Starts the HTTP front end over a long-running
+:class:`repro.sweep.jobs.JobService`:
+
+* ``--workers N`` — persistent worker-pool size (0 = inline execution
+  in the dispatcher thread; designs stay cached either way).
+* ``--store PATH`` — persist the result store as append-only JSONL at
+  PATH, so dedup survives restarts.  ``--memory-store`` keeps
+  memoization in RAM only; the default is no dedup at all.
+* ``--engine E`` — settle-engine override applied to every job.
+* ``--host/--port`` — bind address (``--port 0`` picks a free port;
+  the chosen one is printed on stdout).
+
+The process runs until SIGINT/SIGTERM and drains cleanly: the HTTP
+server stops accepting, then the job service shuts its workers down.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.serve.http import make_server
+from repro.sweep.jobs import JobService
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Long-running campaign service over repro.sweep.",
+    )
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=8035,
+                        help="bind port; 0 picks a free one (default: 8035)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="persistent worker processes; 0 = inline "
+                             "(default: 2)")
+    parser.add_argument("--engine", default=None,
+                        help="settle engine override for every job")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="persist the dedup result store as JSONL "
+                             "at PATH")
+    parser.add_argument("--memory-store", action="store_true",
+                        help="in-memory dedup store (no persistence)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="log every HTTP request to stderr")
+    args = parser.parse_args(argv)
+
+    store = args.store if args.store else (True if args.memory_store else None)
+    service = JobService(
+        workers=args.workers, engine=args.engine, store=store
+    )
+    server = make_server(
+        service, host=args.host, port=args.port, quiet=not args.verbose
+    )
+    host, port = server.server_address[:2]
+    mode = f"{args.workers} worker(s)" if args.workers else "inline"
+    dedup = (
+        f"store={args.store}" if args.store
+        else ("store=memory" if args.memory_store else "store=off")
+    )
+    print(
+        f"repro.serve listening on http://{host}:{port} "
+        f"({mode}, {dedup})",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.close()
+        print("repro.serve stopped", flush=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,116 @@
+"""A stdlib-only client for the campaign service HTTP API.
+
+The tests, the load benchmark (``benchmarks/bench_service.py``) and the
+CI smoke job all talk to the server through this one wrapper, so the
+client-visible contract is exercised end to end everywhere it is used.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Mapping
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx response from the campaign service.
+
+    ``status`` is the HTTP status code; ``payload`` the decoded JSON
+    body (the structured ``{path, field, reason}`` spec error for 400s).
+    """
+
+    def __init__(self, status: int, payload: Any):
+        self.status = status
+        self.payload = payload
+        super().__init__(f"HTTP {status}: {payload}")
+
+
+class ServiceClient:
+    """Minimal JSON-over-HTTP client for one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: Mapping[str, Any] | None = None
+    ) -> Any:
+        data = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read())
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except Exception:
+                payload = {"error": {"reason": str(exc)}}
+            raise ServiceError(exc.code, payload) from None
+
+    # -- the API --------------------------------------------------------
+
+    def healthz(self) -> dict[str, Any]:
+        return self._request("GET", "/healthz")
+
+    def families(self) -> dict[str, Any]:
+        return self._request("GET", "/families")
+
+    def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:
+        """POST a campaign spec (the JSON/TOML structure); returns the
+        job status snapshot (its ``id`` is the job handle)."""
+        return self._request("POST", "/campaigns", body=spec)
+
+    def campaigns(self) -> list[dict[str, Any]]:
+        return self._request("GET", "/campaigns")["campaigns"]
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        return self._request("GET", f"/campaigns/{job_id}")
+
+    def report(self, job_id: str, wait: float = 0) -> dict[str, Any]:
+        path = f"/campaigns/{job_id}/report"
+        if wait:
+            path += f"?wait={wait}"
+        return self._request("GET", path)
+
+    def cancel(self, job_id: str) -> dict[str, Any]:
+        return self._request("POST", f"/campaigns/{job_id}/cancel")
+
+    # -- conveniences ---------------------------------------------------
+
+    def run(
+        self, spec: Mapping[str, Any], timeout: float = 300.0
+    ) -> dict[str, Any]:
+        """Submit and block until the report is ready (polling + wait)."""
+        job_id = self.submit(spec)["id"]
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not finished")
+            try:
+                return self.report(job_id, wait=min(remaining, 10.0))
+            except ServiceError as exc:
+                if exc.status != 409:
+                    raise
+
+    def wait_ready(self, timeout: float = 30.0) -> dict[str, Any]:
+        """Poll ``/healthz`` until the server answers (startup barrier)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (ServiceError, OSError):
+                if time.monotonic() > deadline:
+                    raise
+                time.sleep(0.1)

@@ -1,0 +1,161 @@
+"""The HTTP/JSON front end: stdlib ``http.server`` over a JobService.
+
+Transport only — every route is a thin translation between HTTP and
+the :mod:`repro.sweep.jobs` API, so the CLI and the server can never
+disagree about behaviour.  Spec validation errors surface as HTTP 400
+with the :meth:`repro.sweep.spec.SpecError.to_dict` body — the same
+``{path, field, reason}`` structure the CLI renders as text.
+
+The server is a ``ThreadingHTTPServer``: request threads only enqueue
+jobs and read status snapshots; all simulation happens in the
+service's dispatcher/worker processes.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any
+
+from repro.sweep.jobs import JobService
+from repro.sweep.registry import registry_payload
+from repro.sweep.spec import SpecError
+
+#: Longest a ``?wait=`` report request may block, seconds.
+MAX_WAIT_S = 300.0
+
+_CAMPAIGN_ROUTE = re.compile(
+    r"^/campaigns/(?P<job_id>[\w.\-]+)(?P<rest>/report|/cancel)?$"
+)
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the owning server's JobService."""
+
+    server_version = "repro-serve/1.0"
+    #: Set by :func:`make_server` on the handler subclass.
+    service: JobService = None
+    quiet: bool = True
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        if not self.quiet:  # pragma: no cover - debug aid
+            super().log_message(format, *args)
+
+    def _send_json(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, default=str).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, reason: str, **extra: Any) -> None:
+        self._send_json(status, {"error": {"reason": reason, **extra}})
+
+    def _read_body(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("empty request body")
+        return json.loads(raw)
+
+    def _split_query(self) -> tuple[str, dict[str, str]]:
+        path, _, query = self.path.partition("?")
+        params: dict[str, str] = {}
+        for part in query.split("&"):
+            if part:
+                key, _, value = part.partition("=")
+                params[key] = value
+        return path, params
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:
+        path, params = self._split_query()
+        if path == "/healthz":
+            stats = self.service.stats()
+            stats["status"] = "ok"
+            return self._send_json(200, stats)
+        if path == "/families":
+            return self._send_json(200, registry_payload())
+        if path == "/campaigns":
+            return self._send_json(
+                200, {"campaigns": self.service.list_jobs()}
+            )
+        match = _CAMPAIGN_ROUTE.match(path)
+        if match and match.group("rest") in (None, "/report"):
+            try:
+                status = self.service.status(match.group("job_id"))
+            except KeyError:
+                return self._error(
+                    404, f"unknown job id {match.group('job_id')!r}"
+                )
+            if match.group("rest") is None:
+                return self._send_json(200, status)
+            return self._report(match.group("job_id"), status, params)
+        return self._error(404, f"no such route: GET {path}")
+
+    def _report(
+        self, job_id: str, status: dict[str, Any], params: dict[str, str]
+    ) -> None:
+        wait = min(float(params.get("wait", 0) or 0), MAX_WAIT_S)
+        job = self.service.job(job_id)
+        if wait and not job.done_event.is_set():
+            job.done_event.wait(wait)
+        if job.report is None:
+            return self._error(
+                409,
+                f"job {job_id} has no report yet "
+                f"(state {job.state!r}; poll or pass ?wait=seconds)",
+                state=job.state,
+            )
+        return self._send_json(200, job.report)
+
+    def do_POST(self) -> None:
+        path, _params = self._split_query()
+        if path == "/campaigns":
+            try:
+                data = self._read_body()
+            except ValueError as exc:
+                return self._error(400, f"invalid JSON body: {exc}")
+            try:
+                job_id = self.service.submit(data)
+            except SpecError as exc:
+                return self._send_json(400, {"error": exc.to_dict()})
+            return self._send_json(201, self.service.status(job_id))
+        match = _CAMPAIGN_ROUTE.match(path)
+        if match and match.group("rest") == "/cancel":
+            job_id = match.group("job_id")
+            try:
+                cancelled = self.service.cancel(job_id)
+            except KeyError:
+                return self._error(404, f"unknown job id {job_id!r}")
+            payload = self.service.status(job_id)
+            payload["cancelled"] = cancelled
+            return self._send_json(200, payload)
+        return self._error(404, f"no such route: POST {path}")
+
+
+def make_server(
+    service: JobService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """Bind a campaign-service HTTP server (``port=0`` picks a free one).
+
+    The caller owns both lifecycles: ``serve_forever()`` /
+    ``shutdown()`` for the HTTP side, ``service.close()`` for the
+    workers.
+    """
+    handler = type(
+        "BoundServiceHandler",
+        (ServiceHandler,),
+        {"service": service, "quiet": quiet},
+    )
+    server = ThreadingHTTPServer((host, port), handler)
+    server.daemon_threads = True
+    return server

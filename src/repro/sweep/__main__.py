@@ -1,36 +1,58 @@
 """CLI for simulation campaigns: ``python -m repro.sweep <command>``.
 
-Commands:
+A thin client of the jobs API (:mod:`repro.sweep.jobs`) — the same
+entry point the HTTP service exposes, so CLI and service behaviour
+cannot drift.  Commands:
 
-* ``run <spec> [--workers N] [--engine E] [--out DIR] [--name BASE]`` —
-  execute a campaign spec (TOML on Python 3.11+, JSON everywhere) and
-  write ``<BASE>.json`` + ``<BASE>.md`` reports.  Exit status is
-  non-zero when any scenario failed.
+* ``run <spec> [--workers N] [--engine E] [--out DIR] [--name BASE]
+  [--store PATH]`` — submit a campaign spec (TOML on Python 3.11+,
+  JSON everywhere) to an ephemeral service, wait, and write
+  ``<BASE>.json`` + ``<BASE>.md`` reports.  ``--store`` memoizes
+  results across invocations (dedup by canonical scenario key).
 * ``validate <spec>`` — expand the spec, check every family is
   registered, and print the scenario list without running anything.
-* ``families`` — list the registered design families.
+* ``families [--json]`` — list the registered design families; with
+  ``--json``, emit the machine-readable registry payload (the same
+  structure the service serves at ``/families``).
+
+Exit codes are normalized across commands: **0** success, **1**
+scenario failures (the campaign ran but at least one scenario did
+not succeed), **2** spec or usage errors (nothing ran).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
-from repro.sweep.registry import family_names, get_family
+from repro.sweep.jobs import JobService, list_families
+from repro.sweep.registry import get_family
 from repro.sweep.report import write_report
-from repro.sweep.runner import run_campaign
-from repro.sweep.spec import SweepSpecError, load_spec
+from repro.sweep.spec import SpecError, load_spec
+
+#: The normalized exit codes (documented above and in docs/service.md).
+EXIT_OK = 0
+EXIT_SCENARIO_FAILURES = 1
+EXIT_SPEC_ERROR = 2
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
-    report = run_campaign(spec, workers=args.workers, engine=args.engine)
+    workers = args.workers if args.workers is not None else spec.workers
+    with JobService(
+        workers=workers, engine=args.engine, store=args.store
+    ) as service:
+        job_id = service.submit(spec, workers=workers, engine=args.engine)
+        report = service.result(job_id)
     json_path, md_path = write_report(report, args.out, args.name)
     summary = report["summary"]
+    dedup = summary.get("dedup_hits", 0)
+    cached = f", {dedup} from cache" if dedup else ""
     print(
         f"campaign {spec.name!r}: {summary['ok']}/{summary['scenarios']} "
         f"scenarios ok in {summary['elapsed_s']}s "
-        f"({report['campaign']['workers']} worker(s))"
+        f"({report['campaign']['workers']} worker(s){cached})"
     )
     print(f"wrote {json_path} and {md_path}")
     if summary["failed"]:
@@ -40,8 +62,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                     f"FAILED {row['key']}: {row['status']}",
                     file=sys.stderr,
                 )
-        return 1
-    return 0
+        return EXIT_SCENARIO_FAILURES
+    return EXIT_OK
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -59,15 +81,26 @@ def _cmd_validate(args: argparse.Namespace) -> int:
         f"{len(spec.scenarios)} scenarios, "
         f"{len({s.design_key() for s in spec.scenarios})} distinct designs"
     )
-    return 1 if problems else 0
+    # Unresolvable families are a spec problem, not a scenario failure.
+    return EXIT_SPEC_ERROR if problems else EXIT_OK
 
 
-def _cmd_families(_args: argparse.Namespace) -> int:
-    for name in family_names():
-        family = get_family(name)
-        reuse = "reusable" if family.reusable else "rebuilt per scenario"
-        print(f"{name:12s} [{reuse}] {family.description}")
-    return 0
+def _cmd_families(args: argparse.Namespace) -> int:
+    payload = list_families()
+    if args.json:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return EXIT_OK
+    for name, info in payload["families"].items():
+        reuse = "reusable" if info["reusable"] else "rebuilt per scenario"
+        print(f"{name:12s} [{reuse}] {info['description']}")
+        if info["params"]:
+            defaults = ", ".join(
+                f"{k}={v}" for k, v in sorted(info["params"].items())
+            )
+            print(f"{'':12s} params: {defaults}")
+        if info["stimulus_kinds"]:
+            print(f"{'':12s} stimulus: {', '.join(info['stimulus_kinds'])}")
+    return EXIT_OK
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -87,6 +120,9 @@ def main(argv: list[str] | None = None) -> int:
                        help="output directory (default: sweep-results)")
     p_run.add_argument("--name", default="campaign",
                        help="report basename (default: campaign)")
+    p_run.add_argument("--store", default=None, metavar="PATH",
+                       help="JSONL result store for cross-run dedup "
+                            "(default: off)")
     p_run.set_defaults(fn=_cmd_run)
 
     p_val = sub.add_parser("validate", help="expand and check a spec")
@@ -94,14 +130,19 @@ def main(argv: list[str] | None = None) -> int:
     p_val.set_defaults(fn=_cmd_validate)
 
     p_fam = sub.add_parser("families", help="list registered families")
+    p_fam.add_argument("--json", action="store_true",
+                       help="emit the registry as JSON (the /families "
+                            "payload)")
     p_fam.set_defaults(fn=_cmd_families)
 
     args = parser.parse_args(argv)
     try:
         return args.fn(args)
-    except SweepSpecError as exc:
+    except SpecError as exc:
+        # One rendering source: the CLI prints the same structured
+        # {path, field, reason} diagnosis the HTTP 400 body carries.
         print(f"spec error: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_SPEC_ERROR
 
 
 if __name__ == "__main__":

@@ -664,6 +664,9 @@ def _run_processor(cpu, scenario: ScenarioSpec) -> dict:
     return out
 
 
+#: Stimulus kinds every push-driven channel family understands.
+_CHANNEL_STIMULUS = ("uniform", "active", "random", "bursty")
+
 register_family(Family(
     name="mt_pipeline",
     build=_build_mt_pipeline,
@@ -671,6 +674,8 @@ register_family(Family(
     reusable=True,
     description="source -> MEB^n -> sink (params: threads, n_stages, "
                 "meb, width)",
+    params={"threads": 4, "n_stages": 2, "meb": "reduced", "width": 32},
+    stimulus_kinds=_CHANNEL_STIMULUS,
 ))
 register_family(Family(
     name="mt_chain",
@@ -679,6 +684,8 @@ register_family(Family(
     reusable=True,
     description="MEB-bounded shared-function chain (params: threads, "
                 "n_funcs, width)",
+    params={"threads": 4, "n_funcs": 4, "width": 32},
+    stimulus_kinds=_CHANNEL_STIMULUS,
 ))
 register_family(Family(
     name="mt_ring",
@@ -687,6 +694,8 @@ register_family(Family(
     reusable=True,
     description="recirculating elastic ring (params: threads, n_funcs, "
                 "trips, width)",
+    params={"threads": 4, "n_funcs": 2, "trips": 4, "width": 32},
+    stimulus_kinds=("uniform", "active", "random"),
 ))
 register_family(Family(
     name="md5",
@@ -695,6 +704,8 @@ register_family(Family(
     reusable=False,
     description="multithreaded elastic MD5 (params: threads, meb, "
                 "round_stages)",
+    params={"threads": 4, "meb": "reduced", "round_stages": 1},
+    stimulus_kinds=("messages",),
 ))
 register_family(Family(
     name="processor",
@@ -708,4 +719,6 @@ register_family(Family(
     description="multithreaded elastic processor (params: threads, meb; "
                 "stimulus kinds: mix, bursty, random over named "
                 "programs)",
+    params={"threads": 4, "meb": "reduced"},
+    stimulus_kinds=("mix", "bursty", "random"),
 ))

@@ -1,0 +1,592 @@
+"""The jobs API: campaign simulation as a service, transport-agnostic.
+
+This module is the single programmatic entry point for running
+campaigns.  Everything else is a client of it: ``python -m repro.sweep
+run`` submits one job to an ephemeral service and waits;
+:mod:`repro.serve` wraps a long-running service in an HTTP/JSON front
+end; tests and benchmarks drive it directly.
+
+The moving parts of a :class:`JobService`:
+
+* **An async job queue.**  :meth:`~JobService.submit` validates the
+  spec (structured :class:`repro.sweep.spec.SpecError` on bad input),
+  registers a job and returns its id immediately; a dispatcher thread
+  executes jobs FIFO.  :meth:`~JobService.status` /
+  :meth:`~JobService.result` / :meth:`~JobService.cancel` observe and
+  steer jobs by id.
+
+* **A persistent worker pool with design-cache affinity.**  With
+  ``workers=N`` the service keeps N long-lived worker processes;
+  scenarios are routed to workers by a stable hash of their design key
+  (:func:`design_affinity`), so every scenario of one design — across
+  *all* jobs, not just within one campaign — lands on the worker that
+  already holds that design compiled, and rewinds it via the kernel's
+  columnar snapshot/restore instead of rebuilding.  ``workers<=1`` (or
+  0) executes inline in the dispatcher thread with the same long-lived
+  cache semantics.  A worker process that dies fails only the scenario
+  it was running (``status="worker-failed"``); the pool respawns the
+  worker (cold cache) and the job continues.
+
+* **A persisted result store with dedup.**  With a
+  :class:`repro.sweep.store.ResultStore`, each scenario's canonical
+  :meth:`~repro.sweep.spec.ScenarioSpec.result_key` is consulted before
+  dispatch: an identical scenario submitted twice returns the stored
+  row (``"cached": true``) without simulating.  Metrics are pure
+  functions of the scenario, so memoized and fresh reports are
+  bit-identical per scenario.
+
+Determinism is inherited, not re-established: scenario seeds derive
+from (campaign seed, scenario key) alone and the settle engines are
+cycle-identical, so CLI, sharded, pooled and memoized runs of the same
+spec all produce the same per-scenario metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import multiprocessing
+import pathlib
+import queue
+import threading
+import time
+import traceback
+from collections import deque
+from typing import Any, Mapping
+
+from repro.sweep.report import aggregate
+from repro.sweep.registry import registry_payload
+from repro.sweep.runner import _scenario_row, execute_scenario
+from repro.sweep.spec import CampaignSpec, from_dict, load_spec
+from repro.sweep.store import ResultStore
+
+#: Poll interval for the pooled result loop (drives liveness checks).
+_POLL_S = 0.05
+
+
+def design_affinity(design_key: str, workers: int) -> int:
+    """Stable worker index for a design key.
+
+    A pure function of the key (not of the campaign), so the same
+    design always lands on the same worker across jobs — the property
+    that turns per-worker design caches into a cross-job design cache.
+    """
+    digest = hashlib.sha256(design_key.encode()).digest()
+    return int.from_bytes(digest[:8], "big") % workers
+
+
+# ----------------------------------------------------------------------
+# worker pool
+# ----------------------------------------------------------------------
+
+def _worker_main(index: int, tasks, results) -> None:
+    """Worker-process loop: execute scenarios against a persistent cache.
+
+    The cache maps (design key, engine) to (handle, pristine snapshot)
+    and lives for the worker's whole life — jobs come and go, compiled
+    designs stay warm.
+    """
+    cache: dict = {}
+    while True:
+        msg = tasks.get()
+        if msg is None:
+            return
+        job_id, scenario, engine = msg
+        try:
+            row = execute_scenario(
+                scenario, engine, cache=cache, shard=index
+            )
+        except BaseException as exc:  # pragma: no cover - defensive
+            row = _scenario_row(scenario, index)
+            row["status"] = "error"
+            row["error"] = f"{type(exc).__name__}: {exc}"
+        try:
+            results.put((index, job_id, scenario.index, row))
+        except Exception:  # pragma: no cover - unpicklable metrics
+            fallback = _scenario_row(scenario, index)
+            fallback["status"] = "error"
+            fallback["error"] = "scenario result was not serializable"
+            results.put((index, job_id, scenario.index, fallback))
+
+
+class _Worker:
+    """One pool member: a task queue plus the process draining it."""
+
+    def __init__(self, ctx, index: int, results):
+        self.index = index
+        self.tasks = ctx.Queue()
+        self.process = ctx.Process(
+            target=_worker_main,
+            args=(index, self.tasks, results),
+            daemon=True,
+            name=f"sweep-worker-{index}",
+        )
+        self.process.start()
+
+
+class _WorkerPool:
+    """N persistent worker processes sharing one result queue."""
+
+    def __init__(self, size: int):
+        self._ctx = multiprocessing.get_context()
+        self.size = size
+        self.results = self._ctx.Queue()
+        self.workers = [
+            _Worker(self._ctx, i, self.results) for i in range(size)
+        ]
+        self.respawns = 0
+
+    def alive(self) -> list[bool]:
+        return [w.process.is_alive() for w in self.workers]
+
+    def respawn(self, index: int) -> None:
+        """Replace a dead worker with a fresh (cold-cache) one."""
+        old = self.workers[index]
+        if old.process.is_alive():  # pragma: no cover - defensive
+            old.process.terminate()
+        old.process.join(timeout=1.0)
+        self.workers[index] = _Worker(self._ctx, index, self.results)
+        self.respawns += 1
+
+    def close(self) -> None:
+        for worker in self.workers:
+            try:
+                worker.tasks.put(None)
+            except Exception:  # pragma: no cover - already torn down
+                pass
+        for worker in self.workers:
+            worker.process.join(timeout=2.0)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+
+class Job:
+    """One submitted campaign and everything observed about it."""
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: CampaignSpec,
+        engine: str | None,
+        workers: int,
+    ):
+        self.id = job_id
+        self.spec = spec
+        self.engine = engine
+        self.workers = workers
+        self.state = "queued"
+        self.submitted_at = time.time()
+        self.started_at: float | None = None
+        self.finished_at: float | None = None
+        self.completed = 0
+        self.dedup_hits = 0
+        self.rows: list[dict[str, Any]] | None = None
+        self.report: dict[str, Any] | None = None
+        self.error: str | None = None
+        self.cancel_event = threading.Event()
+        self.done_event = threading.Event()
+
+    def status(self) -> dict[str, Any]:
+        out: dict[str, Any] = {
+            "id": self.id,
+            "name": self.spec.name,
+            "state": self.state,
+            "engine": self.engine,
+            "workers": self.workers,
+            "scenarios": len(self.spec.scenarios),
+            "completed": self.completed,
+            "dedup_hits": self.dedup_hits,
+            "cancel_requested": self.cancel_event.is_set(),
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.finished_at is not None and self.started_at is not None:
+            out["elapsed_s"] = round(self.finished_at - self.started_at, 4)
+        if self.report is not None:
+            out["ok"] = self.report["summary"]["ok"]
+            out["failed"] = self.report["summary"]["failed"]
+        if self.error is not None:
+            out["error"] = self.error
+        return out
+
+
+class JobService:
+    """The campaign service core (see module docstring).
+
+    ``workers=0`` (or 1) executes jobs inline in the dispatcher thread
+    — same semantics, no subprocesses — which is also the mode the
+    one-shot CLI uses for serial runs.  *store* enables result-store
+    dedup: pass a :class:`ResultStore`, a path for a persisted JSONL
+    store, or ``True`` for an in-memory one.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        engine: str | None = None,
+        store: ResultStore | str | pathlib.Path | bool | None = None,
+    ):
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.pool_size = workers if workers > 1 else 0
+        self.engine = engine
+        if store is True:
+            store = ResultStore()
+        elif isinstance(store, (str, pathlib.Path)):
+            store = ResultStore(store)
+        self.store = store
+        self._jobs: dict[str, Job] = {}
+        self._order: list[str] = []
+        self._queue: queue.Queue = queue.Queue()
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._pool: _WorkerPool | None = None
+        self._inline_cache: dict = {}
+        self._dispatcher: threading.Thread | None = None
+        self._closed = False
+        self._started_at = time.time()
+
+    # -- lifecycle ------------------------------------------------------
+
+    def __enter__(self) -> "JobService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the dispatcher and tear down the worker pool."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            dispatcher = self._dispatcher
+        if dispatcher is not None:
+            self._queue.put(None)
+            dispatcher.join(timeout=30.0)
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def _ensure_dispatcher(self) -> None:
+        if self._dispatcher is None:
+            self._dispatcher = threading.Thread(
+                target=self._dispatch_loop,
+                daemon=True,
+                name="sweep-dispatcher",
+            )
+            self._dispatcher.start()
+
+    def _ensure_pool(self) -> _WorkerPool | None:
+        if self.pool_size and self._pool is None:
+            self._pool = _WorkerPool(self.pool_size)
+        return self._pool
+
+    # -- the jobs API ---------------------------------------------------
+
+    def submit(
+        self,
+        spec: CampaignSpec | Mapping[str, Any] | str | pathlib.Path,
+        workers: int | None = None,
+        engine: str | None = None,
+    ) -> str:
+        """Validate and enqueue a campaign; returns the job id.
+
+        *spec* may be a :class:`CampaignSpec`, a plain mapping (the
+        JSON/TOML structure) or a spec file path.  Malformed specs
+        raise :class:`repro.sweep.spec.SpecError` here, synchronously —
+        a queued job is always runnable.  *engine* overrides the spec's
+        engine; *workers* is recorded (the service's pool is fixed at
+        construction, so it caps the actual parallelism).
+        """
+        if self._closed:
+            raise RuntimeError("JobService is closed")
+        if isinstance(spec, (str, pathlib.Path)):
+            spec = load_spec(spec)
+        elif isinstance(spec, Mapping):
+            spec = from_dict(spec)
+        if engine is None:
+            engine = self.engine if self.engine is not None else spec.engine
+        if workers is None:
+            workers = self.pool_size or 1
+        job_id = f"job-{next(self._ids):06d}"
+        job = Job(job_id, spec, engine, workers)
+        with self._lock:
+            self._jobs[job_id] = job
+            self._order.append(job_id)
+            self._ensure_dispatcher()
+        self._queue.put(job_id)
+        return job_id
+
+    def job(self, job_id: str) -> Job:
+        try:
+            return self._jobs[job_id]
+        except KeyError:
+            raise KeyError(f"unknown job id {job_id!r}") from None
+
+    def status(self, job_id: str) -> dict[str, Any]:
+        """JSON-safe snapshot of one job's progress."""
+        return self.job(job_id).status()
+
+    def result(
+        self, job_id: str, wait: bool = True, timeout: float | None = None
+    ) -> dict[str, Any]:
+        """The job's aggregated campaign report (blocking by default).
+
+        Raises :class:`TimeoutError` if *wait* expires and
+        :class:`RuntimeError` if the job failed before producing a
+        report (dispatcher-level failure, not scenario failures —
+        those are ordinary rows in the report).
+        """
+        job = self.job(job_id)
+        if wait and not job.done_event.wait(timeout):
+            raise TimeoutError(f"job {job_id} not finished")
+        if job.report is None:
+            if job.error is not None:
+                raise RuntimeError(f"job {job_id} failed: {job.error}")
+            raise RuntimeError(f"job {job_id} has no report yet")
+        return job.report
+
+    def cancel(self, job_id: str) -> bool:
+        """Request cancellation; True if the job was still cancellable.
+
+        Queued jobs are cancelled before any scenario runs; a running
+        job stops dispatching new scenarios (in-flight ones finish) and
+        its remaining rows are reported ``status="cancelled"``.
+        """
+        job = self.job(job_id)
+        if job.done_event.is_set():
+            return False
+        job.cancel_event.set()
+        return True
+
+    def list_jobs(self) -> list[dict[str, Any]]:
+        """Status snapshots for every job, in submission order."""
+        with self._lock:
+            order = list(self._order)
+        return [self._jobs[job_id].status() for job_id in order]
+
+    def stats(self) -> dict[str, Any]:
+        """Service health: queue depth, worker liveness, cache rates."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+        pool = self._pool
+        return {
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "queue_depth": states.get("queued", 0),
+            "jobs": states,
+            "workers": {
+                "configured": self.pool_size,
+                "mode": "pool" if self.pool_size else "inline",
+                "alive": pool.alive() if pool is not None else [],
+                "respawns": pool.respawns if pool is not None else 0,
+            },
+            "store": self.store.stats() if self.store is not None else None,
+        }
+
+    # -- dispatcher -----------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            job_id = self._queue.get()
+            if job_id is None:
+                return
+            job = self._jobs[job_id]
+            try:
+                self._run_job(job)
+            except Exception:  # pragma: no cover - defensive
+                job.error = traceback.format_exc()
+                job.state = "failed"
+                job.finished_at = time.time()
+                job.done_event.set()
+
+    def _cancelled_row(
+        self, scenario, shard: int | None = None
+    ) -> dict[str, Any]:
+        row = _scenario_row(scenario, shard)
+        row["status"] = "cancelled"
+        row["error"] = "job cancelled before this scenario ran"
+        return row
+
+    def _run_job(self, job: Job) -> None:
+        job.state = "running"
+        job.started_at = time.time()
+        rows: dict[int, dict[str, Any]] = {}
+        pending = []
+        for scenario in job.spec.scenarios:
+            if self.store is not None and not job.cancel_event.is_set():
+                cached = self.store.get(scenario.result_key())
+                if cached is not None:
+                    cached["index"] = scenario.index
+                    cached["shard"] = None
+                    cached["cached"] = True
+                    cached["duration_s"] = 0.0
+                    rows[scenario.index] = cached
+                    job.dedup_hits += 1
+                    job.completed += 1
+                    continue
+            pending.append(scenario)
+        if pending:
+            if self._ensure_pool() is not None:
+                self._run_pooled(job, pending, rows)
+            else:
+                self._run_inline(job, pending, rows)
+        if self.store is not None:
+            for scenario in pending:
+                row = rows.get(scenario.index)
+                if row is not None and not row.get("cached"):
+                    self.store.put(scenario.result_key(), row)
+        ordered = [rows[index] for index in sorted(rows)]
+        elapsed = time.time() - job.started_at
+        job.rows = ordered
+        job.report = aggregate(
+            job.spec, ordered, engine=job.engine, workers=job.workers,
+            elapsed_s=elapsed,
+        )
+        if job.dedup_hits:
+            job.report["summary"]["dedup_hits"] = job.dedup_hits
+        job.state = "cancelled" if job.cancel_event.is_set() else "done"
+        job.finished_at = time.time()
+        job.done_event.set()
+
+    def _run_inline(self, job: Job, pending, rows) -> None:
+        """Dispatcher-thread execution with the service-lifetime cache."""
+        for scenario in pending:
+            if job.cancel_event.is_set():
+                rows[scenario.index] = self._cancelled_row(scenario)
+            else:
+                rows[scenario.index] = execute_scenario(
+                    scenario, job.engine, cache=self._inline_cache, shard=0
+                )
+            job.completed += 1
+
+    def _run_pooled(self, job: Job, pending, rows) -> None:
+        """Affinity-routed execution across the persistent worker pool."""
+        pool = self._pool
+        backlog: dict[int, deque] = {
+            i: deque() for i in range(pool.size)
+        }
+        for scenario in pending:
+            backlog[design_affinity(scenario.design_key(), pool.size)].append(
+                scenario
+            )
+        inflight: dict[int, Any] = {}
+        remaining = len(pending)
+
+        def account(index: int, row: dict[str, Any]) -> None:
+            nonlocal remaining
+            if index in rows:  # late result after a liveness verdict
+                return
+            rows[index] = row
+            job.completed += 1
+            remaining -= 1
+
+        while remaining:
+            if job.cancel_event.is_set():
+                for dq in backlog.values():
+                    while dq:
+                        scenario = dq.popleft()
+                        account(
+                            scenario.index, self._cancelled_row(scenario)
+                        )
+                if not inflight:
+                    break
+            for i in range(pool.size):
+                if i not in inflight and backlog[i]:
+                    scenario = backlog[i].popleft()
+                    pool.workers[i].tasks.put(
+                        (job.id, scenario, job.engine)
+                    )
+                    inflight[i] = scenario
+            try:
+                widx, _job_id, sidx, row = pool.results.get(
+                    timeout=_POLL_S
+                )
+            except queue.Empty:
+                for i in list(inflight):
+                    if not pool.workers[i].process.is_alive():
+                        scenario = inflight.pop(i)
+                        row = _scenario_row(scenario, i)
+                        row["status"] = "worker-failed"
+                        row["error"] = (
+                            f"worker {i} died (exit code "
+                            f"{pool.workers[i].process.exitcode})"
+                        )
+                        account(scenario.index, row)
+                        pool.respawn(i)
+                continue
+            inflight.pop(widx, None)
+            account(sidx, row)
+
+
+# ----------------------------------------------------------------------
+# module-level convenience API (a lazily created default service)
+# ----------------------------------------------------------------------
+
+_default_service: JobService | None = None
+_default_lock = threading.Lock()
+
+
+def default_service() -> JobService:
+    """The process-wide default (inline, store-less) service."""
+    global _default_service
+    with _default_lock:
+        if _default_service is None or _default_service._closed:
+            _default_service = JobService(workers=0)
+        return _default_service
+
+
+def configure(
+    workers: int = 0,
+    engine: str | None = None,
+    store: ResultStore | str | pathlib.Path | bool | None = None,
+) -> JobService:
+    """Replace the default service (closing any previous one)."""
+    global _default_service
+    with _default_lock:
+        if _default_service is not None:
+            _default_service.close()
+        _default_service = JobService(
+            workers=workers, engine=engine, store=store
+        )
+        return _default_service
+
+
+def submit_campaign(
+    spec: CampaignSpec | Mapping[str, Any] | str | pathlib.Path,
+    workers: int | None = None,
+    engine: str | None = None,
+) -> str:
+    """Submit a campaign to the default service; returns the job id."""
+    return default_service().submit(spec, workers=workers, engine=engine)
+
+
+def job_status(job_id: str) -> dict[str, Any]:
+    """Status snapshot of a default-service job."""
+    return default_service().status(job_id)
+
+
+def job_result(
+    job_id: str, wait: bool = True, timeout: float | None = None
+) -> dict[str, Any]:
+    """Aggregated report of a default-service job (blocking by default)."""
+    return default_service().result(job_id, wait=wait, timeout=timeout)
+
+
+def cancel(job_id: str) -> bool:
+    """Cancel a default-service job."""
+    return default_service().cancel(job_id)
+
+
+def list_families() -> dict[str, Any]:
+    """The design-family registry payload (same structure ``/families``
+    serves and ``families --json`` prints)."""
+    return registry_payload()

@@ -35,13 +35,22 @@ from typing import Any, Callable, Mapping
 
 @dataclasses.dataclass(frozen=True)
 class Family:
-    """One registered design family (see module docstring)."""
+    """One registered design family (see module docstring).
+
+    ``params`` maps each structural parameter to its default value and
+    ``stimulus_kinds`` names the stimulus shapes ``run`` understands —
+    machine-readable metadata the registry serves to clients (the
+    ``families --json`` CLI command and the service's ``/families``
+    endpoint emit it verbatim).
+    """
 
     name: str
     build: Callable[[Mapping[str, Any], str | None], Any]
     run: Callable[[Any, Any], dict]
     reusable: bool = True
     description: str = ""
+    params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
+    stimulus_kinds: tuple[str, ...] = ()
 
 
 _REGISTRY: dict[str, Family] = {}
@@ -78,3 +87,25 @@ def get_family(name: str) -> Family:
 def family_names() -> list[str]:
     _ensure_builtins()
     return sorted(_REGISTRY)
+
+
+def registry_payload() -> dict[str, Any]:
+    """The registry as one JSON-serializable structure.
+
+    This is the single source for every machine-readable listing of the
+    design space: ``python -m repro.sweep families --json`` prints it
+    and ``GET /families`` on the campaign service returns it, so the two
+    can never drift apart.
+    """
+    _ensure_builtins()
+    return {
+        "families": {
+            name: {
+                "reusable": family.reusable,
+                "description": family.description,
+                "params": dict(family.params),
+                "stimulus_kinds": list(family.stimulus_kinds),
+            }
+            for name, family in sorted(_REGISTRY.items())
+        }
+    }

@@ -61,6 +61,35 @@ def aggregate(
     }
 
 
+#: Report fields that legitimately differ between two runs of the same
+#: campaign: wall-clock timings, worker placement, cache provenance.
+_VOLATILE_SUMMARY = ("elapsed_s", "dedup_hits")
+_VOLATILE_ROW = ("shard", "duration_s", "design_cache", "cached")
+
+
+def canonical_report(report: Mapping[str, Any]) -> dict[str, Any]:
+    """Strip a campaign report down to its run-invariant content.
+
+    Two runs of the same spec — CLI vs HTTP, serial vs sharded, cold
+    vs memoized — must produce *equal* canonical reports; this is the
+    single definition of "identical modulo timestamps/placement" that
+    the parity tests and the CI smoke job compare.
+    """
+    campaign = {
+        k: v for k, v in report["campaign"].items() if k != "workers"
+    }
+    summary = {
+        k: v
+        for k, v in report["summary"].items()
+        if k not in _VOLATILE_SUMMARY
+    }
+    scenarios = [
+        {k: v for k, v in row.items() if k not in _VOLATILE_ROW}
+        for row in report["scenarios"]
+    ]
+    return {"campaign": campaign, "summary": summary, "scenarios": scenarios}
+
+
 _THROUGHPUT_COLS = (
     ("cycles", "cycles"),
     ("transfers", "transfers"),

@@ -1,40 +1,41 @@
-"""Campaign execution: sharding, per-worker design reuse, fault capture.
+"""Scenario execution: the one place a scenario actually runs.
 
-Execution model
----------------
+PR 6 split this module's old orchestration/execution mix in two:
 
-A campaign's expanded scenarios are **grouped by design key** (family +
-structural params) and the groups are dealt round-robin onto ``workers``
-shards; grouping first means every scenario of one design lands in the
-same worker, so the design is *built once per worker* and rewound
-between scenarios with the kernel's columnar snapshot/restore (no
-recompile).  Shard assignment is a pure function of the spec — and
-scenario seeds are a pure function of (campaign seed, scenario key), see
-:mod:`repro.sweep.spec` — so the same spec produces bit-identical
-per-scenario metrics whether it runs serially, with 2 workers, or with
-20.
+* **Execution** (this module): :func:`execute_scenario` builds — or
+  rewinds — a design and drives one scenario to metrics.  It is the
+  single primitive every runner shares: the in-process batch path, the
+  campaign service's persistent workers, and ad-hoc programmatic use.
+* **Orchestration** (:mod:`repro.sweep.jobs`): job queueing, worker
+  pools, result-store dedup and report assembly.  :func:`run_campaign`
+  is kept here as the stable one-shot entry point but is now a thin
+  client of the jobs API.
 
-Failures are contained at two levels: a scenario whose build or run
-raises is reported as ``status="error"`` with the traceback (and its
-cached design is dropped, so later scenarios re-build cleanly); a worker
-process that dies outright fails only its shard — every scenario of
-that shard is reported ``status="worker-failed"`` and the rest of the
-campaign completes.
+Design reuse works through an explicit *cache* mapping
+``(design_key, engine) -> (handle, pristine_snapshot)``: built on first
+use, every later scenario of the same design starts from a ``restore``
+of the pristine snapshot instead of a rebuild.  Because the cache key
+is pure data, a cache can outlive one campaign — the service's workers
+keep theirs across jobs, which is what makes repeated traffic cheap.
+
+Failures are contained per scenario: a build or run that raises is
+reported as ``status="error"`` with the traceback (and the cached
+design is dropped, so later scenarios re-build cleanly).  Worker-death
+containment lives with the worker pool in :mod:`repro.sweep.jobs`.
 """
 
 from __future__ import annotations
 
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Sequence
 
 from repro.sweep.registry import get_family
-from repro.sweep.report import aggregate
 from repro.sweep.spec import CampaignSpec, ScenarioSpec
 
-
-def _scenario_row(scenario: ScenarioSpec, shard: int) -> dict[str, Any]:
+def _scenario_row(
+    scenario: ScenarioSpec, shard: int | None
+) -> dict[str, Any]:
     return {
         "key": scenario.key,
         "index": scenario.index,
@@ -46,56 +47,73 @@ def _scenario_row(scenario: ScenarioSpec, shard: int) -> dict[str, Any]:
     }
 
 
+def execute_scenario(
+    scenario: ScenarioSpec,
+    engine: str | None,
+    cache: dict | None = None,
+    shard: int | None = None,
+) -> dict[str, Any]:
+    """Run one scenario and return its report row.
+
+    With a *cache*, reusable designs are built once per (design key,
+    engine) and rewound between scenarios via the kernel's columnar
+    snapshot/restore; the row's ``design_cache`` field records whether
+    this run hit the cache (``"hit"``), populated it (``"build"``) or
+    bypassed it (``"none"``, non-reusable families or no cache given).
+    ``design_cache`` is placement metadata, not part of the metrics —
+    reports are compared net of it.
+    """
+    row = _scenario_row(scenario, shard)
+    start = time.perf_counter()
+    cache_key = (scenario.design_key(), engine)
+    try:
+        family = get_family(scenario.family)
+        if family.reusable and cache is not None:
+            entry = cache.get(cache_key)
+            if entry is None:
+                handle = family.build(scenario.params, engine)
+                cache[cache_key] = (handle, handle.sim.snapshot())
+                row["design_cache"] = "build"
+            else:
+                handle, pristine = entry
+                handle.sim.restore(pristine)
+                row["design_cache"] = "hit"
+            metrics = family.run(handle, scenario)
+        else:
+            handle = family.build(scenario.params, engine)
+            metrics = family.run(handle, scenario)
+            row["design_cache"] = "none"
+        row["status"] = "ok"
+        row["metrics"] = metrics
+    except Exception:
+        # A failed scenario may leave a shared design mid-flight:
+        # drop it so the next scenario of this design rebuilds.
+        if cache is not None:
+            cache.pop(cache_key, None)
+        row["status"] = "error"
+        row["error"] = traceback.format_exc()
+    row["duration_s"] = round(time.perf_counter() - start, 4)
+    return row
+
+
 def run_scenarios(
     scenarios: Sequence[ScenarioSpec],
     engine: str | None,
     shard: int = 0,
+    cache: dict | None = None,
 ) -> list[dict[str, Any]]:
     """Run *scenarios* in order in this process (one worker's shard).
 
-    Reusable designs are cached per design key: built on first use, a
-    pristine snapshot taken immediately, and every later scenario of
-    the same design starts from a ``restore`` of that snapshot instead
-    of a rebuild.
+    A fresh design cache is used unless the caller passes one — the
+    service's workers pass their long-lived cache so designs survive
+    from job to job.
     """
-    cache: dict[str, tuple[Any, Any]] = {}
-    rows: list[dict[str, Any]] = []
-    for scenario in scenarios:
-        row = _scenario_row(scenario, shard)
-        start = time.perf_counter()
-        design_key = scenario.design_key()
-        try:
-            family = get_family(scenario.family)
-            if family.reusable:
-                entry = cache.get(design_key)
-                if entry is None:
-                    handle = family.build(scenario.params, engine)
-                    cache[design_key] = (handle, handle.sim.snapshot())
-                else:
-                    handle, pristine = entry
-                    handle.sim.restore(pristine)
-                metrics = family.run(handle, scenario)
-            else:
-                handle = family.build(scenario.params, engine)
-                metrics = family.run(handle, scenario)
-            row["status"] = "ok"
-            row["metrics"] = metrics
-        except Exception:
-            # A failed scenario may leave a shared design mid-flight:
-            # drop it so the next scenario of this design rebuilds.
-            cache.pop(design_key, None)
-            row["status"] = "error"
-            row["error"] = traceback.format_exc()
-        row["duration_s"] = round(time.perf_counter() - start, 4)
-        rows.append(row)
-    return rows
-
-
-def _run_shard(
-    shard: int, scenarios: Sequence[ScenarioSpec], engine: str | None
-) -> list[dict[str, Any]]:
-    """Worker-process entry point (must stay module-level picklable)."""
-    return run_scenarios(scenarios, engine, shard=shard)
+    if cache is None:
+        cache = {}
+    return [
+        execute_scenario(scenario, engine, cache=cache, shard=shard)
+        for scenario in scenarios
+    ]
 
 
 def shard_scenarios(
@@ -106,7 +124,10 @@ def shard_scenarios(
     Groups (not single scenarios) are the unit of distribution so a
     worker can amortize one build across all of a design's scenarios;
     group order follows first appearance in the spec, which makes the
-    assignment reproducible from the spec alone.
+    assignment reproducible from the spec alone.  (The long-running
+    service routes by a stable design-key hash instead — see
+    :func:`repro.sweep.jobs.design_affinity` — so that affinity also
+    holds *across* jobs.)
     """
     groups: dict[str, list[ScenarioSpec]] = {}
     order: list[str] = []
@@ -127,47 +148,22 @@ def run_campaign(
     spec: CampaignSpec,
     workers: int | None = None,
     engine: str | None = None,
+    store: Any = None,
 ) -> dict[str, Any]:
     """Execute *spec* and return the aggregated campaign report.
 
+    A thin client of the jobs API: submits the campaign to an ephemeral
+    :class:`repro.sweep.jobs.JobService` and waits for the report.
     *workers* / *engine* override the spec's values; ``workers <= 1``
-    runs everything inline (no subprocesses).  The report is the
-    :func:`repro.sweep.report.aggregate` structure: campaign metadata,
-    one row per scenario ordered as specified, and a summary fold.
+    runs everything inline (no subprocesses).  *store* (a
+    :class:`repro.sweep.store.ResultStore` or a path) enables result
+    memoization — scenarios whose canonical key is already stored are
+    answered from the store without simulating.
     """
+    from repro.sweep.jobs import JobService
+
     if workers is None:
         workers = spec.workers
-    if engine is None:
-        engine = spec.engine
-    started = time.perf_counter()
-    if workers <= 1:
-        rows = run_scenarios(spec.scenarios, engine, shard=0)
-    else:
-        shards = shard_scenarios(spec, workers)
-        rows = []
-        if len(shards) == 1:
-            rows = run_scenarios(shards[0], engine, shard=0)
-        else:
-            with ProcessPoolExecutor(max_workers=len(shards)) as pool:
-                futures = [
-                    pool.submit(_run_shard, i, shard, engine)
-                    for i, shard in enumerate(shards)
-                ]
-                for i, (shard, future) in enumerate(zip(shards, futures)):
-                    try:
-                        rows.extend(future.result())
-                    except Exception as exc:
-                        # The worker process itself died (OOM, signal,
-                        # unpicklable result): fail its shard, keep the
-                        # campaign going.
-                        for scenario in shard:
-                            row = _scenario_row(scenario, i)
-                            row["status"] = "worker-failed"
-                            row["error"] = (
-                                f"{type(exc).__name__}: {exc}"
-                            )
-                            rows.append(row)
-    rows.sort(key=lambda r: r["index"])
-    elapsed = time.perf_counter() - started
-    return aggregate(spec, rows, engine=engine, workers=workers,
-                     elapsed_s=elapsed)
+    with JobService(workers=workers, engine=engine, store=store) as service:
+        job_id = service.submit(spec, workers=workers, engine=engine)
+        return service.result(job_id)

@@ -34,8 +34,35 @@ except ModuleNotFoundError:  # pragma: no cover - py3.10 fallback path
     tomllib = None  # type: ignore[assignment]
 
 
-class SweepSpecError(ValueError):
-    """A campaign spec is malformed or unloadable."""
+class SpecError(ValueError):
+    """A campaign spec is malformed or unloadable.
+
+    Carries a machine-readable location so every transport renders the
+    same diagnosis from one source: *path* is the spec location
+    (``"campaign"``, ``"scenarios[2]"``, ...), *field* the offending key
+    within it (or ``None``), *reason* the human explanation.
+    :meth:`to_dict` is what the HTTP 400 body serves; ``str(exc)`` is
+    what the CLI prints — both derive from the same three fields.
+    """
+
+    def __init__(
+        self, reason: str, *, path: str = "campaign", field: str | None = None
+    ):
+        self.reason = reason
+        self.path = path
+        self.field = field
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        where = self.path if self.field is None else f"{self.path}.{self.field}"
+        return f"{where}: {self.reason}"
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"path": self.path, "field": self.field, "reason": self.reason}
+
+
+#: Backwards-compatible alias (the pre-service name of the class).
+SweepSpecError = SpecError
 
 
 def _canon_value(value: Any) -> str:
@@ -71,6 +98,30 @@ class ScenarioSpec:
         """
         return f"{self.family}({canonical_params(self.params)})"
 
+    def result_key(self) -> str:
+        """Identity of the *simulation result* (the dedup/memoization key).
+
+        SHA-256 over everything that determines the metrics: family,
+        structural params, the full stimulus block, the metrics block
+        and the derived seed.  Deliberately excludes the settle engine
+        (the engines are differential-pinned cycle-identical) and any
+        run-placement detail (shard, worker count), so an identical
+        scenario submitted twice — by any client, under any sharding —
+        maps to the same stored row.
+        """
+        payload = json.dumps(
+            {
+                "family": self.family,
+                "params": dict(self.params),
+                "stimulus": dict(self.stimulus),
+                "metrics": dict(self.metrics),
+                "seed": self.seed,
+            },
+            sort_keys=True,
+            default=str,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()
+
 
 @dataclasses.dataclass(frozen=True)
 class CampaignSpec:
@@ -98,11 +149,14 @@ def _expand_template(
     template: Mapping[str, Any], position: int
 ) -> list[dict[str, Any]]:
     """Expand one scenario template's grid into concrete entries."""
+    where = f"scenarios[{position}]"
     if not isinstance(template, Mapping):
-        raise SweepSpecError(f"scenario #{position}: expected a table/dict")
+        raise SpecError("expected a table/dict", path=where)
     family = template.get("family")
     if not family or not isinstance(family, str):
-        raise SweepSpecError(f"scenario #{position}: missing 'family'")
+        raise SpecError(
+            "missing required key 'family'", path=where, field="family"
+        )
     base_params = dict(template.get("params") or {})
     grid = dict(template.get("grid") or {})
     stimulus = dict(template.get("stimulus") or {})
@@ -111,15 +165,18 @@ def _expand_template(
         "family", "params", "grid", "stimulus", "metrics",
     }
     if unknown:
-        raise SweepSpecError(
-            f"scenario #{position} ({family}): unknown keys "
-            f"{sorted(unknown)}"
+        raise SpecError(
+            f"unknown keys {sorted(unknown)} (scenario {family!r})",
+            path=where,
+            field=sorted(unknown)[0],
         )
     for axis, values in grid.items():
         if not isinstance(values, (list, tuple)) or not values:
-            raise SweepSpecError(
-                f"scenario #{position} ({family}): grid axis {axis!r} "
-                f"must be a non-empty list"
+            raise SpecError(
+                f"grid axis {axis!r} must be a non-empty list "
+                f"(scenario {family!r})",
+                path=where,
+                field=f"grid.{axis}",
             )
     # Grid axes sweep structural params by default; an axis named
     # "stimulus.<opt>" sweeps a stimulus option instead (the swept
@@ -152,11 +209,14 @@ def _expand_template(
 def from_dict(data: Mapping[str, Any]) -> CampaignSpec:
     """Build a fully expanded :class:`CampaignSpec` from plain data."""
     if not isinstance(data, Mapping):
-        raise SweepSpecError("campaign spec must be a mapping")
+        raise SpecError("campaign spec must be a mapping", path="spec")
     campaign = dict(data.get("campaign") or {})
     templates = data.get("scenarios")
     if not templates:
-        raise SweepSpecError("spec has no [[scenarios]] entries")
+        raise SpecError(
+            "spec has no [[scenarios]] entries", path="spec",
+            field="scenarios",
+        )
     name = str(campaign.get("name") or "campaign")
     seed = int(campaign.get("seed", 0))
     engine = campaign.get("engine")
@@ -164,7 +224,7 @@ def from_dict(data: Mapping[str, Any]) -> CampaignSpec:
         engine = str(engine)
     workers = int(campaign.get("workers", 1))
     if workers < 0:
-        raise SweepSpecError("campaign.workers must be >= 0")
+        raise SpecError("must be >= 0", field="workers")
     entries: list[dict[str, Any]] = []
     for position, template in enumerate(templates):
         entries.extend(_expand_template(template, position))
@@ -240,20 +300,27 @@ def load_spec(path: str | pathlib.Path) -> CampaignSpec:
     """Load a campaign spec from a ``.toml`` or ``.json`` file."""
     path = pathlib.Path(path)
     if not path.exists():
-        raise SweepSpecError(f"spec file not found: {path}")
+        raise SpecError(f"spec file not found: {path}", path="spec")
     suffix = path.suffix.lower()
     if suffix == ".toml":
         if tomllib is None:
-            raise SweepSpecError(
+            raise SpecError(
                 "TOML specs need Python 3.11+ (tomllib); use a .json "
-                "spec or build the campaign from a dict"
+                "spec or build the campaign from a dict",
+                path="spec",
             )
         with path.open("rb") as fh:
             data = tomllib.load(fh)
     elif suffix == ".json":
-        data = json.loads(path.read_text(encoding="utf-8"))
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise SpecError(
+                f"invalid JSON: {exc}", path="spec"
+            ) from None
     else:
-        raise SweepSpecError(
-            f"unsupported spec format {suffix!r} (use .toml or .json)"
+        raise SpecError(
+            f"unsupported spec format {suffix!r} (use .toml or .json)",
+            path="spec",
         )
     return from_dict(data)

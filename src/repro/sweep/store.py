@@ -1,0 +1,110 @@
+"""The persisted result store: scenario-level memoization.
+
+Campaign metrics are pure functions of the scenario (seeded stimulus,
+cycle-identical engines, shard-invariant placement — the properties the
+differential suites pin), so a finished scenario's row can be replayed
+for any later identical submission instead of re-simulating it.  The
+store maps :meth:`repro.sweep.spec.ScenarioSpec.result_key` — a SHA-256
+over family, params, the full stimulus and metrics blocks, and the
+derived seed — to the stored report row.
+
+Only ``status == "ok"`` rows are stored: errors stay re-runnable.
+Stored rows are stripped of placement metadata (shard, duration,
+design-cache marker), so a dedup hit returns exactly the fields a fresh
+run would have produced for the metrics comparison.
+
+Persistence is an append-only JSONL file (one ``{"key": ..., "row":
+...}`` object per line): crash-safe to append, trivially inspectable,
+and loadable by streaming.  An in-memory store (``path=None``) gives a
+warm server memoization without any filesystem footprint.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import threading
+from typing import Any, Mapping
+
+#: Per-run placement fields that must not survive into the store.
+_VOLATILE_FIELDS = ("shard", "duration_s", "design_cache", "cached", "index")
+
+
+def strip_volatile(row: Mapping[str, Any]) -> dict[str, Any]:
+    """Copy *row* without its per-run placement fields."""
+    return {k: v for k, v in row.items() if k not in _VOLATILE_FIELDS}
+
+
+class ResultStore:
+    """Dedup store: canonical scenario key -> finished report row.
+
+    Thread-safe; the service's dispatcher writes while HTTP threads
+    read the hit/miss statistics.
+    """
+
+    def __init__(self, path: str | pathlib.Path | None = None):
+        self._path = pathlib.Path(path) if path is not None else None
+        self._rows: dict[str, dict[str, Any]] = {}
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        if self._path is not None and self._path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        with self._path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                entry = json.loads(line)
+                self._rows[entry["key"]] = entry["row"]
+
+    def get(self, key: str) -> dict[str, Any] | None:
+        """Look up *key*, counting the hit or miss."""
+        with self._lock:
+            row = self._rows.get(key)
+            if row is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return dict(row)
+
+    def put(self, key: str, row: Mapping[str, Any]) -> bool:
+        """Store a finished row under *key*; returns True when stored.
+
+        Rows that are not ``status == "ok"`` (or keys already present)
+        are ignored, so failures stay re-runnable and the append-only
+        file never carries duplicates.
+        """
+        if row.get("status") != "ok":
+            return False
+        clean = strip_volatile(row)
+        with self._lock:
+            if key in self._rows:
+                return False
+            self._rows[key] = clean
+            if self._path is not None:
+                self._path.parent.mkdir(parents=True, exist_ok=True)
+                with self._path.open("a", encoding="utf-8") as fh:
+                    fh.write(
+                        json.dumps({"key": key, "row": clean}, default=str)
+                        + "\n"
+                    )
+        return True
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._rows)
+
+    def stats(self) -> dict[str, Any]:
+        """Hit/miss counters plus the current entry count."""
+        with self._lock:
+            total = self.hits + self.misses
+            return {
+                "entries": len(self._rows),
+                "hits": self.hits,
+                "misses": self.misses,
+                "hit_rate": round(self.hits / total, 4) if total else None,
+                "path": str(self._path) if self._path else None,
+            }

@@ -1,0 +1,467 @@
+"""The jobs API: queue, worker pool, dedup store, cancellation.
+
+The service-level acceptance properties live here:
+
+* resubmitting an identical campaign to a warm service completes with
+  zero simulated scenarios (100% dedup hits) and bit-identical
+  per-scenario metrics;
+* design caches survive across jobs (the cross-job extension of the
+  per-campaign reuse the runner always had), in both inline and
+  pooled mode;
+* a worker process that dies fails only its in-flight scenario — the
+  pool respawns the worker and the job (and later jobs) complete.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import threading
+
+import pytest
+
+from repro.sweep import jobs as jobs_mod
+from repro.sweep.jobs import JobService, design_affinity
+from repro.sweep.registry import _REGISTRY, Family, register_family
+from repro.sweep.report import canonical_report
+from repro.sweep.runner import run_campaign
+from repro.sweep.spec import CampaignSpec, SpecError, from_dict, make_scenario
+from repro.sweep.store import ResultStore
+
+SMALL_CAMPAIGN = {
+    "campaign": {"name": "jobs-test", "seed": 11, "workers": 2},
+    "scenarios": [
+        {
+            "family": "mt_chain",
+            "params": {"threads": 2, "n_funcs": 2},
+            "stimulus": {"kind": "uniform", "items_per_thread": 6},
+        },
+        {
+            "family": "mt_pipeline",
+            "params": {"threads": 2, "n_stages": 2},
+            "grid": {"meb": ["full", "reduced"]},
+            "stimulus": {"kind": "uniform", "items_per_thread": 8},
+        },
+    ],
+}
+
+
+def _metrics_by_key(report):
+    return {
+        row["key"]: row["metrics"]
+        for row in report["scenarios"]
+        if row["status"] == "ok"
+    }
+
+
+@pytest.fixture
+def temp_family():
+    """Register throwaway families and drop them after the test."""
+    registered = []
+
+    def add(family: Family) -> Family:
+        register_family(family)
+        registered.append(family.name)
+        return family
+
+    try:
+        yield add
+    finally:
+        for name in registered:
+            _REGISTRY.pop(name, None)
+
+
+class TestResultKey:
+    def test_stimulus_options_change_the_key(self):
+        a = make_scenario(
+            "mt_chain", params={"threads": 2},
+            stimulus={"kind": "uniform", "items_per_thread": 4},
+        )
+        b = make_scenario(
+            "mt_chain", params={"threads": 2},
+            stimulus={"kind": "uniform", "items_per_thread": 5},
+        )
+        # Same campaign key (options are not part of it) but distinct
+        # result keys: dedup must not conflate different traffic.
+        assert a.key == b.key
+        assert a.result_key() != b.result_key()
+
+    def test_key_is_deterministic(self):
+        mk = lambda: make_scenario(
+            "md5", params={"threads": 4}, stimulus={"messages": 2}, seed=3
+        )
+        assert mk().result_key() == mk().result_key()
+
+    def test_seed_participates(self):
+        a = make_scenario("mt_chain", seed=1)
+        b = make_scenario("mt_chain", seed=2)
+        assert a.result_key() != b.result_key()
+
+
+class TestResultStore:
+    def test_only_ok_rows_stored(self, tmp_path):
+        store = ResultStore(tmp_path / "store.jsonl")
+        assert not store.put("k1", {"status": "error", "error": "boom"})
+        assert store.put("k2", {"status": "ok", "metrics": {"cycles": 5}})
+        assert len(store) == 1
+
+    def test_roundtrip_and_reload(self, tmp_path):
+        path = tmp_path / "store.jsonl"
+        store = ResultStore(path)
+        row = {
+            "key": "x()/uniform", "status": "ok",
+            "metrics": {"cycles": 9}, "shard": 3, "duration_s": 1.2,
+            "design_cache": "hit", "index": 7,
+        }
+        store.put("k", row)
+        reloaded = ResultStore(path)
+        got = reloaded.get("k")
+        assert got["metrics"] == {"cycles": 9}
+        # Placement metadata must not survive into the store.
+        for field in ("shard", "duration_s", "design_cache", "index"):
+            assert field not in got
+        assert reloaded.stats()["hits"] == 1
+
+    def test_hit_rate(self):
+        store = ResultStore()
+        store.put("k", {"status": "ok", "metrics": {}})
+        assert store.get("k") is not None
+        assert store.get("missing") is None
+        stats = store.stats()
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["hit_rate"] == 0.5
+
+
+class TestJobLifecycle:
+    def test_submit_status_result(self):
+        with JobService(workers=0) as service:
+            job_id = service.submit(SMALL_CAMPAIGN)
+            report = service.result(job_id)
+            status = service.status(job_id)
+        assert status["state"] == "done"
+        assert status["completed"] == status["scenarios"] == 3
+        assert status["ok"] == 3 and status["failed"] == 0
+        assert report["summary"]["ok"] == 3
+        assert [r["index"] for r in report["scenarios"]] == [0, 1, 2]
+
+    def test_submit_accepts_spec_dict_path_and_object(self, tmp_path):
+        import json as json_mod
+
+        path = tmp_path / "c.json"
+        path.write_text(json_mod.dumps(SMALL_CAMPAIGN), encoding="utf-8")
+        spec = from_dict(SMALL_CAMPAIGN)
+        with JobService(workers=0) as service:
+            ids = [
+                service.submit(SMALL_CAMPAIGN),
+                service.submit(path),
+                service.submit(spec),
+            ]
+            reports = [service.result(job_id) for job_id in ids]
+        assert (
+            _metrics_by_key(reports[0])
+            == _metrics_by_key(reports[1])
+            == _metrics_by_key(reports[2])
+        )
+
+    def test_bad_spec_raises_synchronously(self):
+        with JobService(workers=0) as service:
+            with pytest.raises(SpecError) as excinfo:
+                service.submit({"scenarios": [{"params": {}}]})
+        err = excinfo.value.to_dict()
+        assert err["path"] == "scenarios[0]"
+        assert err["field"] == "family"
+        assert "family" in err["reason"]
+
+    def test_unknown_job_id(self):
+        with JobService(workers=0) as service:
+            with pytest.raises(KeyError):
+                service.status("job-999999")
+
+    def test_list_jobs_in_submission_order(self):
+        with JobService(workers=0) as service:
+            first = service.submit(SMALL_CAMPAIGN)
+            second = service.submit(SMALL_CAMPAIGN)
+            service.result(second)
+            listed = service.list_jobs()
+        assert [job["id"] for job in listed] == [first, second]
+
+    def test_closed_service_rejects_submissions(self):
+        service = JobService(workers=0)
+        service.close()
+        with pytest.raises(RuntimeError):
+            service.submit(SMALL_CAMPAIGN)
+
+
+class TestDedup:
+    def test_warm_resubmission_simulates_nothing(self):
+        with JobService(workers=0, store=True) as service:
+            cold = service.result(service.submit(SMALL_CAMPAIGN))
+            warm = service.result(service.submit(SMALL_CAMPAIGN))
+        assert "dedup_hits" not in cold["summary"]
+        # The acceptance property: 100% dedup hits, zero simulated.
+        assert warm["summary"]["dedup_hits"] == 3
+        assert all(row["cached"] for row in warm["scenarios"])
+        assert canonical_report(cold) == canonical_report(warm)
+
+    def test_store_persists_across_services(self, tmp_path):
+        path = tmp_path / "results.jsonl"
+        with JobService(workers=0, store=path) as service:
+            first = service.result(service.submit(SMALL_CAMPAIGN))
+        with JobService(workers=0, store=path) as service:
+            second = service.result(service.submit(SMALL_CAMPAIGN))
+        assert second["summary"]["dedup_hits"] == 3
+        assert _metrics_by_key(first) == _metrics_by_key(second)
+
+    def test_different_stimulus_misses(self):
+        changed = {
+            "campaign": dict(SMALL_CAMPAIGN["campaign"]),
+            "scenarios": [
+                {
+                    "family": "mt_chain",
+                    "params": {"threads": 2, "n_funcs": 2},
+                    "stimulus": {"kind": "uniform", "items_per_thread": 7},
+                },
+            ],
+        }
+        with JobService(workers=0, store=True) as service:
+            service.result(service.submit(SMALL_CAMPAIGN))
+            report = service.result(service.submit(changed))
+        assert "dedup_hits" not in report["summary"]
+
+    def test_errors_are_not_memoized(self):
+        bad = {
+            "campaign": {"name": "b", "seed": 1},
+            "scenarios": [{"family": "warp_drive"}],
+        }
+        with JobService(workers=0, store=True) as service:
+            first = service.result(service.submit(bad))
+            second = service.result(service.submit(bad))
+        assert first["scenarios"][0]["status"] == "error"
+        assert second["scenarios"][0]["status"] == "error"
+        assert not second["scenarios"][0].get("cached")
+
+
+class TestDesignCacheAffinity:
+    def test_inline_cache_survives_jobs(self):
+        with JobService(workers=0) as service:
+            first = service.result(service.submit(SMALL_CAMPAIGN))
+            second = service.result(service.submit(SMALL_CAMPAIGN))
+        assert {r["design_cache"] for r in first["scenarios"]} == {"build"}
+        # Same designs, second job: every scenario rewinds a cached sim.
+        assert {r["design_cache"] for r in second["scenarios"]} == {"hit"}
+        assert _metrics_by_key(first) == _metrics_by_key(second)
+
+    def test_affinity_is_stable(self):
+        key = "mt_chain(n_funcs=2,threads=2)"
+        assert design_affinity(key, 4) == design_affinity(key, 4)
+        assert 0 <= design_affinity(key, 4) < 4
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="pool tests rely on fork inheritance",
+    )
+    def test_pooled_cache_survives_jobs(self):
+        with JobService(workers=2) as service:
+            first = service.result(service.submit(SMALL_CAMPAIGN))
+            second = service.result(service.submit(SMALL_CAMPAIGN))
+        assert {r["design_cache"] for r in first["scenarios"]} == {"build"}
+        assert {r["design_cache"] for r in second["scenarios"]} == {"hit"}
+        # Affinity: each design key maps to exactly one worker, and the
+        # assignment repeats across jobs.
+        for report in (first, second):
+            by_design: dict[str, set] = {}
+            for row in report["scenarios"]:
+                design = f"{row['family']}({row['params']})"
+                by_design.setdefault(design, set()).add(row["shard"])
+            assert all(len(shards) == 1 for shards in by_design.values())
+        assert _metrics_by_key(first) == _metrics_by_key(second)
+
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="pool tests rely on fork inheritance",
+    )
+    def test_pooled_equals_inline(self):
+        inline = run_campaign(from_dict(SMALL_CAMPAIGN), workers=1)
+        with JobService(workers=2) as service:
+            pooled = service.result(service.submit(SMALL_CAMPAIGN))
+        assert _metrics_by_key(inline) == _metrics_by_key(pooled)
+
+
+def _build_nothing(params, engine):
+    return object()
+
+
+def _run_kill_worker(handle, scenario):
+    os._exit(3)
+
+
+def _run_trivial(handle, scenario):
+    return {"cycles": 1}
+
+
+class TestWorkerDeath:
+    @pytest.mark.skipif(
+        multiprocessing.get_start_method() != "fork",
+        reason="pool tests rely on fork inheritance",
+    )
+    def test_worker_death_contained_and_respawned(self, temp_family):
+        temp_family(Family(
+            name="_kills_worker", build=_build_nothing,
+            run=_run_kill_worker, reusable=False,
+        ))
+        spec = {
+            "campaign": {"name": "kill", "seed": 1},
+            "scenarios": [
+                {"family": "_kills_worker"},
+                {
+                    "family": "mt_chain",
+                    "params": {"threads": 2, "n_funcs": 1},
+                    "stimulus": {"kind": "uniform", "items_per_thread": 3},
+                },
+            ],
+        }
+        with JobService(workers=2) as service:
+            report = service.result(service.submit(spec))
+            stats = service.stats()
+            # The pool recovered: a later healthy job still completes.
+            after = service.result(service.submit(SMALL_CAMPAIGN))
+        rows = {r["key"]: r for r in report["scenarios"]}
+        killed = rows["_kills_worker()/uniform"]
+        assert killed["status"] == "worker-failed"
+        assert "died" in killed["error"]
+        healthy = rows["mt_chain(n_funcs=1,threads=2)/uniform"]
+        assert healthy["status"] == "ok"
+        assert stats["workers"]["respawns"] == 1
+        assert all(stats["workers"]["alive"])
+        assert after["summary"]["failed"] == 0
+
+
+class TestCancel:
+    def test_cancel_running_job(self, temp_family):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def run(handle, scenario):
+            started.set()
+            assert gate.wait(10)
+            return {"cycles": 1}
+
+        temp_family(Family(
+            name="_blocker", build=_build_nothing, run=run, reusable=False,
+        ))
+        spec = {
+            "campaign": {"name": "cancelme", "seed": 1},
+            "scenarios": [{"family": "_blocker"}] * 3,
+        }
+        with JobService(workers=0) as service:
+            job_id = service.submit(spec)
+            assert started.wait(10)
+            assert service.cancel(job_id)
+            gate.set()
+            report = service.result(job_id)
+            status = service.status(job_id)
+        assert status["state"] == "cancelled"
+        assert [r["status"] for r in report["scenarios"]] == [
+            "ok", "cancelled", "cancelled",
+        ]
+
+    def test_cancel_queued_job(self, temp_family):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def run(handle, scenario):
+            started.set()
+            assert gate.wait(10)
+            return {"cycles": 1}
+
+        temp_family(Family(
+            name="_blocker2", build=_build_nothing, run=run, reusable=False,
+        ))
+        blocker = {
+            "campaign": {"name": "head", "seed": 1},
+            "scenarios": [{"family": "_blocker2"}],
+        }
+        with JobService(workers=0) as service:
+            head = service.submit(blocker)
+            queued = service.submit(SMALL_CAMPAIGN)
+            assert started.wait(10)
+            assert service.cancel(queued)
+            gate.set()
+            service.result(head)
+            report = service.result(queued)
+            status = service.status(queued)
+        assert status["state"] == "cancelled"
+        assert all(
+            r["status"] == "cancelled" for r in report["scenarios"]
+        )
+
+    def test_cancel_finished_job_returns_false(self):
+        with JobService(workers=0) as service:
+            job_id = service.submit(SMALL_CAMPAIGN)
+            service.result(job_id)
+            assert not service.cancel(job_id)
+
+
+class TestModuleLevelAPI:
+    def test_default_service_roundtrip(self):
+        previous = jobs_mod._default_service
+        jobs_mod._default_service = None
+        try:
+            job_id = jobs_mod.submit_campaign(SMALL_CAMPAIGN)
+            report = jobs_mod.job_result(job_id)
+            status = jobs_mod.job_status(job_id)
+            assert status["state"] == "done"
+            assert report["summary"]["ok"] == 3
+            assert not jobs_mod.cancel(job_id)
+            families = jobs_mod.list_families()
+            assert "mt_chain" in families["families"]
+        finally:
+            if jobs_mod._default_service is not None:
+                jobs_mod._default_service.close()
+            jobs_mod._default_service = previous
+
+    def test_configure_replaces_default(self):
+        previous = jobs_mod._default_service
+        jobs_mod._default_service = None
+        try:
+            service = jobs_mod.configure(workers=0, store=True)
+            assert jobs_mod.default_service() is service
+            first = jobs_mod.job_result(
+                jobs_mod.submit_campaign(SMALL_CAMPAIGN)
+            )
+            warm = jobs_mod.job_result(
+                jobs_mod.submit_campaign(SMALL_CAMPAIGN)
+            )
+            assert first["summary"]["ok"] == 3
+            assert warm["summary"]["dedup_hits"] == 3
+        finally:
+            if jobs_mod._default_service is not None:
+                jobs_mod._default_service.close()
+            jobs_mod._default_service = previous
+
+
+class TestRunCampaignCompat:
+    """run_campaign is now a jobs-API client; its contract must hold."""
+
+    def test_report_shape_unchanged(self):
+        report = run_campaign(from_dict(SMALL_CAMPAIGN), workers=1)
+        assert set(report) == {"campaign", "summary", "scenarios"}
+        assert report["campaign"]["workers"] == 1
+        for row in report["scenarios"]:
+            assert {"key", "index", "status", "shard", "duration_s"} <= set(
+                row
+            )
+
+    def test_store_argument_memoizes(self, tmp_path):
+        spec = from_dict(SMALL_CAMPAIGN)
+        store = tmp_path / "memo.jsonl"
+        cold = run_campaign(spec, workers=1, store=store)
+        warm = run_campaign(spec, workers=1, store=store)
+        assert warm["summary"]["dedup_hits"] == 3
+        assert _metrics_by_key(cold) == _metrics_by_key(warm)
+
+
+class TestCampaignSpecType:
+    def test_submit_requires_expanded_spec(self):
+        spec = from_dict(SMALL_CAMPAIGN)
+        assert isinstance(spec, CampaignSpec)

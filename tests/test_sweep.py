@@ -131,6 +131,31 @@ class TestSpec:
                 {"scenarios": [{"family": "x", "typo_block": {}}]}
             )
 
+    def test_spec_errors_are_structured(self):
+        from repro.sweep.spec import SpecError
+
+        # SweepSpecError is the backwards-compatible alias.
+        assert SpecError is SweepSpecError
+        with pytest.raises(SpecError) as excinfo:
+            from_dict({"scenarios": [{"params": {}}]})
+        err = excinfo.value
+        assert err.path == "scenarios[0]"
+        assert err.field == "family"
+        assert err.to_dict() == {
+            "path": "scenarios[0]",
+            "field": "family",
+            "reason": err.reason,
+        }
+        # The rendered message is built from the same three fields the
+        # HTTP 400 body carries — one source for both surfaces.
+        assert str(err) == f"scenarios[0].family: {err.reason}"
+
+        with pytest.raises(SpecError) as excinfo:
+            from_dict(
+                {"scenarios": [{"family": "x", "grid": {"threads": []}}]}
+            )
+        assert excinfo.value.field == "grid.threads"
+
     def test_load_json_spec(self, tmp_path):
         path = tmp_path / "campaign.json"
         path.write_text(json.dumps(SMALL_CAMPAIGN), encoding="utf-8")
@@ -348,6 +373,59 @@ class TestReportAndCLI:
             "run", str(path), "--workers", "1",
             "--out", str(tmp_path / "r"),
         ]) == 1
+
+    def test_cli_spec_error_exit_codes(self, tmp_path, capsys):
+        """Exit codes are normalized: 2 = spec/usage error, nothing ran."""
+        from repro.sweep.__main__ import main
+
+        # Missing spec file: exit 2, structured message on stderr.
+        assert main(["run", str(tmp_path / "missing.toml")]) == 2
+        assert "spec error:" in capsys.readouterr().err
+
+        # Structurally invalid spec: exit 2 from run and validate alike.
+        path = tmp_path / "broken.json"
+        path.write_text(
+            json.dumps({"scenarios": [{"params": {}}]}), encoding="utf-8"
+        )
+        assert main(["run", str(path)]) == 2
+        assert "scenarios[0].family" in capsys.readouterr().err
+        assert main(["validate", str(path)]) == 2
+        capsys.readouterr()
+
+        # Unresolvable family: validate treats it as a spec problem (2),
+        # run treats it as a scenario failure (1) — documented split.
+        unknown = tmp_path / "unknown.json"
+        unknown.write_text(json.dumps({
+            "campaign": {"name": "u", "seed": 1},
+            "scenarios": [{"family": "warp_drive"}],
+        }), encoding="utf-8")
+        assert main(["validate", str(unknown)]) == 2
+
+    def test_cli_families_json(self, capsys):
+        from repro.sweep.__main__ import main
+        from repro.sweep.registry import registry_payload
+
+        assert main(["families", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload == registry_payload()
+        chain = payload["families"]["mt_chain"]
+        assert set(chain) == {
+            "reusable", "description", "params", "stimulus_kinds",
+        }
+        assert chain["params"]["threads"] == 4
+        assert "uniform" in chain["stimulus_kinds"]
+
+    def test_canonical_report_strips_placement_only(self):
+        from repro.sweep.report import canonical_report
+
+        spec = from_dict(SMALL_CAMPAIGN)
+        serial = run_campaign(spec, workers=1)
+        sharded = run_campaign(spec, workers=2)
+        assert canonical_report(serial) == canonical_report(sharded)
+        # Metrics differences must still show through.
+        mutated = json.loads(json.dumps(serial))
+        mutated["scenarios"][0]["metrics"]["cycles"] = -1
+        assert canonical_report(mutated) != canonical_report(serial)
 
 
 class TestSweepRegressionGate:
