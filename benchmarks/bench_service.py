@@ -147,6 +147,20 @@ def main(argv: list[str] | None = None) -> int:
             ]
 
         health = client.healthz()
+        # Service-lifetime dedup accounting: the cold pass misses every
+        # scenario once, and each warm submission hits all of them.
+        dedup = health["dedup"]
+        expect_misses = scenario_count
+        expect_hits = args.clients * args.repeats * scenario_count
+        assert dedup["misses"] == expect_misses, (
+            f"expected {expect_misses} cold misses, healthz says {dedup}"
+        )
+        assert dedup["hits"] == expect_hits, (
+            f"expected {expect_hits} warm hits, healthz says {dedup}"
+        )
+        assert dedup["store_entries"] == scenario_count, (
+            f"store should hold one row per scenario: {dedup}"
+        )
     finally:
         process.terminate()
         process.wait(timeout=15)
@@ -173,6 +187,7 @@ def main(argv: list[str] | None = None) -> int:
         "warm_p99_ms": round(p99, 2),
         "warm_mean_ms": round(statistics.mean(warm_ms), 2),
         "dedup_rate": 1.0,
+        "dedup": health["dedup"],
         "store": health["store"],
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)

@@ -1,0 +1,218 @@
+"""Fuzz-campaign regression gate: coverage and fault oracles vs baseline.
+
+The coverage analogue of ``check_sweep_regression.py``: CI re-runs the
+fuzz campaign (``examples/campaigns/fuzz_campaign.toml``) and calls this
+script to diff the aggregated ``fuzz-results/fuzz_campaign.json`` report
+against the committed repo-root ``BENCH_coverage.json`` baseline.  The
+fuzzer is deterministic (the mutant sequence is a pure function of the
+campaign seed, invariant across worker counts and settle engines), so
+any drift here is a code change — the ratio tolerance exists to separate
+deliberate re-baselining from accidental drift, exactly like the sweep
+gate.
+
+Per fuzz scenario the gate guards, higher-is-better:
+
+* ``coverage_pct`` — joint structural-state coverage after the mutation
+  loop; a drop beyond ``BENCH_TOLERANCE`` (default 0.25) means the
+  fuzzer stopped reaching states it used to reach;
+* ``new_states`` — the absolute count behind the percentage;
+* ``mutants_kept`` — corpus growth; a collapse to zero means mutation
+  stopped discovering anything even if the seed corpus still covers.
+
+Per fault scenario ``oracle_ok`` is gated as a 0/1 metric (a detectable
+fault going undetected, or a survivable one corrupting state, flips it
+to 0 and fails the gate).  On top of the per-scenario rows the
+campaign-level summary is gated too: summary ``coverage_pct`` and the
+fault-oracle ``pass_rate`` must not drop beyond tolerance.
+
+A scenario present in the baseline but missing (or failed) in the
+current report always regresses; new scenarios are reported but not
+gated (they become gated once the baseline is regenerated — see
+docs/fuzzing.md for the re-baseline recipe).
+
+Usage::
+
+    python benchmarks/check_coverage_regression.py [baseline.json] [current.json]
+
+Writes a markdown delta table to stdout, to
+``<current dir>/coverage_regression_delta.md`` (uploaded as a CI
+artifact even when the gate passes) and, when ``GITHUB_STEP_SUMMARY``
+is set, appends the same table to the job summary.  Exits non-zero if
+anything regressed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import sys
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_coverage.json"
+DEFAULT_CURRENT = REPO_ROOT / "fuzz-results" / "fuzz_campaign.json"
+
+#: metric key -> (display label, True when higher is better).
+METRICS = (
+    ("coverage_pct", "cov %", True),
+    ("new_states", "states", True),
+    ("mutants_kept", "kept", True),
+    ("oracle_ok", "oracle", True),
+)
+
+#: summary key (possibly nested) -> display label; all higher-better.
+SUMMARY_METRICS = (
+    (("coverage_pct",), "summary cov %"),
+    (("fault_oracles", "pass_rate"), "fault-oracle pass rate"),
+)
+
+
+def tolerance() -> float:
+    raw = os.environ.get("BENCH_TOLERANCE", "0.25")
+    try:
+        value = float(raw)
+    except ValueError:
+        raise SystemExit(f"invalid BENCH_TOLERANCE {raw!r} (want a float)")
+    if not 0 <= value < 1:
+        raise SystemExit(f"BENCH_TOLERANCE {value} out of range [0, 1)")
+    return value
+
+
+def _metric_rows(report: dict) -> dict[str, dict]:
+    """``scenario key -> metrics`` for the report's ok scenarios."""
+    return {
+        row["key"]: row.get("metrics", {})
+        for row in report.get("scenarios", ())
+        if row.get("status") == "ok"
+    }
+
+
+def _summary_value(report: dict, path: tuple[str, ...]):
+    node = report.get("summary", {})
+    for part in path:
+        if not isinstance(node, dict):
+            return None
+        node = node.get(part)
+    return node
+
+
+def compare(baseline: dict, current: dict, tol: float):
+    """Return (markdown lines, regression messages)."""
+    base_name = baseline.get("campaign", {}).get("name", "?")
+    cur_name = current.get("campaign", {}).get("name", "?")
+    lines = [
+        "### Coverage regression gate",
+        "",
+        f"baseline campaign `{base_name}` vs current `{cur_name}`; "
+        f"tolerance {tol:.0%}",
+        "",
+        "| scenario | metric | baseline | current | delta | status |",
+        "|---|---|---|---|---|---|",
+    ]
+    regressions: list[str] = []
+
+    for path, label in SUMMARY_METRICS:
+        base_val = _summary_value(baseline, path)
+        cur_val = _summary_value(current, path)
+        if not isinstance(base_val, (int, float)):
+            continue
+        if not isinstance(cur_val, (int, float)):
+            regressions.append(
+                f"summary: {label!r} missing from the current report"
+            )
+            lines.append(
+                f"| _summary_ | {label} | {base_val:g} | — | — | "
+                f"❌ missing metric |"
+            )
+            continue
+        if base_val == 0:
+            continue
+        delta = (cur_val - base_val) / base_val
+        ok = cur_val >= base_val * (1 - tol)
+        status = "✅ ok" if ok else "❌ regressed"
+        lines.append(
+            f"| _summary_ | {label} | {base_val:g} | {cur_val:g} | "
+            f"{delta:+.1%} | {status} |"
+        )
+        if not ok:
+            regressions.append(
+                f"summary: {label} dropped {base_val:g} -> {cur_val:g} "
+                f"({delta:+.1%}, tolerance {tol:.0%})"
+            )
+
+    base_rows = _metric_rows(baseline)
+    cur_rows = _metric_rows(current)
+    for key, base_metrics in base_rows.items():
+        cur_metrics = cur_rows.get(key)
+        if cur_metrics is None:
+            regressions.append(f"{key}: missing or failed in current report")
+            lines.append(f"| `{key}` | — | — | — | — | ❌ missing |")
+            continue
+        for metric, label, higher_better in METRICS:
+            base_val = base_metrics.get(metric)
+            cur_val = cur_metrics.get(metric)
+            if not isinstance(base_val, (int, float)):
+                continue
+            if not isinstance(cur_val, (int, float)):
+                regressions.append(
+                    f"{key}: gated metric {label!r} missing from the "
+                    f"current report"
+                )
+                lines.append(
+                    f"| `{key}` | {label} | {base_val:g} | — | — | "
+                    f"❌ missing metric |"
+                )
+                continue
+            if base_val == 0:
+                continue  # a ratio over zero is meaningless; skip
+            delta = (cur_val - base_val) / base_val
+            if higher_better:
+                ok = cur_val >= base_val * (1 - tol)
+            else:
+                ok = cur_val <= base_val * (1 + tol)
+            status = "✅ ok" if ok else "❌ regressed"
+            lines.append(
+                f"| `{key}` | {label} | {base_val:g} | {cur_val:g} | "
+                f"{delta:+.1%} | {status} |"
+            )
+            if not ok:
+                direction = "dropped" if higher_better else "rose"
+                regressions.append(
+                    f"{key}: {label} {direction} {base_val:g} -> "
+                    f"{cur_val:g} ({delta:+.1%}, tolerance {tol:.0%})"
+                )
+    for key in cur_rows:
+        if key not in base_rows:
+            lines.append(f"| `{key}` | — | new | — | — | ℹ not gated |")
+    return lines, regressions
+
+
+def main(argv: list[str]) -> int:
+    baseline_path = pathlib.Path(argv[1]) if len(argv) > 1 else DEFAULT_BASELINE
+    current_path = pathlib.Path(argv[2]) if len(argv) > 2 else DEFAULT_CURRENT
+    for path, what in ((baseline_path, "baseline"), (current_path, "current")):
+        if not path.is_file():
+            print(f"error: {what} campaign report not found at {path}")
+            return 2
+    baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    current = json.loads(current_path.read_text(encoding="utf-8"))
+    lines, regressions = compare(baseline, current, tolerance())
+    if regressions:
+        lines += ["", "**Regressions:**", ""]
+        lines += [f"- {msg}" for msg in regressions]
+    report = "\n".join(lines) + "\n"
+    print(report)
+    delta_path = current_path.parent / "coverage_regression_delta.md"
+    try:
+        delta_path.write_text(report, encoding="utf-8")
+    except OSError as exc:  # the table is advisory; never fail on it
+        print(f"warning: could not write {delta_path}: {exc}")
+    summary = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary:
+        with open(summary, "a", encoding="utf-8") as fh:
+            fh.write(report)
+    return 1 if regressions else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

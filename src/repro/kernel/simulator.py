@@ -164,6 +164,21 @@ class Simulator:
         """Register a callback invoked after each cycle's settle phase."""
         self._observers.append(fn)
 
+    def remove_observer(self, fn: Callable[["Simulator"], None]) -> None:
+        """Deregister an observer added with :meth:`add_observer`.
+
+        Observers are not part of snapshots, so a caller that attaches
+        one for a bounded window (the coverage maps of
+        :mod:`repro.sweep.coverage`) must detach it explicitly — a
+        leftover observer keeps settle+tick fusion disabled and keeps
+        firing across later snapshot rewinds.  Removing a function that
+        is not registered is a no-op.
+        """
+        try:
+            self._observers.remove(fn)
+        except ValueError:
+            pass
+
     def _finalize(self) -> None:
         if self._finalized:
             return

@@ -133,6 +133,7 @@ def make_mt_chain(
     width: int = 32,
     engine: str | None = None,
     with_monitor: bool = False,
+    sink_patterns: Sequence[Pattern] | Mapping[int, Pattern] | None = None,
 ):
     """source -> MEB -> shared-function chain -> MEB -> sink.
 
@@ -163,7 +164,7 @@ def make_mt_chain(
         for k in range(n_funcs)
     ]
     meb_out = FullMEB("meb_out", chans[n_funcs + 1], chans[n_funcs + 2])
-    sink = MTSink("snk", chans[-1])
+    sink = MTSink("snk", chans[-1], patterns=sink_patterns)
     extra = [MTMonitor("out_mon", chans[-1])] if with_monitor else []
     sim = build(*chans, source, meb_in, *funcs, meb_out, sink, *extra,
                 engine=engine)

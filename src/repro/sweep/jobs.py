@@ -209,8 +209,16 @@ class Job:
         if self.finished_at is not None and self.started_at is not None:
             out["elapsed_s"] = round(self.finished_at - self.started_at, 4)
         if self.report is not None:
-            out["ok"] = self.report["summary"]["ok"]
-            out["failed"] = self.report["summary"]["failed"]
+            summary = self.report["summary"]
+            out["ok"] = summary["ok"]
+            out["failed"] = summary["failed"]
+            # Campaign-level coverage/fault metrics surface on the job
+            # itself, so service clients (and CI smoke assertions) can
+            # read them without pulling the full report.
+            for key in ("coverage_pct", "new_states", "faults_survived",
+                        "fault_oracles"):
+                if key in summary:
+                    out[key] = summary[key]
         if self.error is not None:
             out["error"] = self.error
         return out
@@ -251,6 +259,12 @@ class JobService:
         self._dispatcher: threading.Thread | None = None
         self._closed = False
         self._started_at = time.time()
+        # Service-lifetime dedup accounting: per-job `dedup_hits` only
+        # tells a client about its own submission; these fold every
+        # store lookup since service start so /healthz can report a
+        # global hit rate.
+        self.dedup_hits = 0
+        self.dedup_misses = 0
 
     # -- lifecycle ------------------------------------------------------
 
@@ -379,6 +393,7 @@ class JobService:
             for job in self._jobs.values():
                 states[job.state] = states.get(job.state, 0) + 1
         pool = self._pool
+        lookups = self.dedup_hits + self.dedup_misses
         return {
             "uptime_s": round(time.time() - self._started_at, 3),
             "queue_depth": states.get("queued", 0),
@@ -388,6 +403,19 @@ class JobService:
                 "mode": "pool" if self.pool_size else "inline",
                 "alive": pool.alive() if pool is not None else [],
                 "respawns": pool.respawns if pool is not None else 0,
+            },
+            # Since-service-start dedup accounting (always present, even
+            # store-less, so clients can assert on it unconditionally);
+            # "store" remains the store's own lifetime view.
+            "dedup": {
+                "hits": self.dedup_hits,
+                "misses": self.dedup_misses,
+                "hit_rate": (
+                    round(self.dedup_hits / lookups, 4) if lookups else 0.0
+                ),
+                "store_entries": (
+                    len(self.store) if self.store is not None else 0
+                ),
             },
             "store": self.store.stats() if self.store is not None else None,
         }
@@ -431,8 +459,10 @@ class JobService:
                     cached["duration_s"] = 0.0
                     rows[scenario.index] = cached
                     job.dedup_hits += 1
+                    self.dedup_hits += 1
                     job.completed += 1
                     continue
+                self.dedup_misses += 1
             pending.append(scenario)
         if pending:
             if self._ensure_pool() is not None:

@@ -70,6 +70,8 @@ def _ensure_builtins() -> None:
     # library in.
     if "mt_pipeline" not in _REGISTRY:
         import repro.sweep.families  # noqa: F401  (registers on import)
+    if "fuzz" not in _REGISTRY:
+        import repro.sweep.fuzz  # noqa: F401  (registers on import)
 
 
 def get_family(name: str) -> Family:

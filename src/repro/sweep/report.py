@@ -49,6 +49,35 @@ def aggregate(
     ]
     if cycles:
         summary["total_cycles"] = sum(cycles)
+    # Coverage-bearing rows (the fuzz family) fold into campaign-level
+    # coverage; fault-oracle rows fold into a pass rate.  Both are
+    # deterministic functions of the rows, so they survive the
+    # canonical-report comparison and gate in CI like throughput.
+    covered = [
+        r["metrics"]
+        for r in ok
+        if isinstance(r.get("metrics", {}).get("coverage_pct"), (int, float))
+    ]
+    if covered:
+        summary["coverage_pct"] = round(
+            sum(m["coverage_pct"] for m in covered) / len(covered), 4
+        )
+        summary["new_states"] = sum(
+            int(m.get("new_states", 0)) for m in covered
+        )
+    oracles = [
+        r["metrics"] for r in ok if "oracle_ok" in r.get("metrics", {})
+    ]
+    if oracles:
+        passed = sum(1 for m in oracles if m["oracle_ok"])
+        summary["faults_survived"] = sum(
+            int(m.get("faults_survived", 0)) for m in oracles
+        )
+        summary["fault_oracles"] = {
+            "scenarios": len(oracles),
+            "passed": passed,
+            "pass_rate": round(passed / len(oracles), 4),
+        }
     return {
         "campaign": {
             "name": spec.name,
@@ -98,6 +127,13 @@ _THROUGHPUT_COLS = (
     ("cycles_per_digest", "cyc/digest"),
     ("ipc", "ipc"),
     ("retired", "retired"),
+    ("coverage_pct", "cov %"),
+    ("baseline_coverage_pct", "grid cov %"),
+    ("new_states", "states"),
+    ("mutants_kept", "kept"),
+    ("outcome", "outcome"),
+    ("oracle_ok", "oracle"),
+    ("faults_survived", "survived"),
     ("area_le", "area LE"),
     ("fmax_mhz", "fmax MHz"),
 )

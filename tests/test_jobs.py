@@ -228,6 +228,29 @@ class TestDedup:
             report = service.result(service.submit(changed))
         assert "dedup_hits" not in report["summary"]
 
+    def test_service_lifetime_dedup_stats(self):
+        # Per-job dedup_hits only covers one submission; stats() (and
+        # therefore /healthz) folds every store lookup since service
+        # start, which is what the CI smoke asserts on.
+        with JobService(workers=0, store=True) as service:
+            service.result(service.submit(SMALL_CAMPAIGN))
+            cold = service.stats()["dedup"]
+            assert cold == {
+                "hits": 0, "misses": 3, "hit_rate": 0.0, "store_entries": 3,
+            }
+            service.result(service.submit(SMALL_CAMPAIGN))
+            warm = service.stats()["dedup"]
+            assert warm == {
+                "hits": 3, "misses": 3, "hit_rate": 0.5, "store_entries": 3,
+            }
+
+    def test_storeless_service_reports_zero_dedup(self):
+        with JobService(workers=0) as service:
+            service.result(service.submit(SMALL_CAMPAIGN))
+            assert service.stats()["dedup"] == {
+                "hits": 0, "misses": 0, "hit_rate": 0.0, "store_entries": 0,
+            }
+
     def test_errors_are_not_memoized(self):
         bad = {
             "campaign": {"name": "b", "seed": 1},
