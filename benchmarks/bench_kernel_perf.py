@@ -209,6 +209,97 @@ SMOKE_EVENT_FLOOR = 1.0
 SMOKE_COMPILED_FLOOR = 0.6
 
 
+# ----------------------------------------------------------------------
+# ensemble lockstep comparison
+# ----------------------------------------------------------------------
+# K control-identical scenarios (same design, same schedule, different
+# seeded payloads) through ONE lifted simulator vs K serial compiled
+# runs of a warm cached design.  `ensemble_speedup` is aggregate
+# scenarios/sec — serial wall time over batched wall time for the same
+# K scenarios — with per-scenario metrics asserted identical first.
+
+def _ensemble_workloads():
+    """family -> (params, stimulus, K).  Pure-Python row layout."""
+    if SMOKE:
+        width = 8
+        return {
+            "mt_chain": (
+                {"threads": 4, "n_funcs": 3},
+                {"kind": "uniform", "payload": "seeded",
+                 "items_per_thread": 8},
+                width,
+            ),
+            "mt_pipeline": (
+                {"threads": 4, "n_stages": 3},
+                {"kind": "uniform", "payload": "seeded",
+                 "items_per_thread": 10},
+                width,
+            ),
+        }
+    width = 16
+    return {
+        "mt_chain": (
+            {"threads": 16, "n_funcs": 6},
+            {"kind": "uniform", "payload": "seeded",
+             "items_per_thread": 20},
+            width,
+        ),
+        "mt_pipeline": (
+            {"threads": 8, "n_stages": 4},
+            {"kind": "uniform", "payload": "seeded",
+             "items_per_thread": 40},
+            width,
+        ),
+    }
+
+
+#: Full-mode floors for ensemble_speedup (the acceptance bar: >= 3x
+#: aggregate scenarios/sec at K >= 8 on the mt_* families).
+ENSEMBLE_FLOORS = {"mt_chain": 3.0, "mt_pipeline": 3.0}
+SMOKE_ENSEMBLE_FLOOR = 1.0
+
+
+def _measure_ensemble_family(family, params, stimulus, width, reps):
+    from repro.sweep.runner import execute_ensemble, execute_scenario
+    from repro.sweep.spec import from_dict
+
+    spec = from_dict({
+        "campaign": {"name": f"bench-{family}", "seed": 99},
+        "scenarios": [{
+            "family": family,
+            "params": params,
+            "stimulus": stimulus,
+            "grid": {"stimulus.payload_salt": list(range(width))},
+        }],
+    })
+    scenarios = list(spec.scenarios)
+    serial_cache: dict = {}
+    ens_cache: dict = {}
+    # Warm both caches and pin the hard contract: per-scenario metrics
+    # of the batch are identical to serial compiled runs.
+    reference = [
+        execute_scenario(s, None, cache=serial_cache) for s in scenarios
+    ]
+    batch = execute_ensemble(scenarios, None, cache=ens_cache)
+    for ref, row in zip(reference, batch):
+        assert row.get("ensemble") == width, (
+            f"{family}: batch fell back to serial execution"
+        )
+        assert row["metrics"] == ref["metrics"], (
+            f"{family}: ensemble metrics diverge from serial"
+        )
+    best_serial = best_ensemble = float("inf")
+    for _ in range(reps):
+        start = time.perf_counter()
+        for scenario in scenarios:
+            execute_scenario(scenario, None, cache=serial_cache)
+        best_serial = min(best_serial, time.perf_counter() - start)
+        start = time.perf_counter()
+        execute_ensemble(scenarios, None, cache=ens_cache)
+        best_ensemble = min(best_ensemble, time.perf_counter() - start)
+    return round(best_serial / best_ensemble, 2)
+
+
 def _measure(runner, engine, reps):
     best_cps = 0.0
     cycles = fingerprint = None
@@ -244,6 +335,12 @@ def run_comparison():
             "event_speedup": round(event_cps / naive_cps, 2),
             "compiled_speedup": round(compiled_cps / event_cps, 2),
         }
+    for name, (params, stimulus, width) in _ensemble_workloads().items():
+        row = results["workloads"][name]
+        row["ensemble_width"] = width
+        row["ensemble_speedup"] = _measure_ensemble_family(
+            name, params, stimulus, width, reps
+        )
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n",
                             encoding="utf-8")
@@ -261,6 +358,12 @@ def test_engine_comparison():
             f"compiled={row['compiled_cps']:>9.0f} "
             f"({row['compiled_speedup']:.2f}x vs event)"
         )
+        if "ensemble_speedup" in row:
+            lines.append(
+                f"  {name:14s} ensemble K={row['ensemble_width']}: "
+                f"{row['ensemble_speedup']:.2f}x scenarios/sec vs serial "
+                f"compiled"
+            )
     print("\n".join(lines))
     for name, (_runner, event_floor, compiled_floor) in WORKLOADS.items():
         row = results["workloads"][name]
@@ -276,6 +379,13 @@ def test_engine_comparison():
             f"{name}: compiled engine speedup "
             f"{row['compiled_speedup']:.2f}x below {required_compiled}x "
             f"floor"
+        )
+    for name, floor in ENSEMBLE_FLOORS.items():
+        row = results["workloads"][name]
+        required = SMOKE_ENSEMBLE_FLOOR if SMOKE else floor
+        assert row["ensemble_speedup"] >= required, (
+            f"{name}: ensemble speedup {row['ensemble_speedup']:.2f}x "
+            f"(K={row['ensemble_width']}) below {required}x floor"
         )
 
 

@@ -34,9 +34,12 @@ DEFAULT_CURRENT = (
 )
 
 #: The speedup ratios the gate guards, and their display names.
+#: `ensemble_speedup` (batched vs serial scenarios/sec) only exists on
+#: the ensemble-capable mt_* workloads; others show "no data".
 RATIOS = (
     ("event_speedup", "event/naive"),
     ("compiled_speedup", "compiled/event"),
+    ("ensemble_speedup", "ensemble/serial"),
 )
 
 

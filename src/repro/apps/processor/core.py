@@ -53,7 +53,7 @@ from repro.cost.model import (
     shifter_luts,
 )
 from repro.core.mtchannel import one_hot_thread
-from repro.kernel import Component, Simulator
+from repro.kernel import Component, Simulator, WatchedPredicate
 from repro.kernel.errors import SimulationError
 from repro.kernel.slots import SeqPlan
 from repro.kernel.values import X, as_bool, bools, same_value
@@ -65,6 +65,124 @@ _WRITES_RD = frozenset(
     op for op, fmt in isa.FORMATS.items()
     if fmt is isa.Format.R or (fmt is isa.Format.I and op is not isa.Op.SW)
 )
+
+
+# ----------------------------------------------------------------------
+# per-opcode execute specialization
+# ----------------------------------------------------------------------
+# The interpreter below (`_execute_interp`) walks an if/elif chain and
+# calls `isa.alu` — a second dispatch — on every token.  The opcode is
+# static per instruction, so both dispatches can be folded out: generate
+# one straight-line function per opcode (the same codegen trick as the
+# MD5 datapath's `compiled_round_steps`) and route execute through a
+# single dict lookup.  The interpreter stays as the reference semantics
+# the generated table is differential-tested against.
+
+_ALU_EXPRS = {
+    isa.Op.ADD: "(_a + _b) & M",
+    isa.Op.ADDI: "(_a + _b) & M",
+    isa.Op.SUB: "(_a - _b) & M",
+    isa.Op.AND: "_a & _b",
+    isa.Op.ANDI: "_a & _b",
+    isa.Op.OR: "_a | _b",
+    isa.Op.ORI: "_a | _b",
+    isa.Op.XOR: "_a ^ _b",
+    isa.Op.XORI: "_a ^ _b",
+    isa.Op.SLL: "(_a << (_b & 31)) & M",
+    isa.Op.SLLI: "(_a << (_b & 31)) & M",
+    isa.Op.SRL: "_a >> (_b & 31)",
+    isa.Op.SRLI: "_a >> (_b & 31)",
+    isa.Op.SRA: "(_signed32(_a) >> (_b & 31)) & M if _b & 31 else _a",
+    isa.Op.SRAI: "(_signed32(_a) >> (_b & 31)) & M if _b & 31 else _a",
+    isa.Op.SLT: "1 if _signed32(_a) < _signed32(_b) else 0",
+    isa.Op.SLTI: "1 if _signed32(_a) < _signed32(_b) else 0",
+    isa.Op.SLTU: "1 if _a < _b else 0",
+    isa.Op.MUL: "(_a * _b) & M",
+    isa.Op.LUI: "(_b << 16) & M",
+}
+
+_BRANCH_CONDS = {
+    isa.Op.BEQ: "(token.a & M) == (token.b & M)",
+    isa.Op.BNE: "(token.a & M) != (token.b & M)",
+    isa.Op.BLT: "_signed32(token.a) < _signed32(token.b)",
+    isa.Op.BGE: "_signed32(token.a) >= _signed32(token.b)",
+}
+
+
+def _compile_execute_table() -> dict[isa.Op, Any]:
+    """Generate the per-opcode ``fn(token) -> ExecutedToken`` table."""
+    table: dict[isa.Op, Any] = {}
+    for op in isa.Op:
+        value, next_pc, mem_addr, halt = "0", "pc + 4", "None", "False"
+        prelude: list[str] = []
+        if op in _ALU_EXPRS:
+            prelude = ["    _a = token.a & M", "    _b = token.b & M"]
+            value = _ALU_EXPRS[op]
+        elif op in _BRANCH_CONDS:
+            next_pc = (
+                f"pc + 4 + instr.imm * 4 if {_BRANCH_CONDS[op]} else pc + 4"
+            )
+        elif op is isa.Op.JAL:
+            value, next_pc = "pc + 4", "instr.imm * 4"
+        elif op is isa.Op.JALR:
+            value = "pc + 4"
+            next_pc = "(token.a + instr.imm) & ~3 & M"
+        elif op in (isa.Op.LW, isa.Op.SW):
+            mem_addr = "(token.a + instr.imm) & M"
+        elif op is isa.Op.HALT:
+            halt = "True"
+        else:  # NOP
+            pass
+        name = f"_exec_{op.name.lower()}"
+        lines = [
+            f"def {name}(token):",
+            "    instr = token.instr",
+            "    pc = token.pc",
+            *prelude,
+            f"    return ExecutedToken(pc, instr, {value}, {next_pc}, "
+            f"{mem_addr}, token.store_value, {halt})",
+        ]
+        ns: dict[str, Any] = {
+            "ExecutedToken": ExecutedToken,
+            "M": isa.MASK32,
+            "_signed32": isa._signed32,
+        }
+        exec("\n".join(lines), ns)  # noqa: S102 - trusted codegen
+        table[op] = ns[name]
+    return table
+
+
+_EXEC_FNS = _compile_execute_table()
+
+
+def _execute_interp(token: DecodedToken) -> ExecutedToken:
+    """Reference execute semantics (the pre-codegen interpreter)."""
+    instr = token.instr
+    op = instr.op
+    pc = token.pc
+    next_pc = pc + 4
+    value = 0
+    mem_addr: int | None = None
+    halt = False
+    if op is isa.Op.HALT:
+        halt = True
+    elif op is isa.Op.NOP:
+        pass
+    elif isa.is_branch(op):
+        if isa.branch_taken(op, token.a, token.b):
+            next_pc = pc + 4 + instr.imm * 4
+    elif op is isa.Op.JAL:
+        value = pc + 4
+        next_pc = instr.imm * 4
+    elif op is isa.Op.JALR:
+        value = pc + 4
+        next_pc = (token.a + instr.imm) & ~3 & isa.MASK32
+    elif isa.is_mem(op):
+        mem_addr = (token.a + instr.imm) & isa.MASK32
+    else:
+        value = isa.alu(op, token.a, token.b)
+    return ExecutedToken(pc, instr, value, next_pc, mem_addr,
+                         token.store_value, halt)
 
 
 def alu_luts() -> int:
@@ -552,33 +670,12 @@ class Processor:
         )
         return DecodedToken(token.pc, instr, a, b, store_value)
 
-    def _execute(self, token: DecodedToken) -> ExecutedToken:
-        instr = token.instr
-        op = instr.op
-        pc = token.pc
-        next_pc = pc + 4
-        value = 0
-        mem_addr: int | None = None
-        halt = False
-        if op is isa.Op.HALT:
-            halt = True
-        elif op is isa.Op.NOP:
-            pass
-        elif isa.is_branch(op):
-            if isa.branch_taken(op, token.a, token.b):
-                next_pc = pc + 4 + instr.imm * 4
-        elif op is isa.Op.JAL:
-            value = pc + 4
-            next_pc = instr.imm * 4
-        elif op is isa.Op.JALR:
-            value = pc + 4
-            next_pc = (token.a + instr.imm) & ~3 & isa.MASK32
-        elif isa.is_mem(op):
-            mem_addr = (token.a + instr.imm) & isa.MASK32
-        else:
-            value = isa.alu(op, token.a, token.b)
-        return ExecutedToken(pc, instr, value, next_pc, mem_addr,
-                             token.store_value, halt)
+    @staticmethod
+    def _execute(token: DecodedToken) -> ExecutedToken:
+        # One dict lookup to the opcode's straight-line specialization
+        # (see _compile_execute_table); semantics pinned to
+        # _execute_interp by a differential test over the full ISA.
+        return _EXEC_FNS[token.instr.op](token)
 
     def _exec_latency(self, token: DecodedToken, _k: int) -> int:
         return self._mul_latency if token.instr.op is isa.Op.MUL else 1
@@ -613,9 +710,19 @@ class Processor:
         return base
 
     def run(self, max_cycles: int = 50_000) -> RunStats:
-        """Run until every armed thread has halted."""
-        self.sim.run(until=lambda _s: self.pc_unit.all_halted,
-                     max_cycles=max_cycles)
+        """Run until every armed thread has halted.
+
+        ``all_halted`` is pure transfer-derived state (alive flags only
+        change when a retirement transfers on ``c_mo``), so the
+        predicate declares its watches and the engine may fuse
+        quiescent stretches instead of stepping them one by one.
+        """
+        pc_unit = self.pc_unit
+        done = WatchedPredicate(
+            lambda _s: pc_unit.all_halted,
+            watches=(*self.c_mo.valid, *self.c_mo.ready),
+        )
+        self.sim.run(until=done, max_cycles=max_cycles)
         return RunStats(cycles=self.sim.cycle, retired=list(self.pc_unit.retired))
 
     def run_cycles(self, cycles: int) -> RunStats:

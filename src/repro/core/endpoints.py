@@ -36,6 +36,10 @@ class MTSource(Component):
         by downstream ready with fallback, like the MEBs).
     """
 
+    #: Items (rows, for an ensemble) are presented on the data bus by
+    #: reference; injection decisions read only gates and handshakes.
+    ENSEMBLE_DATA = "opaque"
+
     def __init__(
         self,
         name: str,
@@ -300,6 +304,10 @@ class MTSource(Component):
 
 class MTSink(Component):
     """Consumes an MT channel under independent per-thread stall patterns."""
+
+    #: Received payloads (rows, for an ensemble) are logged by reference;
+    #: stall decisions read only patterns and handshakes.
+    ENSEMBLE_DATA = "opaque"
 
     def __init__(
         self,

@@ -23,7 +23,7 @@ from typing import Any, Callable
 from repro.core.mtchannel import MTChannel, one_hot_thread
 from repro.elastic.function import LatencyPolicy
 from repro.kernel.component import Component
-from repro.kernel.errors import SimulationError
+from repro.kernel.errors import EnsembleUnsupported, SimulationError
 from repro.kernel.slots import SeqPlan
 from repro.kernel.values import X, as_bool, bools, same_value, state_changed
 
@@ -39,6 +39,12 @@ class MTFunction(Component):
     :meth:`~repro.kernel.component.Component.invalidate` whenever that
     context changes, as :class:`repro.apps.md5.circuit.MD5Circuit` does.
     """
+
+    #: Data is inspected only through ``fn``, which ensemble execution
+    #: rebinds to a lane-wise map (pure functions only — a volatile fn
+    #: may close over context mutated once per item, which a K-wide map
+    #: would advance K times).
+    ENSEMBLE_DATA = "lift"
 
     def __init__(
         self,
@@ -141,6 +147,16 @@ class MTFunction(Component):
 
         return step
 
+    def ensemble_lift(self, ctx) -> None:
+        if getattr(self.fn, "__ensemble_lifted__", False):
+            return
+        if self.volatile:
+            raise EnsembleUnsupported(
+                f"{self.path}: fn is not declared pure; a lane-wise map "
+                "would re-run its side effects once per lane"
+            )
+        self.fn = ctx.lift_fn(self.fn)
+
     def area_items(self) -> list[tuple[str, int, int]]:
         return [("lut", self._area_luts, 1)] if self._area_luts else []
 
@@ -153,6 +169,11 @@ class MTContextFunction(MTFunction):
     on the active valid wire — paper §V-B, "each thread sees a different
     copy of the register file".
     """
+
+    #: The fn reads per-thread context selected by the live thread index
+    #: (register files); lane independence cannot be proven, so designs
+    #: containing one fall back to serial execution.
+    ENSEMBLE_DATA = "unsafe"
 
     def combinational(self) -> None:
         active = self.inp.active_thread()
@@ -197,6 +218,11 @@ class MTVariableLatencyUnit(Component):
     #: argument (the :class:`~repro.apps.processor.stages.MTSequencedUnit`
     #: variant for side-effecting per-thread stage functions).
     _fn_takes_thread = False
+
+    #: The latency policy may read the payload (data-dependent latency
+    #: would diverge control flow across lanes), so the unit is not
+    #: ensemble-safe even though ``fn`` itself could be lifted.
+    ENSEMBLE_DATA = "unsafe"
 
     def __init__(
         self,

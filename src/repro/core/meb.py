@@ -68,6 +68,10 @@ def _seq_input_thread(values, uvb, uve, urb, path, up_path):
 class _MEBBase(Component):
     """Shared scaffolding: channels, arbiter, output stage, input checks."""
 
+    #: Queues/slots store payloads by reference; grants look only at
+    #: handshakes, never inside the data.
+    ENSEMBLE_DATA = "opaque"
+
     def __init__(
         self,
         name: str,

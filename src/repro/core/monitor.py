@@ -30,6 +30,10 @@ from repro.kernel.values import as_bool, bools
 class MTMonitor(Component):
     """Passive checker/recorder for one multithreaded channel."""
 
+    #: Observes handshakes; data is only compared for stability (rows
+    #: compare lane-wise through ``same_value``), never transformed.
+    ENSEMBLE_DATA = "opaque"
+
     def __init__(
         self,
         name: str,

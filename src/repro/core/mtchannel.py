@@ -56,6 +56,9 @@ class MTChannel(Component):
     * ``data`` — shared data bus, meaningful for the single active thread.
     """
 
+    #: The data bus carries payloads by reference, never inspected.
+    ENSEMBLE_DATA = "opaque"
+
     def __init__(
         self,
         name: str,

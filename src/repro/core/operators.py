@@ -40,6 +40,10 @@ class MJoin(Component):
     :mod:`repro.core.arbiter`).
     """
 
+    #: ``combine`` builds a new payload out of N input payloads (tuples
+    #: by default) — rows would nest, so ensembles fall back to serial.
+    ENSEMBLE_DATA = "unsafe"
+
     def __init__(
         self,
         name: str,
@@ -94,6 +98,9 @@ class MJoin(Component):
 class MFork(Component):
     """Per-thread lazy fork of one MT channel to N consumers (Fig. 7(b))."""
 
+    #: Data is copied to the outputs by reference, never inspected.
+    ENSEMBLE_DATA = "opaque"
+
     def __init__(
         self,
         name: str,
@@ -142,6 +149,11 @@ class MBranch(Component):
     thread the condition belongs to; the selected output's thread-*i*
     handshake is wired through, all other outputs stay silent.
     """
+
+    #: Data is inspected through ``selector``/``route``, which ensemble
+    #: execution rebinds: the selector becomes an all-lanes-must-agree
+    #: vote (control stays shared), the route a lane-wise map.
+    ENSEMBLE_DATA = "lift"
 
     def __init__(
         self,
@@ -279,6 +291,12 @@ class MBranch(Component):
 
         return step
 
+    def ensemble_lift(self, ctx) -> None:
+        if getattr(self._selector, "__ensemble_lifted__", False):
+            return
+        self._selector = ctx.lift_selector(self._selector, self.path)
+        self._route = ctx.lift_route(self._route)
+
     def area_items(self) -> list[tuple[str, int, int]]:
         return [("lut", 2 * len(self.outputs) * self.threads, 1)]
 
@@ -293,6 +311,9 @@ class MMerge(Component):
     stays one-valid-per-cycle, and the losing path simply keeps its data
     (its ready stays low).
     """
+
+    #: Data moves from the winning path by reference, never inspected.
+    ENSEMBLE_DATA = "opaque"
 
     def __init__(
         self,

@@ -8,8 +8,17 @@ a small synchronous-hardware simulator with two-phase evaluation
 
 from repro.kernel.component import Component
 from repro.kernel.engine import ENGINES, CompiledEngine, EventEngine, NaiveEngine
+from repro.kernel.ensemble import (
+    POISON,
+    EnsembleContext,
+    EnsembleSimulator,
+    lift_simulator,
+)
 from repro.kernel.errors import (
     ConvergenceError,
+    EnsembleDivergence,
+    EnsembleUnsupported,
+    FusionBlockedError,
     KernelError,
     ProtocolError,
     SimulationError,
@@ -17,7 +26,7 @@ from repro.kernel.errors import (
     WiringError,
 )
 from repro.kernel.signal import Signal, const
-from repro.kernel.simulator import Simulator, build
+from repro.kernel.simulator import Simulator, WatchedPredicate, build
 from repro.kernel.slots import SeqPlan, SeqStore, SlotStore
 from repro.kernel.snapshot import SimSnapshot
 from repro.kernel.trace import TraceRecorder, trace_signals
@@ -28,9 +37,15 @@ __all__ = [
     "Component",
     "ConvergenceError",
     "ENGINES",
+    "EnsembleContext",
+    "EnsembleDivergence",
+    "EnsembleSimulator",
+    "EnsembleUnsupported",
     "EventEngine",
+    "FusionBlockedError",
     "NaiveEngine",
     "KernelError",
+    "POISON",
     "ProtocolError",
     "SimSnapshot",
     "SimulationError",
@@ -41,8 +56,10 @@ __all__ = [
     "SeqStore",
     "SlotStore",
     "TraceRecorder",
+    "WatchedPredicate",
     "WiringError",
     "X",
+    "lift_simulator",
     "as_bool",
     "bit",
     "build",

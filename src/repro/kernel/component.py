@@ -44,13 +44,25 @@ from __future__ import annotations
 
 from typing import Any, Iterable, Iterator
 
-from repro.kernel.errors import WiringError
+from repro.kernel.errors import EnsembleUnsupported, WiringError
 from repro.kernel.signal import Signal
 from repro.kernel.values import X
 
 
 class Component:
     """Base class for all simulated hardware blocks."""
+
+    #: Ensemble-safety contract (see :mod:`repro.kernel.ensemble`).
+    #:
+    #: ``"opaque"``  — the component moves data payloads by reference and
+    #: never inspects them, so a row of K per-lane values flows through it
+    #: unchanged and the component is ensemble-safe as-is.
+    #: ``"lift"``    — the component inspects payloads through callables
+    #: that :meth:`ensemble_lift` can rebind to lane-wise lifted forms.
+    #: ``"unsafe"``  — the default: payload handling cannot be proven
+    #: lane-independent (data-dependent latency, cross-thread context,
+    #: tuple-building joins, ...); ensembles must fall back to serial.
+    ENSEMBLE_DATA = "unsafe"
 
     def __init__(self, name: str, parent: "Component | None" = None):
         self.name = name
@@ -262,6 +274,22 @@ class Component:
         capture/commit, unresolvable slots, ...).
         """
         return None
+
+    def ensemble_lift(self, ctx: Any) -> None:
+        """Rebind data-inspecting callables to lane-wise lifted forms.
+
+        Called once per design by :func:`repro.kernel.ensemble.lift_simulator`
+        with an :class:`~repro.kernel.ensemble.EnsembleContext` for every
+        component whose :attr:`ENSEMBLE_DATA` is ``"lift"``.  After lifting,
+        the simulator is rebuilt so compiled closures pick up the rebound
+        callables.  ``"opaque"`` components need no lifting (this default is
+        a no-op for them); ``"unsafe"`` components raise.
+        """
+        if self.ENSEMBLE_DATA != "opaque":
+            raise EnsembleUnsupported(
+                f"{self.path} ({type(self).__name__}) is not ensemble-safe "
+                f"(ENSEMBLE_DATA={self.ENSEMBLE_DATA!r})"
+            )
 
     def capture(self) -> None:
         """Latch next register state from settled signals (no signal writes)."""

@@ -57,6 +57,51 @@ class SimulationError(KernelError):
     """A generic runtime failure during simulation (bad state, bad value)."""
 
 
+class FusionBlockedError(SimulationError):
+    """A strict watched predicate ran on a design that can never fuse.
+
+    Raised by :meth:`repro.kernel.simulator.Simulator.run` when an
+    ``until`` predicate declared with ``strict=True`` (see
+    :class:`repro.kernel.simulator.WatchedPredicate`) is combined with a
+    configuration that structurally disables idle-stretch fusion:
+    registered observers, a non-compiled engine, ``compile_seq`` turned
+    off, or components whose tick phase is not covered by compiled
+    plans.  The attached ``blockers`` list holds one ``{"kind", "detail"}``
+    dict per reason.
+    """
+
+    def __init__(self, blockers: list[dict]):
+        self.blockers = list(blockers)
+        kinds = ", ".join(b.get("kind", "?") for b in self.blockers)
+        super().__init__(
+            f"run(until=...) idle fusion is structurally blocked ({kinds}); "
+            "drop strict=True to poll cycle-by-cycle, or remove the blockers "
+            "(observers disable fusion entirely)"
+        )
+
+
+class EnsembleUnsupported(KernelError):
+    """A design contains a component that is not ensemble-safe.
+
+    Raised by :func:`repro.kernel.ensemble.lift_simulator` when a
+    component's ``ENSEMBLE_DATA`` contract is ``"unsafe"`` (the default),
+    or by a component's ``ensemble_lift`` when a per-instance check fails
+    (e.g. an :class:`~repro.core.function.MTFunction` whose callable is
+    declared non-pure).  Callers fall back to serial execution.
+    """
+
+
+class EnsembleDivergence(KernelError):
+    """Lanes of an ensemble stopped agreeing on control flow.
+
+    Raised by a lifted :class:`~repro.core.operators.MBranch` selector
+    when live lanes select different output ports (control flow is no
+    longer identical across the ensemble), or when every lane of a row
+    has already failed.  Callers fall back to serial execution, which is
+    always correct.
+    """
+
+
 class SnapshotError(KernelError):
     """A simulator snapshot could not be taken or restored.
 

@@ -76,7 +76,16 @@ from typing import Any, Callable
 
 from repro.kernel.component import Component
 from repro.kernel.engine import ENGINES, make_engine
-from repro.kernel.errors import SimulationError
+
+# Re-exported here because ensemble execution is part of the simulator's
+# public surface (build one simulator, advance K scenarios in lockstep).
+from repro.kernel.ensemble import (
+    EnsembleSimulator as EnsembleSimulator,
+)
+from repro.kernel.ensemble import (
+    lift_simulator as lift_simulator,
+)
+from repro.kernel.errors import FusionBlockedError, SimulationError
 from repro.kernel.signal import Signal
 from repro.kernel.slots import SeqStore, SlotStore
 from repro.kernel.snapshot import (
@@ -85,6 +94,71 @@ from repro.kernel.snapshot import (
     restore_snapshot,
     take_snapshot,
 )
+
+
+class WatchedPredicate:
+    """An ``until`` predicate with a declared-watch contract.
+
+    ``run(until=...)`` polls its predicate every cycle, which forces the
+    simulator to step cycle-by-cycle even when the design is fully
+    quiescent — a deadlocked (or slowly draining) elastic network pays
+    full per-cycle dispatch just to keep observing the same False.
+    Wrapping the predicate in a ``WatchedPredicate`` declares a contract
+    that lets ``run`` batch those idle stretches through the same
+    ``_fuse_quiescent`` fast path ``run(cycles=...)`` already uses:
+
+    **the predicate's value is a pure function of the declared watch
+    signals and of transfer-derived component state** (counts, received
+    logs) — never of ``sim.cycle`` or wall-clock side state.
+
+    Fusion only ever fires when the design is provably quiescent: no
+    signal is changing *and* no compiled tick plan advances any state
+    (an in-flight transfer keeps its endpoints' plans non-skippable).
+    Under that precondition neither watched signals nor transfer-derived
+    state can change, so a predicate honouring the contract stays False
+    across the whole fused stretch and the observable behaviour is
+    bit-identical to the unfused run (differential-tested).
+
+    Parameters
+    ----------
+    fn:
+        The underlying predicate, called with the simulator.
+    watches:
+        The signals the predicate's value depends on (informational for
+        diagnostics/``watch_slots``; fusion relies on the quiescence
+        precondition, which freezes *all* signals).
+    strict:
+        When True, ``run(until=...)`` raises
+        :class:`~repro.kernel.errors.FusionBlockedError` up front if the
+        configuration can never fuse (observers registered, non-compiled
+        engine, ``compile_seq`` off, unplanned tick components) instead
+        of silently degrading to cycle-by-cycle polling.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[["Simulator"], bool],
+        watches: Any = (),
+        strict: bool = False,
+    ):
+        self._fn = fn
+        self._watches = tuple(watches)
+        self.strict = bool(strict)
+
+    def watch_slots(self) -> tuple:
+        """Declared watch signals (resolved to slots where available)."""
+        return tuple(
+            getattr(sig, "slot", sig) for sig in self._watches
+        )
+
+    def __call__(self, sim: "Simulator") -> bool:
+        return bool(self._fn(sim))
+
+    def __repr__(self) -> str:
+        return (
+            f"<WatchedPredicate fn={self._fn!r} "
+            f"watches={len(self._watches)} strict={self.strict}>"
+        )
 
 
 class Simulator:
@@ -450,6 +524,47 @@ class Simulator:
         self.cycle += budget
         return budget
 
+    def fusion_blockers(self) -> list[dict]:
+        """Structural reasons why idle-stretch fusion can never fire.
+
+        Returns one ``{"kind", "detail"}`` dict per reason: registered
+        observers (**any** observer — e.g. the coverage maps of
+        :mod:`repro.sweep.coverage` — disables fusion and therefore idle
+        batching outright), a non-compiled settle engine, ``compile_seq``
+        disabled, or tick-phase components not covered by compiled plans.
+        An empty list means fusion is structurally possible (it still
+        only fires on provably quiescent cycles).
+        """
+        self._finalize()
+        blockers: list[dict] = []
+        for fn in self._observers:
+            name = getattr(fn, "__qualname__", None) or repr(fn)
+            blockers.append({"kind": "observer", "detail": name})
+        if self.engine_name != "compiled":
+            blockers.append(
+                {"kind": "engine", "detail": f"engine={self.engine_name!r}"}
+            )
+        if not self.seq_enabled:
+            blockers.append(
+                {"kind": "compile_seq", "detail": "compile_seq disabled"}
+            )
+        elif not self._seq_covers_ticks and self.engine_name == "compiled":
+            unplanned = sorted(
+                {
+                    c.__self__.path
+                    for c in self._captures
+                }
+                | {c.path for c, _fn in self._noted_commits}
+                | {c.__self__.path for c in self._plain_commits}
+            )
+            blockers.append(
+                {
+                    "kind": "unplanned-components",
+                    "detail": ", ".join(unplanned) or "no compiled tick plans",
+                }
+            )
+        return blockers
+
     def step(self) -> None:
         """Advance the simulation by one clock cycle."""
         self.settle()
@@ -496,13 +611,28 @@ class Simulator:
                 tick()
                 executed += 1
             return executed
-        assert until is not None
+        if until is None:  # unreachable: the exclusivity check above
+            raise SimulationError("run() requires exactly one of cycles/until")
+        watched = isinstance(until, WatchedPredicate)
+        if watched and until.strict:
+            blockers = self.fusion_blockers()
+            if blockers:
+                raise FusionBlockedError(blockers)
         while executed < max_cycles:
             self._engine.settle(self.cycle)
             if until(self):
                 return executed
             tick()
             executed += 1
+            if watched:
+                # A fully quiescent design stays quiescent for the rest
+                # of this call (nothing can change without out-of-band
+                # input), and the declared-watch contract freezes the
+                # predicate with it — so the whole remaining budget can
+                # be batched in one step.  Ends either at the budget
+                # (deadlock diagnosis below, same cycle count as the
+                # unfused run) or not at all (ineligible -> poll on).
+                executed += self._fuse_quiescent(max_cycles - executed)
         raise SimulationError(
             f"'until' predicate not satisfied within {max_cycles} cycles "
             f"(possible deadlock)"

@@ -41,7 +41,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     workers = args.workers if args.workers is not None else spec.workers
     with JobService(
-        workers=workers, engine=args.engine, store=args.store
+        workers=workers, engine=args.engine, store=args.store,
+        ensemble=args.ensemble,
     ) as service:
         job_id = service.submit(spec, workers=workers, engine=args.engine)
         report = service.result(job_id)
@@ -123,6 +124,11 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--store", default=None, metavar="PATH",
                        help="JSONL result store for cross-run dedup "
                             "(default: off)")
+    p_run.add_argument("--ensemble", default="auto", metavar="K",
+                       help="lockstep batching of control-identical "
+                            "scenarios: auto, off, or a lane cap "
+                            "(default: auto; reports are identical "
+                            "either way)")
     p_run.set_defaults(fn=_cmd_run)
 
     p_val = sub.add_parser("validate", help="expand and check a spec")

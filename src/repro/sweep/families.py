@@ -41,6 +41,7 @@ the warm-up is paid once per design instead of once per variant.
 from __future__ import annotations
 
 import hashlib
+import json
 import random
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
@@ -65,7 +66,9 @@ from repro.core import (
 from repro.cost.model import AreaModel, TimingModel
 from repro.elastic.endpoints import Pattern
 from repro.kernel import Component, Simulator, build
-from repro.sweep.registry import Family, register_family
+from repro.kernel.ensemble import EnsembleContext, lift_simulator
+from repro.kernel.simulator import WatchedPredicate
+from repro.sweep.registry import EnsembleSupport, Family, register_family
 from repro.sweep.spec import ScenarioSpec
 
 MEB_KINDS = {"full": FullMEB, "reduced": ReducedMEB}
@@ -295,6 +298,47 @@ def _item_value(thread: int, k: int) -> int:
     return (thread << 16) | (k & 0xFFFF)
 
 
+def _seeded_item(seed: int):
+    """Payload generator for ``payload = "seeded"`` stimulus.
+
+    Item values are derived from the scenario seed with sha256 (not
+    Python's randomized ``hash``), so they are reproducible across
+    processes and Python versions.  Two scenarios differing only in
+    ``payload_salt`` get different seeds (the salt is part of the
+    scenario key the seed derives from) and therefore different
+    payloads on identical control schedules — exactly the shape
+    ensemble batching wants.
+    """
+    prefix = str(seed)
+
+    def make(thread: int, k: int) -> int:
+        digest = hashlib.sha256(f"{prefix}|{thread}|{k}".encode()).digest()
+        return int.from_bytes(digest[:4], "big")
+
+    return make
+
+
+def _make_item_for(scenario: ScenarioSpec):
+    """Resolve the scenario's payload generator (default or seeded)."""
+    if scenario.stimulus.get("payload") == "seeded":
+        return _seeded_item(scenario.seed)
+    return _item_value
+
+
+def _payload_digest(triples: Iterable[tuple]) -> str:
+    """Order-sensitive digest of ``(cycle, thread, data)`` sink triples.
+
+    Emitted as the ``payload_digest`` metric for seeded-payload
+    scenarios; an ensemble-batched lane must reproduce its serial run's
+    digest bit-for-bit, which pins both the data path *and* the exact
+    transfer schedule.
+    """
+    h = hashlib.sha256()
+    for cyc, thread, data in triples:
+        h.update(f"{cyc}|{thread}|{data!r};".encode())
+    return h.hexdigest()
+
+
 def _per_thread_counts(
     threads: int, stimulus: Mapping[str, Any], seed: int
 ) -> list[int]:
@@ -335,8 +379,16 @@ def _drive_to_completion(
 ) -> None:
     base = handle.sink.count
     max_cycles = int(stimulus.get("max_cycles", 50_000))
+    sink = handle.sink
+    target = base + expected
+    # The declared-watch contract lets the simulator batch fully
+    # quiescent stretches: a deadlocked scenario reaches its max_cycles
+    # diagnosis in one fused step instead of polling every cycle.
     handle.sim.run(
-        until=lambda _s: handle.sink.count >= base + expected,
+        until=WatchedPredicate(
+            lambda _s: sink.count >= target,
+            watches=(*sink.channel.valid, *sink.channel.ready),
+        ),
         max_cycles=max_cycles,
     )
 
@@ -344,11 +396,13 @@ def _drive_to_completion(
 def _run_channel_scenario(
     handle: DesignHandle,
     scenario: ScenarioSpec,
-    make_item=_item_value,
+    make_item=None,
 ) -> dict:
     stimulus = scenario.stimulus
     kind = stimulus.get("kind", "uniform")
     variants = stimulus.get("variants")
+    if make_item is None:
+        make_item = _make_item_for(scenario)
     if variants:
         return _run_variants(handle, scenario, make_item)
     if kind == "bursty":
@@ -365,15 +419,19 @@ def _run_channel_scenario(
         expected = _push_plan(handle, stimulus, scenario.seed, make_item)
         _drive_to_completion(handle, expected, stimulus)
         out = _channel_metrics(handle, scenario.metrics)
+    if stimulus.get("payload") == "seeded":
+        out["payload_digest"] = _payload_digest(handle.sink.received)
     out.update(_cost_metrics(handle.area_components))
     return out
 
 
 def _run_variants(
-    handle: DesignHandle, scenario: ScenarioSpec, make_item=_item_value
+    handle: DesignHandle, scenario: ScenarioSpec, make_item=None
 ) -> dict:
     """Fork-based variant execution: warm up once, branch per variant."""
     stimulus = scenario.stimulus
+    if make_item is None:
+        make_item = _make_item_for(scenario)
     base = stimulus.get("base")
     if base:
         _push_plan(handle, base, scenario.seed, make_item)
@@ -470,6 +528,7 @@ def _run_mt_ring(handle: DesignHandle, scenario: ScenarioSpec) -> dict:
     many complete waves, exactly like the MD5 driver's block waves.
     """
     stimulus = scenario.stimulus
+    make_item = _make_item_for(scenario)
     counts = _per_thread_counts(
         handle.threads, stimulus, scenario.seed
     )
@@ -478,14 +537,153 @@ def _run_mt_ring(handle: DesignHandle, scenario: ScenarioSpec) -> dict:
         pushed = 0
         for t in range(handle.threads):
             if counts[t]:
-                handle.source.push(t, (_item_value(t, wave), 0))
+                handle.source.push(t, (make_item(t, wave), 0))
                 counts[t] -= 1
                 pushed += 1
         _drive_to_completion(handle, pushed, stimulus)
         wave += 1
     out = _channel_metrics(handle, scenario.metrics)
+    if stimulus.get("payload") == "seeded":
+        out["payload_digest"] = _payload_digest(handle.sink.received)
     out.update(_cost_metrics(handle.area_components))
     return out
+
+
+# ----------------------------------------------------------------------
+# ensemble batching for the channel families
+# ----------------------------------------------------------------------
+
+def _channel_ensemble_key(scenario: ScenarioSpec):
+    """Batching key: scenarios with equal keys are control-identical.
+
+    Only ``payload = "seeded"`` scenarios batch — their payloads differ
+    per lane (via ``payload_salt`` and the derived seed) while the item
+    *counts*, and therefore every handshake decision, are identical.
+    ``random`` stimulus draws per-thread counts from the scenario seed
+    (control differs), and ``variants`` fork mid-run; both run serially.
+    """
+    stim = scenario.stimulus
+    if stim.get("payload") != "seeded" or stim.get("variants"):
+        return None
+    if stim.get("kind", "uniform") == "random":
+        return None
+    shared = {k: v for k, v in stim.items() if k != "payload_salt"}
+    return (
+        scenario.family,
+        scenario.design_key(),
+        json.dumps(shared, sort_keys=True, default=str),
+        json.dumps(dict(scenario.metrics), sort_keys=True, default=str),
+    )
+
+
+def _lift_channel_design(handle: DesignHandle) -> EnsembleContext:
+    return lift_simulator(handle.sim)
+
+
+def _ensemble_outcomes(
+    handle: DesignHandle,
+    ctx: EnsembleContext,
+    scenarios: Sequence[ScenarioSpec],
+    base: dict,
+    cost: dict,
+) -> list[tuple[str, Any]]:
+    """Per-lane outcome extraction after one lockstep run.
+
+    Control metrics (cycles, window, transfers, utilization, cost) are
+    computed once — by construction they are identical across lanes and
+    equal to each lane's serial run.  Only ``payload_digest`` is
+    per-lane, sliced out of the shared sink log's rows.
+    """
+    received = handle.sink.received
+    outcomes: list[tuple[str, Any]] = []
+    for j in range(len(scenarios)):
+        err = ctx.failures.get(j)
+        if err is not None:
+            outcomes.append(("error", err))
+            continue
+        out = dict(base)
+        out["payload_digest"] = _payload_digest(
+            (cyc, t, row[j]) for cyc, t, row in received
+        )
+        out.update(cost)
+        outcomes.append(("ok", out))
+    return outcomes
+
+
+def _run_channel_ensemble(
+    handle: DesignHandle,
+    ctx: EnsembleContext,
+    scenarios: Sequence[ScenarioSpec],
+) -> list[tuple[str, Any]]:
+    """Lockstep run of K control-identical channel-family scenarios.
+
+    Mirrors :func:`_run_channel_scenario` exactly, except every pushed
+    item is a row of K per-lane payloads (one per scenario seed).
+    """
+    ctx.reset(len(scenarios))
+    lead = scenarios[0]
+    stimulus = lead.stimulus
+    kind = stimulus.get("kind", "uniform")
+    makers = [_make_item_for(s) for s in scenarios]
+
+    def make_row(t: int, k: int) -> tuple:
+        return tuple(mk(t, k) for mk in makers)
+
+    if kind == "bursty":
+        bursts = int(stimulus.get("bursts", 3))
+        burst = int(stimulus.get("burst", 8))
+        gap = int(stimulus.get("gap", 200))
+        for b in range(bursts):
+            for t in range(handle.threads):
+                for k in range(burst):
+                    handle.source.push(t, make_row(t, b * burst + k))
+            handle.sim.run(cycles=gap)
+    else:
+        expected = _push_plan(handle, stimulus, lead.seed, make_row)
+        _drive_to_completion(handle, expected, stimulus)
+    base = _channel_metrics(handle, lead.metrics)
+    cost = _cost_metrics(handle.area_components)
+    return _ensemble_outcomes(handle, ctx, scenarios, base, cost)
+
+
+def _run_mt_ring_ensemble(
+    handle: DesignHandle,
+    ctx: EnsembleContext,
+    scenarios: Sequence[ScenarioSpec],
+) -> list[tuple[str, Any]]:
+    """Lockstep analogue of :func:`_run_mt_ring` (wave-based stimulus)."""
+    ctx.reset(len(scenarios))
+    lead = scenarios[0]
+    stimulus = lead.stimulus
+    makers = [_make_item_for(s) for s in scenarios]
+    counts = _per_thread_counts(handle.threads, stimulus, lead.seed)
+    wave = 0
+    while any(counts):
+        pushed = 0
+        for t in range(handle.threads):
+            if counts[t]:
+                handle.source.push(
+                    t, tuple((mk(t, wave), 0) for mk in makers)
+                )
+                counts[t] -= 1
+                pushed += 1
+        _drive_to_completion(handle, pushed, stimulus)
+        wave += 1
+    base = _channel_metrics(handle, lead.metrics)
+    cost = _cost_metrics(handle.area_components)
+    return _ensemble_outcomes(handle, ctx, scenarios, base, cost)
+
+
+_CHANNEL_ENSEMBLE = EnsembleSupport(
+    group_key=_channel_ensemble_key,
+    lift=_lift_channel_design,
+    run=_run_channel_ensemble,
+)
+_RING_ENSEMBLE = EnsembleSupport(
+    group_key=_channel_ensemble_key,
+    lift=_lift_channel_design,
+    run=_run_mt_ring_ensemble,
+)
 
 
 def _build_md5(params: Mapping[str, Any], engine: str | None):
@@ -677,6 +875,7 @@ register_family(Family(
                 "meb, width)",
     params={"threads": 4, "n_stages": 2, "meb": "reduced", "width": 32},
     stimulus_kinds=_CHANNEL_STIMULUS,
+    ensemble=_CHANNEL_ENSEMBLE,
 ))
 register_family(Family(
     name="mt_chain",
@@ -687,6 +886,7 @@ register_family(Family(
                 "n_funcs, width)",
     params={"threads": 4, "n_funcs": 4, "width": 32},
     stimulus_kinds=_CHANNEL_STIMULUS,
+    ensemble=_CHANNEL_ENSEMBLE,
 ))
 register_family(Family(
     name="mt_ring",
@@ -697,6 +897,7 @@ register_family(Family(
                 "trips, width)",
     params={"threads": 4, "n_funcs": 2, "trips": 4, "width": 32},
     stimulus_kinds=("uniform", "active", "random"),
+    ensemble=_RING_ENSEMBLE,
 ))
 register_family(Family(
     name="md5",

@@ -56,7 +56,7 @@ from typing import Any, Mapping
 
 from repro.sweep.report import aggregate
 from repro.sweep.registry import registry_payload
-from repro.sweep.runner import _scenario_row, execute_scenario
+from repro.sweep.runner import _scenario_row, execute_unit, plan_units
 from repro.sweep.spec import CampaignSpec, from_dict, load_spec
 from repro.sweep.store import ResultStore
 
@@ -80,9 +80,12 @@ def design_affinity(design_key: str, workers: int) -> int:
 # ----------------------------------------------------------------------
 
 def _worker_main(index: int, tasks, results) -> None:
-    """Worker-process loop: execute scenarios against a persistent cache.
+    """Worker-process loop: execute units against a persistent cache.
 
-    The cache maps (design key, engine) to (handle, pristine snapshot)
+    A *unit* is a list of scenarios — a singleton for the serial path
+    or an ensemble batch of control-identical scenarios that advance in
+    lockstep through one compiled schedule.  The cache maps (design
+    key, engine[, "ensemble"]) to (handle[, ctx], pristine snapshot)
     and lives for the worker's whole life — jobs come and go, compiled
     designs stay warm.
     """
@@ -91,22 +94,27 @@ def _worker_main(index: int, tasks, results) -> None:
         msg = tasks.get()
         if msg is None:
             return
-        job_id, scenario, engine = msg
+        job_id, unit, engine = msg
         try:
-            row = execute_scenario(
-                scenario, engine, cache=cache, shard=index
-            )
+            unit_rows = execute_unit(unit, engine, cache=cache, shard=index)
         except BaseException as exc:  # pragma: no cover - defensive
-            row = _scenario_row(scenario, index)
-            row["status"] = "error"
-            row["error"] = f"{type(exc).__name__}: {exc}"
+            unit_rows = []
+            for scenario in unit:
+                row = _scenario_row(scenario, index)
+                row["status"] = "error"
+                row["error"] = f"{type(exc).__name__}: {exc}"
+                unit_rows.append(row)
+        indices = [scenario.index for scenario in unit]
         try:
-            results.put((index, job_id, scenario.index, row))
+            results.put((index, job_id, indices, unit_rows))
         except Exception:  # pragma: no cover - unpicklable metrics
-            fallback = _scenario_row(scenario, index)
-            fallback["status"] = "error"
-            fallback["error"] = "scenario result was not serializable"
-            results.put((index, job_id, scenario.index, fallback))
+            fallback = []
+            for scenario in unit:
+                row = _scenario_row(scenario, index)
+                row["status"] = "error"
+                row["error"] = "scenario result was not serializable"
+                fallback.append(row)
+            results.put((index, job_id, indices, fallback))
 
 
 class _Worker:
@@ -239,11 +247,16 @@ class JobService:
         workers: int = 0,
         engine: str | None = None,
         store: ResultStore | str | pathlib.Path | bool | None = None,
+        ensemble: Any = "auto",
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.pool_size = workers if workers > 1 else 0
         self.engine = engine
+        # Lockstep-batching policy for every job this service runs:
+        # "auto" (default cap), "off", or an integer lane cap.  Reports
+        # are bit-identical either way; see repro.sweep.runner.
+        self.ensemble = ensemble
         if store is True:
             store = ResultStore()
         elif isinstance(store, (str, pathlib.Path)):
@@ -488,25 +501,39 @@ class JobService:
         job.done_event.set()
 
     def _run_inline(self, job: Job, pending, rows) -> None:
-        """Dispatcher-thread execution with the service-lifetime cache."""
-        for scenario in pending:
+        """Dispatcher-thread execution with the service-lifetime cache.
+
+        Cancellation is checked between units: an in-flight ensemble
+        batch finishes (its lanes are one simulation), queued units are
+        reported ``status="cancelled"``.
+        """
+        for unit in plan_units(pending, self.ensemble):
             if job.cancel_event.is_set():
-                rows[scenario.index] = self._cancelled_row(scenario)
-            else:
-                rows[scenario.index] = execute_scenario(
-                    scenario, job.engine, cache=self._inline_cache, shard=0
-                )
-            job.completed += 1
+                for scenario in unit:
+                    rows[scenario.index] = self._cancelled_row(scenario)
+                    job.completed += 1
+                continue
+            for row in execute_unit(
+                unit, job.engine, cache=self._inline_cache, shard=0
+            ):
+                rows[row["index"]] = row
+                job.completed += 1
 
     def _run_pooled(self, job: Job, pending, rows) -> None:
-        """Affinity-routed execution across the persistent worker pool."""
+        """Affinity-routed execution across the persistent worker pool.
+
+        Units (not single scenarios) are the message granularity: every
+        scenario in a unit shares one design key, so affinity routing
+        is unchanged — the whole batch lands on the worker holding that
+        design.  A worker death fails its entire in-flight unit.
+        """
         pool = self._pool
         backlog: dict[int, deque] = {
             i: deque() for i in range(pool.size)
         }
-        for scenario in pending:
-            backlog[design_affinity(scenario.design_key(), pool.size)].append(
-                scenario
+        for unit in plan_units(pending, self.ensemble):
+            backlog[design_affinity(unit[0].design_key(), pool.size)].append(
+                unit
             )
         inflight: dict[int, Any] = {}
         remaining = len(pending)
@@ -523,38 +550,39 @@ class JobService:
             if job.cancel_event.is_set():
                 for dq in backlog.values():
                     while dq:
-                        scenario = dq.popleft()
-                        account(
-                            scenario.index, self._cancelled_row(scenario)
-                        )
+                        for scenario in dq.popleft():
+                            account(
+                                scenario.index, self._cancelled_row(scenario)
+                            )
                 if not inflight:
                     break
             for i in range(pool.size):
                 if i not in inflight and backlog[i]:
-                    scenario = backlog[i].popleft()
+                    unit = backlog[i].popleft()
                     pool.workers[i].tasks.put(
-                        (job.id, scenario, job.engine)
+                        (job.id, unit, job.engine)
                     )
-                    inflight[i] = scenario
+                    inflight[i] = unit
             try:
-                widx, _job_id, sidx, row = pool.results.get(
+                widx, _job_id, indices, unit_rows = pool.results.get(
                     timeout=_POLL_S
                 )
             except queue.Empty:
                 for i in list(inflight):
                     if not pool.workers[i].process.is_alive():
-                        scenario = inflight.pop(i)
-                        row = _scenario_row(scenario, i)
-                        row["status"] = "worker-failed"
-                        row["error"] = (
-                            f"worker {i} died (exit code "
-                            f"{pool.workers[i].process.exitcode})"
-                        )
-                        account(scenario.index, row)
+                        for scenario in inflight.pop(i):
+                            row = _scenario_row(scenario, i)
+                            row["status"] = "worker-failed"
+                            row["error"] = (
+                                f"worker {i} died (exit code "
+                                f"{pool.workers[i].process.exitcode})"
+                            )
+                            account(scenario.index, row)
                         pool.respawn(i)
                 continue
             inflight.pop(widx, None)
-            account(sidx, row)
+            for sidx, row in zip(indices, unit_rows):
+                account(sidx, row)
 
 
 # ----------------------------------------------------------------------
@@ -578,6 +606,7 @@ def configure(
     workers: int = 0,
     engine: str | None = None,
     store: ResultStore | str | pathlib.Path | bool | None = None,
+    ensemble: Any = "auto",
 ) -> JobService:
     """Replace the default service (closing any previous one)."""
     global _default_service
@@ -585,7 +614,7 @@ def configure(
         if _default_service is not None:
             _default_service.close()
         _default_service = JobService(
-            workers=workers, engine=engine, store=store
+            workers=workers, engine=engine, store=store, ensemble=ensemble
         )
         return _default_service
 

@@ -34,6 +34,32 @@ from typing import Any, Callable, Mapping
 
 
 @dataclasses.dataclass(frozen=True)
+class EnsembleSupport:
+    """How a family batches control-identical scenarios into one run.
+
+    ``group_key(scenario)`` returns a hashable batching key for
+    scenarios that may share one lockstep simulator — scenarios are
+    batchable together iff their keys are equal — or ``None`` when the
+    scenario must run serially (the default for anything whose control
+    flow depends on the seed or payload).  ``lift(handle)`` lifts a
+    freshly built design for row-valued data (see
+    :mod:`repro.kernel.ensemble`) and returns the
+    :class:`~repro.kernel.ensemble.EnsembleContext`.  ``run(handle, ctx,
+    scenarios)`` applies the shared stimulus once, drives the lockstep
+    simulation and returns one ``("ok", metrics)`` or ``("error",
+    traceback)`` outcome per scenario, in order.  Raising
+    :class:`~repro.kernel.errors.EnsembleUnsupported` or
+    :class:`~repro.kernel.errors.EnsembleDivergence` from ``lift``/``run``
+    makes the caller fall back to serial execution — batching is an
+    optimization, never a correctness dependency.
+    """
+
+    group_key: Callable[[Any], Any]
+    lift: Callable[[Any], Any]
+    run: Callable[[Any, Any, Any], list]
+
+
+@dataclasses.dataclass(frozen=True)
 class Family:
     """One registered design family (see module docstring).
 
@@ -41,7 +67,8 @@ class Family:
     ``stimulus_kinds`` names the stimulus shapes ``run`` understands —
     machine-readable metadata the registry serves to clients (the
     ``families --json`` CLI command and the service's ``/families``
-    endpoint emit it verbatim).
+    endpoint emit it verbatim).  ``ensemble`` (optional) declares how
+    control-identical scenarios batch into one lockstep simulation.
     """
 
     name: str
@@ -51,6 +78,7 @@ class Family:
     description: str = ""
     params: Mapping[str, Any] = dataclasses.field(default_factory=dict)
     stimulus_kinds: tuple[str, ...] = ()
+    ensemble: EnsembleSupport | None = None
 
 
 _REGISTRY: dict[str, Family] = {}
@@ -107,6 +135,7 @@ def registry_payload() -> dict[str, Any]:
                 "description": family.description,
                 "params": dict(family.params),
                 "stimulus_kinds": list(family.stimulus_kinds),
+                "ensemble": family.ensemble is not None,
             }
             for name, family in sorted(_REGISTRY.items())
         }

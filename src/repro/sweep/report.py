@@ -93,7 +93,7 @@ def aggregate(
 #: Report fields that legitimately differ between two runs of the same
 #: campaign: wall-clock timings, worker placement, cache provenance.
 _VOLATILE_SUMMARY = ("elapsed_s", "dedup_hits")
-_VOLATILE_ROW = ("shard", "duration_s", "design_cache", "cached")
+_VOLATILE_ROW = ("shard", "duration_s", "design_cache", "cached", "ensemble")
 
 
 def canonical_report(report: Mapping[str, Any]) -> dict[str, Any]:

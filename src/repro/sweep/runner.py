@@ -30,8 +30,150 @@ import time
 import traceback
 from typing import Any, Sequence
 
+from repro.kernel.errors import EnsembleUnsupported
 from repro.sweep.registry import get_family
 from repro.sweep.spec import CampaignSpec, ScenarioSpec
+
+#: Default lane cap for ``ensemble="auto"`` batching.
+DEFAULT_ENSEMBLE_WIDTH = 16
+
+
+def normalize_ensemble(option: Any) -> int:
+    """Resolve an ensemble option to a lane cap (0 disables batching).
+
+    Accepted spellings: ``"auto"``/``None`` (default cap),
+    ``"off"``/``0``/``False`` (serial), or an explicit integer cap.
+    Caps below 2 are serial by definition.
+    """
+    if option in (None, "auto"):
+        return DEFAULT_ENSEMBLE_WIDTH
+    if option in ("off", False):
+        return 0
+    width = int(option)
+    return width if width >= 2 else 0
+
+
+def plan_units(
+    scenarios: Sequence[ScenarioSpec], ensemble: Any = "auto"
+) -> list[list[ScenarioSpec]]:
+    """Partition *scenarios* into execution units, preserving order.
+
+    A unit is either a singleton (runs through the ordinary serial
+    path) or an ensemble batch: 2..cap scenarios whose family declared
+    :class:`~repro.sweep.registry.EnsembleSupport` and whose
+    ``group_key`` values are equal — i.e. identical design *and*
+    identical control schedule, differing only in data payloads.  Units
+    appear in first-scenario order, so a serial walk of the plan is
+    deterministic from the scenario list alone.
+    """
+    cap = normalize_ensemble(ensemble)
+    order: list[tuple[str, Any]] = []
+    grouped: dict[Any, list[ScenarioSpec]] = {}
+    for scenario in scenarios:
+        key = None
+        if cap >= 2:
+            try:
+                family = get_family(scenario.family)
+            except KeyError:
+                # Unknown family: plan it serially so the failure stays
+                # a per-scenario error row, not a job-level crash.
+                family = None
+            if family is not None and family.ensemble is not None:
+                key = family.ensemble.group_key(scenario)
+        if key is None:
+            order.append(("single", scenario))
+        else:
+            if key not in grouped:
+                grouped[key] = []
+                order.append(("group", key))
+            grouped[key].append(scenario)
+    units: list[list[ScenarioSpec]] = []
+    for tag, value in order:
+        if tag == "single":
+            units.append([value])
+        else:
+            members = grouped[value]
+            for i in range(0, len(members), cap):
+                units.append(members[i : i + cap])
+    return units
+
+
+def execute_ensemble(
+    scenarios: Sequence[ScenarioSpec],
+    engine: str | None,
+    cache: dict | None = None,
+    shard: int | None = None,
+) -> list[dict[str, Any]]:
+    """Run a batch of control-identical scenarios in one lockstep sim.
+
+    Returns one report row per scenario, in order.  The lifted design
+    is cached under ``(design_key, engine, "ensemble")`` — separate
+    from the serial cache, because lifting rewrites component callables
+    — and rewound via snapshot/restore between batches.  Any failure of
+    the batched path (unsupported component, lane-divergent control,
+    mid-flight error) falls back to plain serial execution, so batching
+    can never change *whether* a campaign completes, only how fast.
+    Per-lane scenario failures do **not** trigger fallback: they
+    surface as ordinary ``status="error"`` rows while sibling lanes
+    complete.
+    """
+    rows = [_scenario_row(s, shard) for s in scenarios]
+    start = time.perf_counter()
+    cache_key = (scenarios[0].design_key(), engine, "ensemble")
+    try:
+        family = get_family(scenarios[0].family)
+        support = family.ensemble
+        if support is None:
+            raise EnsembleUnsupported(
+                f"family {family.name!r} declares no ensemble support"
+            )
+        entry = cache.get(cache_key) if cache is not None else None
+        if entry is None:
+            handle = family.build(scenarios[0].params, engine)
+            ctx = support.lift(handle)
+            entry = (handle, ctx, handle.sim.snapshot())
+            if cache is not None:
+                cache[cache_key] = entry
+            cache_state = "build"
+        else:
+            handle, ctx, pristine = entry
+            handle.sim.restore(pristine)
+            cache_state = "hit"
+        outcomes = support.run(handle, ctx, scenarios)
+    except Exception:
+        if cache is not None:
+            cache.pop(cache_key, None)
+        fallback = [
+            execute_scenario(s, engine, cache=cache, shard=shard)
+            for s in scenarios
+        ]
+        for row in fallback:
+            row["ensemble"] = "fallback"
+        return fallback
+    duration = round(time.perf_counter() - start, 4)
+    for row, (status, payload) in zip(rows, outcomes):
+        row["ensemble"] = len(scenarios)
+        row["design_cache"] = cache_state
+        row["status"] = status
+        if status == "ok":
+            row["metrics"] = payload
+        else:
+            row["error"] = payload
+        row["duration_s"] = duration
+    return rows
+
+
+def execute_unit(
+    unit: Sequence[ScenarioSpec],
+    engine: str | None,
+    cache: dict | None = None,
+    shard: int | None = None,
+) -> list[dict[str, Any]]:
+    """Run one planned unit: singletons serially, batches in lockstep."""
+    if len(unit) == 1:
+        return [execute_scenario(unit[0], engine, cache=cache, shard=shard)]
+    return execute_ensemble(unit, engine, cache=cache, shard=shard)
+
 
 def _scenario_row(
     scenario: ScenarioSpec, shard: int | None
@@ -101,19 +243,23 @@ def run_scenarios(
     engine: str | None,
     shard: int = 0,
     cache: dict | None = None,
+    ensemble: Any = "off",
 ) -> list[dict[str, Any]]:
-    """Run *scenarios* in order in this process (one worker's shard).
+    """Run *scenarios* in this process (one worker's shard).
 
     A fresh design cache is used unless the caller passes one — the
     service's workers pass their long-lived cache so designs survive
-    from job to job.
+    from job to job.  With *ensemble* enabled (``"auto"`` or a lane
+    cap), batchable scenarios run in lockstep; rows always come back in
+    input order regardless of how units were planned.
     """
     if cache is None:
         cache = {}
-    return [
-        execute_scenario(scenario, engine, cache=cache, shard=shard)
-        for scenario in scenarios
-    ]
+    by_index: dict[int, dict[str, Any]] = {}
+    for unit in plan_units(scenarios, ensemble):
+        for row in execute_unit(unit, engine, cache=cache, shard=shard):
+            by_index[row["index"]] = row
+    return [by_index[scenario.index] for scenario in scenarios]
 
 
 def shard_scenarios(
@@ -149,6 +295,7 @@ def run_campaign(
     workers: int | None = None,
     engine: str | None = None,
     store: Any = None,
+    ensemble: Any = "auto",
 ) -> dict[str, Any]:
     """Execute *spec* and return the aggregated campaign report.
 
@@ -158,12 +305,17 @@ def run_campaign(
     runs everything inline (no subprocesses).  *store* (a
     :class:`repro.sweep.store.ResultStore` or a path) enables result
     memoization — scenarios whose canonical key is already stored are
-    answered from the store without simulating.
+    answered from the store without simulating.  *ensemble* controls
+    lockstep batching of control-identical scenarios (``"auto"``,
+    ``"off"`` or an integer lane cap); reports are bit-identical either
+    way, batching only changes throughput.
     """
     from repro.sweep.jobs import JobService
 
     if workers is None:
         workers = spec.workers
-    with JobService(workers=workers, engine=engine, store=store) as service:
+    with JobService(
+        workers=workers, engine=engine, store=store, ensemble=ensemble
+    ) as service:
         job_id = service.submit(spec, workers=workers, engine=engine)
         return service.result(job_id)

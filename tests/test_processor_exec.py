@@ -1,0 +1,74 @@
+"""The per-opcode execute table is pinned to the reference interpreter.
+
+``Processor._execute`` dispatches through ``_EXEC_FNS`` — one generated
+straight-line function per opcode with the format branches and the ALU
+dispatch folded out.  These tests sweep every opcode over adversarial
+operand values and assert token-for-token equality with
+``_execute_interp`` (the original if/elif interpreter, kept exactly for
+this purpose), then run a full program through the pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.apps.processor import isa
+from repro.apps.processor.core import _EXEC_FNS, Processor, _execute_interp
+from repro.apps.processor.stages import DecodedToken
+
+#: Operand corners: zero, small, shift-relevant, sign-boundary, all-ones.
+VALUES = (
+    0, 1, 3, 4, 31, 32, 33, 0x7FFF, 0x8000, 0xFFFF, 0x10000,
+    0x7FFFFFFF, 0x80000000, 0xFFFFFFFF, 0x12345678, 0xDEADBEEF,
+)
+
+
+def _instr_for(op: isa.Op, rng: random.Random) -> isa.Instruction:
+    fmt = isa.FORMATS[op]
+    imm = rng.randint(-(1 << 15), (1 << 15) - 1)
+    if fmt is isa.Format.R:
+        return isa.Instruction(op, rd=1, rs1=2, rs2=3)
+    if fmt is isa.Format.I:
+        return isa.Instruction(op, rd=1, rs1=2, imm=imm)
+    if fmt is isa.Format.B:
+        return isa.Instruction(op, rs1=2, rs2=3, imm=imm)
+    return isa.Instruction(op)
+
+
+@pytest.mark.parametrize("op", list(isa.Op), ids=lambda op: op.name)
+def test_exec_table_matches_interpreter(op):
+    rng = random.Random(op.value)
+    for a, b in itertools.product(VALUES, VALUES):
+        instr = _instr_for(op, rng)
+        token = DecodedToken(
+            pc=rng.choice((0, 0x1000, 0x7FFC)), instr=instr, a=a, b=b,
+            store_value=rng.randint(0, 0xFFFFFFFF),
+        )
+        assert _EXEC_FNS[op](token) == _execute_interp(token)
+
+
+def test_exec_table_covers_every_opcode():
+    assert set(_EXEC_FNS) == set(isa.Op)
+
+
+def test_pipeline_program_with_exec_table():
+    proc = Processor(threads=2)
+    program = """
+        addi x1, x0, 5
+        addi x2, x0, 0
+    loop:
+        add  x2, x2, x1
+        addi x1, x1, -1
+        bne  x1, x0, loop
+        sw   x2, x0, 0
+        halt
+    """
+    for t in range(2):
+        proc.load_program(t, program)
+    stats = proc.run()
+    assert stats.retired == [19, 19]
+    for t in range(2):
+        assert proc.mem_word(t, 0) == 15  # 5+4+3+2+1

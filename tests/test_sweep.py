@@ -411,6 +411,7 @@ class TestReportAndCLI:
         chain = payload["families"]["mt_chain"]
         assert set(chain) == {
             "reusable", "description", "params", "stimulus_kinds",
+            "ensemble",
         }
         assert chain["params"]["threads"] == 4
         assert "uniform" in chain["stimulus_kinds"]
