@@ -309,6 +309,48 @@ def _measure(runner, engine, reps):
     return best_cps, cycles, fingerprint
 
 
+# ----------------------------------------------------------------------
+# profiler disabled-overhead
+# ----------------------------------------------------------------------
+# The kernel profiler's contract is zero cost when off: a simulator
+# that attached and then detached a profiler must run the exact
+# unprofiled fast path.  `profile_overhead` is (cps after a profiler
+# attach/detach round trip) / (plain cps) on the mt_pipeline workload —
+# nominally 1.0 — recorded in BENCH_kernel.json and gated like the
+# engine speedups (see benchmarks/check_regression.py).
+
+def _run_pipeline_after_profile():
+    """_run_pipeline(compiled), but attach+detach a profiler first."""
+    threads, n_items = (4, 10) if SMOKE else (8, 50)
+    items = [list(range(n_items)) for _ in range(threads)]
+    sim, _src, sink, _mebs, _mons = make_mt_pipeline(
+        FullMEB, threads=threads, items=items, n_stages=4,
+        engine="compiled",
+    )
+    session = sim.profile()
+    session.__enter__()
+    session.__exit__(None, None, None)
+    start = time.perf_counter()
+    sim.run(until=lambda s: sink.count == threads * n_items,
+            max_cycles=20_000)
+    elapsed = time.perf_counter() - start
+    return sim.cycle, elapsed, (sim.cycle, sink.received)
+
+
+def measure_profile_overhead(reps):
+    """Returns (overhead ratio, plain cps, after-detach cps)."""
+    plain_cps, _cycles, plain_fp = _measure(
+        _run_pipeline, "compiled", reps
+    )
+    after_cps, _cycles, after_fp = _measure(
+        lambda _engine: _run_pipeline_after_profile(), "compiled", reps
+    )
+    assert plain_fp == after_fp, (
+        "profiler attach/detach changed behaviour"
+    )
+    return after_cps / plain_cps, plain_cps, after_cps
+
+
 def run_comparison():
     """Time every workload under all three engines; return the results."""
     reps = 1 if SMOKE else 3
@@ -341,6 +383,10 @@ def run_comparison():
         row["ensemble_speedup"] = _measure_ensemble_family(
             name, params, stimulus, width, reps
         )
+    overhead, _plain, _after = measure_profile_overhead(reps)
+    results["workloads"]["mt_pipeline"]["profile_overhead"] = round(
+        overhead, 2
+    )
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(json.dumps(results, indent=2) + "\n",
                             encoding="utf-8")
@@ -387,6 +433,16 @@ def test_engine_comparison():
             f"{name}: ensemble speedup {row['ensemble_speedup']:.2f}x "
             f"(K={row['ensemble_width']}) below {required}x floor"
         )
+    overhead = results["workloads"]["mt_pipeline"]["profile_overhead"]
+    print(f"  profile_overhead (detached profiler, mt_pipeline): "
+          f"{overhead:.2f}x")
+    # Nominally 1.0; the floor only catches a profiler that leaves
+    # wrappers behind after detach (single-rep smoke runs are noisy).
+    required = 0.5 if SMOKE else 0.9
+    assert overhead >= required, (
+        f"detached profiler costs {(1 - overhead) * 100:.0f}% on "
+        f"mt_pipeline (ratio {overhead:.2f} below {required})"
+    )
 
 
 if __name__ == "__main__":

@@ -7,13 +7,17 @@ contract of the jobs API end to end, over a real server process:
    (``run_campaign``) in this process; its canonical report is the
    parity oracle.
 2. **Cold pass** — one HTTP client submits the campaign to a freshly
-   started ``python -m repro.serve`` subprocess and waits for the
-   report: every scenario simulates (cache cold), and the report must
-   equal the reference modulo placement/timestamps.
+   started ``python -m repro.serve`` subprocess and *follows its
+   ``/events`` stream*: one scenario event per scenario is required
+   before the report is read.  Every scenario simulates (cache cold),
+   the report must equal the reference modulo placement/timestamps,
+   and a ``/metrics`` scrape must expose the required series.
 3. **Warm passes** — N concurrent clients resubmit the identical
    campaign R times each.  Every one of those jobs must complete with
    100% dedup hits (zero simulated scenarios) and a bit-identical
-   canonical report; their submit→report latencies give the p50/p99.
+   canonical report; their submit→report latencies give the p50/p99
+   while a sampler thread records the queue-depth / pool-occupancy
+   gauge envelope from ``/metrics``.
 
 Results land in ``benchmarks/results/BENCH_service.json`` (plus a
 markdown latency table next to it) so CI can upload them as artifacts;
@@ -93,6 +97,83 @@ def timed_run(client: ServiceClient, spec: dict) -> tuple[float, dict]:
     return time.perf_counter() - start, report
 
 
+#: Series every scrape of ``GET /metrics`` must expose (the contract
+#: the CI service-smoke job asserts; see docs/observability.md).
+REQUIRED_METRICS = (
+    "repro_jobs_submitted_total",
+    "repro_jobs_completed_total",
+    "repro_job_duration_seconds_bucket",
+    "repro_scenario_duration_seconds_bucket",
+    "repro_scenarios_completed_total",
+    "repro_dedup_lookups_total",
+    "repro_queue_depth",
+    "repro_pool_inflight",
+    "repro_pool_workers",
+    "repro_pool_workers_alive",
+)
+
+
+def parse_gauge(text: str, name: str) -> float:
+    """The value of an unlabelled gauge in a Prometheus text scrape."""
+    for line in text.splitlines():
+        if line.startswith(name + " "):
+            return float(line.split()[1])
+    raise AssertionError(f"metric {name} missing from scrape")
+
+
+class GaugeSampler:
+    """Polls ``/metrics`` in a thread, folding gauge max/mean values.
+
+    Queue depth and pool occupancy are point-in-time gauges — a single
+    scrape after the storm says nothing, so the load phase is sampled
+    while it runs and ``BENCH_service.json`` records the envelope.
+    """
+
+    def __init__(self, client: ServiceClient, interval_s: float = 0.05):
+        import threading
+
+        self.client = client
+        self.interval_s = interval_s
+        self.samples: dict[str, list[float]] = {
+            "repro_queue_depth": [],
+            "repro_pool_inflight": [],
+            "repro_pool_workers_alive": [],
+        }
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                text = self.client.metrics()
+                for name, values in self.samples.items():
+                    values.append(parse_gauge(text, name))
+            except Exception:  # server busy/teardown: skip the sample
+                pass
+            self._stop.wait(self.interval_s)
+
+    def __enter__(self) -> "GaugeSampler":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5)
+
+    def summary(self) -> dict:
+        out = {}
+        for name, values in self.samples.items():
+            key = name.removeprefix("repro_")
+            out[key] = {
+                "samples": len(values),
+                "max": max(values) if values else None,
+                "mean": (
+                    round(statistics.mean(values), 3) if values else None
+                ),
+            }
+        return out
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--spec", type=pathlib.Path, default=DEFAULT_SPEC)
@@ -118,14 +199,39 @@ def main(argv: list[str] | None = None) -> int:
         client = ServiceClient(base_url, timeout=60)
         client.wait_ready()
 
-        cold_s, cold_report = timed_run(client, spec_mapping)
+        # Cold pass doubles as the streamed-progress check: follow the
+        # job's /events stream and require one scenario event per
+        # scenario (every key covered) before reading the report.
+        start = time.perf_counter()
+        cold_id = client.submit(spec_mapping)["id"]
+        events = list(client.events(cold_id, timeout=600))
+        cold_s = time.perf_counter() - start
+        scenario_events = [e for e in events if e["event"] == "scenario"]
+        assert len(scenario_events) == scenario_count, (
+            f"expected {scenario_count} scenario events, "
+            f"got {len(scenario_events)}"
+        )
+        assert len({e["key"] for e in scenario_events}) == scenario_count, (
+            "scenario events do not cover every scenario key"
+        )
+        assert events[-1] == {
+            **events[-1], "event": "job", "state": "done",
+        }, f"stream did not end with a terminal job event: {events[-1]}"
+        cold_report = client.report(cold_id, wait=60)
         assert "dedup_hits" not in cold_report["summary"], (
             "cold pass must simulate every scenario"
         )
         assert canonical_report(cold_report) == reference, (
             "HTTP report diverged from the CLI reference"
         )
-        print(f"cold submit->report: {cold_s * 1000:.1f} ms")
+        print(f"cold submit->events->report: {cold_s * 1000:.1f} ms "
+              f"({len(events)} events streamed)")
+
+        # /metrics contract: valid exposition with the required series.
+        scrape = client.metrics()
+        for series in REQUIRED_METRICS:
+            assert series in scrape, f"/metrics is missing {series}"
+        assert parse_gauge(scrape, "repro_pool_workers") == args.workers
 
         def one_client(client_index: int) -> list[float]:
             own = ServiceClient(base_url, timeout=60)
@@ -140,11 +246,13 @@ def main(argv: list[str] | None = None) -> int:
                 latencies.append(elapsed)
             return latencies
 
-        with concurrent.futures.ThreadPoolExecutor(args.clients) as pool:
-            warm = [
-                s for lat in pool.map(one_client, range(args.clients))
-                for s in lat
-            ]
+        with GaugeSampler(client) as sampler:
+            with concurrent.futures.ThreadPoolExecutor(args.clients) as pool:
+                warm = [
+                    s for lat in pool.map(one_client, range(args.clients))
+                    for s in lat
+                ]
+        gauges = sampler.summary()
 
         health = client.healthz()
         # Service-lifetime dedup accounting: the cold pass misses every
@@ -189,6 +297,9 @@ def main(argv: list[str] | None = None) -> int:
         "dedup_rate": 1.0,
         "dedup": health["dedup"],
         "store": health["store"],
+        # /metrics gauge envelope sampled during the warm storm (max /
+        # mean of each point-in-time series; see GaugeSampler).
+        "gauges": gauges,
     }
     args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(

@@ -35,11 +35,14 @@ DEFAULT_CURRENT = (
 
 #: The speedup ratios the gate guards, and their display names.
 #: `ensemble_speedup` (batched vs serial scenarios/sec) only exists on
-#: the ensemble-capable mt_* workloads; others show "no data".
+#: the ensemble-capable mt_* workloads; `profile_overhead` (cps after a
+#: profiler attach/detach round trip vs plain, nominally 1.0) only on
+#: mt_pipeline; others show "no data".
 RATIOS = (
     ("event_speedup", "event/naive"),
     ("compiled_speedup", "compiled/event"),
     ("ensemble_speedup", "ensemble/serial"),
+    ("profile_overhead", "profile-off/plain"),
 )
 
 

@@ -139,10 +139,17 @@ class NaiveEngine:
         components: Sequence[Component],
         signals: Sequence[Signal],
         max_iterations: int,
+        profiler=None,
     ):
         self._components = list(components)
         self._signals = list(signals)
         self._max_iterations = int(max_iterations)
+        self._evals = [
+            profiler.wrap_comb(comp.combinational, comp.path)
+            if profiler is not None
+            else comp.combinational
+            for comp in self._components
+        ]
 
     def settle(self, cycle: int) -> int:
         for iteration in range(1, self._max_iterations + 1):
@@ -150,8 +157,8 @@ class NaiveEngine:
             # so a component may harmlessly clear-then-set a signal within
             # one evaluation (a common idiom in demux-style logic).
             before = [sig.value for sig in self._signals]
-            for comp in self._components:
-                comp.combinational()
+            for evaluate in self._evals:
+                evaluate()
             changed = [
                 sig.name
                 for sig, old in zip(self._signals, before)
@@ -172,6 +179,7 @@ class EventEngine:
         components: Sequence[Component],
         signals: Sequence[Signal],
         max_iterations: int,
+        profiler=None,
     ):
         self._max_iterations = int(max_iterations)
         #: True only while a settle is in flight; Signal.set checks it.
@@ -180,7 +188,18 @@ class EventEngine:
         active, opaque = _split_components(components)
         self._active = active
         self._opaque = opaque
-        self._evals = [comp.combinational for comp in active]
+        if profiler is not None:
+            self._evals = [
+                profiler.wrap_comb(comp.combinational, comp.path)
+                for comp in active
+            ]
+            self._opaque_evals = [
+                profiler.wrap_comb(comp.combinational, comp.path)
+                for comp in opaque
+            ]
+        else:
+            self._evals = [comp.combinational for comp in active]
+            self._opaque_evals = [comp.combinational for comp in opaque]
         n = len(active)
 
         # A component is re-evaluated on every settle (not only when an
@@ -358,8 +377,8 @@ class EventEngine:
                     if self._ndirty == 0:
                         return max(passes, worst_local)
                     continue  # stray feedback outside the graph: resweep
-                for comp in self._opaque:
-                    comp.combinational()
+                for evaluate in self._opaque_evals:
+                    evaluate()
                 if self._ndirty == 0 and not self._net_changed(self._pass_base):
                     return max(passes, worst_local)
         finally:
@@ -397,6 +416,7 @@ class CompiledEngine:
         signals: Sequence[Signal],
         max_iterations: int,
         store: SlotStore,
+        profiler=None,
     ):
         self._max_iterations = int(max_iterations)
         self.recording = False
@@ -439,11 +459,26 @@ class CompiledEngine:
 
         # One evaluation step per active component: the component's
         # slot-compiled closure, or plain combinational() (whose writes
-        # mark readers through Signal.set -> note_change).
+        # mark readers through Signal.set -> note_change).  With a
+        # profiler attached, every step is wrapped in a timing closure
+        # *before* region fusion below, so the generated straight-line
+        # code bakes the instrumented steps in — and a rebuild without
+        # the profiler bakes them back out.
         steps: list[Callable[[], Any]] = [
             comp.compile_comb(store) or comp.combinational
             for comp in active
         ]
+        if profiler is not None:
+            steps = [
+                profiler.wrap_comb(fn, comp.path)
+                for fn, comp in zip(steps, active)
+            ]
+            self._opaque_evals = [
+                profiler.wrap_comb(comp.combinational, comp.path)
+                for comp in opaque
+            ]
+        else:
+            self._opaque_evals = [comp.combinational for comp in opaque]
         self._steps = steps
 
         # Slots driven by each active component (ConvergenceError names).
@@ -457,9 +492,12 @@ class CompiledEngine:
                 out_slots[writer].append(store.slot(sig))
 
         # Fuse maximal runs of acyclic groups into straight-line code;
-        # keep cyclic SCCs as worklist regions.
+        # keep cyclic SCCs as worklist regions.  `regions` mirrors the
+        # program for introspection/profiling: one entry per compiled
+        # region with its member component paths.
         groups = condensation_order(succ)
         program: list[tuple[str, Any]] = []
+        regions: list[dict] = []
         pending: list[int] = []  # acyclic member indices awaiting fusion
 
         def flush() -> None:
@@ -467,6 +505,12 @@ class CompiledEngine:
                 program.append(
                     ("line", self._fuse([steps[i] for i in pending],
                                         pending))
+                )
+                regions.append(
+                    {
+                        "kind": "line",
+                        "members": [active[i].path for i in pending],
+                    }
                 )
                 del pending[:]
 
@@ -494,8 +538,17 @@ class CompiledEngine:
                     region_out,
                 ),
             ))
+            regions.append(
+                {
+                    "kind": "scc",
+                    "members": [active[i].path for i in members],
+                }
+            )
         flush()
         self._program = program
+        #: Compiled-region table, program order: ``{"kind": "line"|"scc",
+        #: "members": [component paths]}`` per region.
+        self.regions = regions
 
     def _fuse(
         self, steps: Sequence[Callable[[], Any]], indices: Sequence[int]
@@ -629,8 +682,8 @@ class CompiledEngine:
                     if not dirty:
                         return max(passes, worst_local)
                     continue  # undeclared backward write: resweep
-                for comp in self._opaque:
-                    comp.combinational()
+                for evaluate in self._opaque_evals:
+                    evaluate()
                 if not dirty and not self._net_changed(self._pass_base):
                     return max(passes, worst_local)
         finally:
@@ -688,14 +741,28 @@ def make_engine(
     signals: Sequence[Signal],
     max_iterations: int,
     store: SlotStore,
+    profiler=None,
 ) -> NaiveEngine | EventEngine | CompiledEngine:
-    """Instantiate the settle engine called *name* (see :data:`ENGINES`)."""
+    """Instantiate the settle engine called *name* (see :data:`ENGINES`).
+
+    *profiler*, when given (a :class:`repro.obs.profile.KernelProfiler`),
+    is compiled into the engine: every evaluation step is wrapped in a
+    timing closure before any region fusion, so attribution covers the
+    generated code too.  ``None`` builds the plain engine with zero
+    profiling residue.
+    """
     if name == "compiled":
-        return CompiledEngine(components, signals, max_iterations, store)
+        return CompiledEngine(
+            components, signals, max_iterations, store, profiler=profiler
+        )
     if name == "event":
-        return EventEngine(components, signals, max_iterations)
+        return EventEngine(
+            components, signals, max_iterations, profiler=profiler
+        )
     if name == "naive":
-        return NaiveEngine(components, signals, max_iterations)
+        return NaiveEngine(
+            components, signals, max_iterations, profiler=profiler
+        )
     raise ValueError(
         f"unknown settle engine {name!r}; expected one of {ENGINES}"
     )

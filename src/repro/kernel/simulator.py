@@ -184,6 +184,15 @@ class Simulator:
         ``REPRO_SIM_SEQ`` environment variable (default on); has no
         effect under the event/naive engines, whose tick is always the
         legacy per-component dispatch.
+    profile:
+        ``True`` attaches a fresh
+        :class:`~repro.obs.profile.KernelProfiler` (available as
+        ``sim.profiler``); an existing profiler instance attaches that
+        one.  Profiling hooks are *compiled into* the engine and tick
+        plans rather than registered as observers, so settle+tick
+        fusion stays enabled and reports stay bit-identical; see
+        :meth:`profile` for scoped use and ``docs/observability.md``
+        for the contract.
     """
 
     def __init__(
@@ -191,6 +200,7 @@ class Simulator:
         max_settle_iterations: int = 64,
         engine: str | None = None,
         compile_seq: bool | None = None,
+        profile: bool | Any = False,
     ):
         if engine is None:
             engine = os.environ.get("REPRO_SIM_ENGINE") or "compiled"
@@ -221,6 +231,9 @@ class Simulator:
             tuple[Callable[[], Any], Callable[[Any], None]]
         ] = []
         self._finalized = False
+        self._profiler: Any = None
+        if profile:
+            self.attach_profiler(None if profile is True else profile)
 
     # ------------------------------------------------------------------
     # construction
@@ -298,6 +311,7 @@ class Simulator:
         Re-compiling (``rebuild()``/``reset()``) re-homes live state
         into the fresh :class:`SeqStore`, preserving it.
         """
+        profiler = self._profiler
         self._seq = None
         seq_ids: set[int] = set()
         for comp in self._components:
@@ -311,6 +325,19 @@ class Simulator:
                     continue
                 plan = comp.compile_seq(seq)
                 if plan is not None:
+                    if profiler is not None:
+                        # Timing hooks are baked into the plan *before*
+                        # compile_driver generates the fused tick sweep,
+                        # so profiled and unprofiled builds each run
+                        # their own generated code — nothing branches on
+                        # the profiler at cycle time.
+                        path = plan.component.path
+                        plan.capture = profiler.wrap_tick_capture(
+                            plan.capture, path
+                        )
+                        plan.commit = profiler.wrap_tick_fn(
+                            plan.commit, path
+                        )
                     seq.plans.append(plan)
                     comp._seq_hook = plan
                     seq_ids.add(id(comp))
@@ -322,6 +349,7 @@ class Simulator:
             self._signals,
             self.max_settle_iterations,
             self._store,
+            profiler=profiler,
         )
         self._note_state = getattr(self._engine, "note_state_change", None)
         # Commit-change reports only matter for components the engine
@@ -330,16 +358,23 @@ class Simulator:
         tracked = getattr(self._engine, "tracked_component_ids", frozenset())
         if self._note_state is None:
             tracked = frozenset()
+        def tick_fn(fn, comp):
+            if profiler is None:
+                return fn
+            return profiler.wrap_tick_fn(fn, comp.path)
+
         self._captures = [
-            c.capture for c in self._capture_list if id(c) not in seq_ids
+            tick_fn(c.capture, c)
+            for c in self._capture_list
+            if id(c) not in seq_ids
         ]
         self._noted_commits = [
-            (c, c.commit)
+            (c, tick_fn(c.commit, c))
             for c in self._commit_list
             if id(c) in tracked and id(c) not in seq_ids
         ]
         self._plain_commits = [
-            c.commit
+            tick_fn(c.commit, c)
             for c in self._commit_list
             if id(c) not in tracked and id(c) not in seq_ids
         ]
@@ -361,6 +396,76 @@ class Simulator:
             and not self._noted_commits
             and not self._plain_commits
         )
+        if profiler is not None:
+            profiler.instrument_engine(self._engine)
+
+    # ------------------------------------------------------------------
+    # profiling
+    # ------------------------------------------------------------------
+    @property
+    def profiler(self) -> Any:
+        """The attached :class:`KernelProfiler`, or ``None``."""
+        return self._profiler
+
+    def attach_profiler(self, profiler: Any = None) -> Any:
+        """Attach *profiler* (or a fresh one) by recompiling the engine.
+
+        This is explicitly **not** an observer registration: the engine
+        and tick plans are rebuilt with timing closures compiled in, so
+        settle+tick fusion stays eligible and the run's observable
+        behaviour is bit-identical (everything is marked stale, and the
+        re-derived fixed point is the same one).  Returns the profiler.
+        """
+        if profiler is None:
+            from repro.obs.profile import KernelProfiler
+
+            profiler = KernelProfiler()
+        if self._profiler is profiler:
+            return profiler
+        if self._profiler is not None:
+            self.detach_profiler()
+        self._profiler = profiler
+        if self._finalized:
+            self._build_engine()
+            invalidate_all = getattr(self._engine, "invalidate_all", None)
+            if invalidate_all is not None:
+                invalidate_all()
+        profiler.instrument_sim(self)
+        return profiler
+
+    def detach_profiler(self) -> Any:
+        """Detach the profiler and recompile the unprofiled fast path.
+
+        The engine and tick plans are rebuilt without any timing
+        closures — the simulator afterwards runs the exact code it
+        would have run had the profiler never existed (the
+        ``profile_overhead`` benchmark gate holds this to <2% on
+        ``mt_pipeline``).  Returns the detached profiler (its
+        accumulated report stays readable), or ``None`` if none was
+        attached.
+        """
+        profiler = self._profiler
+        if profiler is None:
+            return None
+        profiler.release_sim(self)
+        self._profiler = None
+        if self._finalized:
+            self._build_engine()
+            invalidate_all = getattr(self._engine, "invalidate_all", None)
+            if invalidate_all is not None:
+                invalidate_all()
+        return profiler
+
+    def profile(self, profiler: Any = None) -> Any:
+        """Scoped profiling: ``with sim.profile() as prof: sim.run(...)``.
+
+        Attaches on enter, detaches on exit; ``prof.report()`` stays
+        available after the block.  See
+        :class:`repro.obs.profile.ProfileSession`.
+        """
+        from repro.obs.profile import ProfileSession
+
+        return ProfileSession(self, profiler)
 
     # ------------------------------------------------------------------
     # reset / rebuild

@@ -43,6 +43,19 @@ class TraceRecorder:
         sim.add_observer(self._observe)
         return self
 
+    def detach(self, sim: Simulator) -> "TraceRecorder":
+        """Stop sampling: deregister this recorder's observer from *sim*.
+
+        The inverse of :meth:`attach`.  Captured samples are kept.  A
+        registered observer is what disables settle+tick fusion, so a
+        bounded capture window should always end with a ``detach`` —
+        afterwards the simulator can batch quiescent stretches again
+        (see :meth:`Simulator.fusion_blockers`).  Detaching a recorder
+        that is not attached is a no-op.
+        """
+        sim.remove_observer(self._observe)
+        return self
+
     def _observe(self, sim: Simulator) -> None:
         row = {
             label: sig.value for label, sig in zip(self.labels, self.signals)

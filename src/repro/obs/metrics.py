@@ -1,0 +1,307 @@
+"""Process-local metrics registry with Prometheus text exposition.
+
+Stdlib-only subset of the Prometheus client model: counters, gauges and
+histograms, optionally labelled, rendered in text exposition format
+0.0.4 (``text/plain; version=0.0.4``).  The registry is thread-safe —
+the campaign dispatcher, the worker-pool accounting loop and HTTP
+scrape threads all touch it concurrently.
+
+Design notes:
+
+- Metric mutation is a dict update under one registry lock; there is no
+  per-metric allocation on the hot path after the first observation of
+  a label set.
+- Histograms use fixed cumulative buckets chosen at declaration time
+  (``le`` upper bounds); ``+Inf``, ``_sum`` and ``_count`` series are
+  derived at render time.
+- Names and label values are validated/escaped at render, never on the
+  hot path.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+import threading
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: Default histogram buckets (seconds) — tuned for job/scenario
+#: latencies that range from ~1 ms dedup hits to multi-second cold
+#: campaign builds.
+DEFAULT_BUCKETS = (
+    0.001,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == math.inf:
+        return "+Inf"
+    if value == -math.inf:
+        return "-Inf"
+    if isinstance(value, float) and value != value:  # NaN
+        return "NaN"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def _label_pairs(labelnames: tuple[str, ...], labels: dict) -> tuple:
+    """Order ``labels`` by the metric's declared label names."""
+    if set(labels) != set(labelnames):
+        raise ValueError(
+            f"labels {sorted(labels)} do not match declared {list(labelnames)}"
+        )
+    return tuple(str(labels[name]) for name in labelnames)
+
+
+class _Metric:
+    """Common shape: name, help text, declared label names."""
+
+    kind = "untyped"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...] = (),
+        lock: threading.Lock | None = None,
+    ) -> None:
+        if lock is None:  # standalone use, outside a registry
+            lock = threading.Lock()
+        if not _NAME_RE.match(name):
+            raise ValueError(f"invalid metric name {name!r}")
+        for label in labelnames:
+            if not _LABEL_RE.match(label):
+                raise ValueError(f"invalid label name {label!r}")
+        self.name = name
+        self.help_text = help_text
+        self.labelnames = tuple(labelnames)
+        self._lock = lock
+        # label-value tuple -> float (counter/gauge) or [bucket_counts, sum, n]
+        self._values: dict[tuple, object] = {}
+
+    def _series_suffix(self, key: tuple, extra: tuple = ()) -> str:
+        pairs = list(zip(self.labelnames, key)) + list(extra)
+        if not pairs:
+            return ""
+        body = ",".join(
+            f'{name}="{_escape_label_value(value)}"' for name, value in pairs
+        )
+        return "{" + body + "}"
+
+    def render(self) -> list[str]:
+        raise NotImplementedError
+
+    def _header(self) -> list[str]:
+        return [
+            f"# HELP {self.name} {_escape_help(self.help_text)}",
+            f"# TYPE {self.name} {self.kind}",
+        ]
+
+
+class Counter(_Metric):
+    """Monotonically increasing count."""
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        if amount < 0:
+            raise ValueError("counters can only increase")
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels) -> float:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{self._series_suffix(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Gauge(_Metric):
+    """Point-in-time value that can go up and down."""
+
+    kind = "gauge"
+
+    def set(self, value: float, **labels) -> None:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1, **labels) -> None:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1, **labels) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels) -> float:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            return float(self._values.get(key, 0.0))
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(self._values.items())
+        if not items and not self.labelnames:
+            items = [((), 0.0)]
+        for key, value in items:
+            lines.append(
+                f"{self.name}{self._series_suffix(key)} {_format_value(value)}"
+            )
+        return lines
+
+
+class Histogram(_Metric):
+    """Cumulative-bucket histogram with ``_sum`` and ``_count`` series."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labelnames: tuple[str, ...] = (),
+        lock: threading.Lock | None = None,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help_text, labelnames, lock)
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket")
+        self.buckets = bounds
+
+    def observe(self, value: float, **labels) -> None:
+        key = _label_pairs(self.labelnames, labels)
+        value = float(value)
+        with self._lock:
+            cell = self._values.get(key)
+            if cell is None:
+                cell = [[0] * len(self.buckets), 0.0, 0]
+                self._values[key] = cell
+            counts, total, n = cell
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    counts[i] += 1
+            cell[1] = total + value
+            cell[2] = n + 1
+
+    def count(self, **labels) -> int:
+        key = _label_pairs(self.labelnames, labels)
+        with self._lock:
+            cell = self._values.get(key)
+            return int(cell[2]) if cell else 0
+
+    def render(self) -> list[str]:
+        lines = self._header()
+        with self._lock:
+            items = sorted(
+                (key, (list(cell[0]), cell[1], cell[2]))
+                for key, cell in self._values.items()
+            )
+        if not items and not self.labelnames:
+            items = [((), ([0] * len(self.buckets), 0.0, 0))]
+        for key, (counts, total, n) in items:
+            for bound, count in zip(self.buckets, counts):
+                suffix = self._series_suffix(key, (("le", _format_value(bound)),))
+                lines.append(f"{self.name}_bucket{suffix} {count}")
+            inf_suffix = self._series_suffix(key, (("le", "+Inf"),))
+            lines.append(f"{self.name}_bucket{inf_suffix} {n}")
+            lines.append(
+                f"{self.name}_sum{self._series_suffix(key)} {_format_value(total)}"
+            )
+            lines.append(f"{self.name}_count{self._series_suffix(key)} {n}")
+        return lines
+
+
+class MetricsRegistry:
+    """Ordered collection of metrics with a shared lock and one renderer."""
+
+    #: Content-Type for HTTP responses carrying :meth:`render` output.
+    CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, _Metric] = {}
+
+    def _register(self, metric: _Metric) -> _Metric:
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if type(existing) is not type(metric):
+                    raise ValueError(
+                        f"metric {metric.name!r} already registered "
+                        f"as {existing.kind}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, help_text: str, labelnames=()) -> Counter:
+        return self._register(
+            Counter(name, help_text, tuple(labelnames), threading.Lock())
+        )
+
+    def gauge(self, name: str, help_text: str, labelnames=()) -> Gauge:
+        return self._register(
+            Gauge(name, help_text, tuple(labelnames), threading.Lock())
+        )
+
+    def histogram(
+        self, name: str, help_text: str, labelnames=(), buckets=DEFAULT_BUCKETS
+    ) -> Histogram:
+        return self._register(
+            Histogram(
+                name, help_text, tuple(labelnames), threading.Lock(), tuple(buckets)
+            )
+        )
+
+    def get(self, name: str) -> _Metric | None:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def render(self) -> str:
+        """Render every metric in registration order as exposition text."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        lines: list[str] = []
+        for metric in metrics:
+            lines.extend(metric.render())
+        return "\n".join(lines) + "\n"

@@ -1,0 +1,158 @@
+"""Hierarchical spans for campaign runs, serializable as JSONL.
+
+A :class:`Tracer` collects :class:`Span` records forming a tree:
+``job -> unit -> scenario -> build/simulate/metrics``.  Spans carry a
+wall-clock start (``start_unix``, for merging across processes) and a
+monotonic-clock duration (``duration_s``, measured with
+``time.perf_counter`` so it is immune to wall-clock jumps).
+
+Worker processes in the persistent pool build their own tracer per
+dispatched unit; the finished spans ship back through the result queue
+as plain dicts and the dispatcher merges them into the job's trace with
+the parent id pointing at the job-side span — see
+``repro.sweep.jobs``.  :class:`NullTracer` is the zero-cost stand-in so
+hot paths never branch on ``if tracer is not None``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import uuid
+from threading import Lock
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+class Span:
+    """One timed operation in a trace tree."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "start_unix",
+        "duration_s",
+        "attrs",
+        "_t0",
+        "_tracer",
+    )
+
+    def __init__(self, tracer, name, parent_id, attrs):
+        self.trace_id = tracer.trace_id
+        self.span_id = _new_id()
+        self.parent_id = parent_id
+        self.name = name
+        self.start_unix = time.time()
+        self.duration_s = None
+        self.attrs = dict(attrs)
+        self._t0 = time.perf_counter()
+        self._tracer = tracer
+
+    def set(self, **attrs) -> None:
+        """Attach attributes to an open (or finished) span."""
+        self.attrs.update(attrs)
+
+    def end(self) -> None:
+        if self.duration_s is None:
+            self.duration_s = time.perf_counter() - self._t0
+            self._tracer._record(self)
+
+    def __enter__(self) -> Span:
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self.attrs.setdefault("error", exc_type.__name__)
+        self.end()
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start_unix": round(self.start_unix, 6),
+            "duration_s": None
+            if self.duration_s is None
+            else round(self.duration_s, 9),
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Collects finished spans for one trace (thread-safe)."""
+
+    def __init__(self, trace_id: str | None = None, **attrs) -> None:
+        self.trace_id = trace_id or _new_id()
+        self.attrs = dict(attrs)
+        self._lock = Lock()
+        self._spans: list[Span] = []
+
+    def span(self, name: str, parent: Span | str | None = None, **attrs) -> Span:
+        """Open a span; use as a context manager or call ``.end()``."""
+        parent_id = parent.span_id if isinstance(parent, Span) else parent
+        merged = dict(self.attrs)
+        merged.update(attrs)
+        return Span(self, name, parent_id, merged)
+
+    def _record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> list[dict]:
+        """Finished spans as dicts, in completion order."""
+        with self._lock:
+            return [span.to_dict() for span in self._spans]
+
+    def to_jsonl(self) -> str:
+        return "".join(
+            json.dumps(span, sort_keys=True) + "\n" for span in self.spans()
+        )
+
+
+class _NullSpan:
+    """Inert span: accepts the full Span surface, records nothing."""
+
+    __slots__ = ()
+    trace_id = span_id = parent_id = None
+    name = "null"
+    attrs: dict = {}
+
+    def set(self, **attrs) -> None:
+        pass
+
+    def end(self) -> None:
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+class NullTracer:
+    """Drop-in tracer that records nothing (the default on hot paths)."""
+
+    trace_id = None
+
+    def span(self, name, parent=None, **attrs) -> _NullSpan:
+        return _NULL_SPAN
+
+    def spans(self) -> list[dict]:
+        return []
+
+    def to_jsonl(self) -> str:
+        return ""
+
+
+_NULL_SPAN = _NullSpan()
+
+#: Shared inert tracer instance.
+NULL_TRACER = NullTracer()

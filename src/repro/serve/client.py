@@ -86,6 +86,68 @@ class ServiceClient:
     def cancel(self, job_id: str) -> dict[str, Any]:
         return self._request("POST", f"/campaigns/{job_id}/cancel")
 
+    def metrics(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition, verbatim."""
+        request = urllib.request.Request(
+            f"{self.base_url}/metrics", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return response.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            raise ServiceError(exc.code, exc.read().decode()) from None
+
+    def trace(self, job_id: str) -> list[dict[str, Any]]:
+        """``GET /campaigns/<id>/trace``: the merged span list."""
+        request = urllib.request.Request(
+            f"{self.base_url}/campaigns/{job_id}/trace", method="GET"
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return [
+                    json.loads(line)
+                    for line in response.read().splitlines()
+                    if line.strip()
+                ]
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except Exception:
+                payload = {"error": {"reason": str(exc)}}
+            raise ServiceError(exc.code, payload) from None
+
+    def events(self, job_id: str, timeout: float | None = None):
+        """``GET /campaigns/<id>/events``: yield progress events live.
+
+        A generator over the server's NDJSON stream; ends after the
+        terminal ``{"event": "job", "state": ...}`` event (the server
+        closes the connection).  *timeout* is the socket timeout for
+        the whole stream (defaults to the client timeout) — size it to
+        the campaign, not to the inter-event gap.
+        """
+        request = urllib.request.Request(
+            f"{self.base_url}/campaigns/{job_id}/events", method="GET"
+        )
+        try:
+            response = urllib.request.urlopen(
+                request, timeout=timeout if timeout is not None else self.timeout
+            )
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read())
+            except Exception:
+                payload = {"error": {"reason": str(exc)}}
+            raise ServiceError(exc.code, payload) from None
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)
+
     # -- conveniences ---------------------------------------------------
 
     def run(

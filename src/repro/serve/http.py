@@ -18,6 +18,7 @@ import re
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
+from repro.obs.metrics import MetricsRegistry
 from repro.sweep.jobs import JobService
 from repro.sweep.registry import registry_payload
 from repro.sweep.spec import SpecError
@@ -25,8 +26,12 @@ from repro.sweep.spec import SpecError
 #: Longest a ``?wait=`` report request may block, seconds.
 MAX_WAIT_S = 300.0
 
+#: Longest an ``/events`` stream waits between events, seconds.
+EVENTS_TIMEOUT_S = 300.0
+
 _CAMPAIGN_ROUTE = re.compile(
-    r"^/campaigns/(?P<job_id>[\w.\-]+)(?P<rest>/report|/cancel)?$"
+    r"^/campaigns/(?P<job_id>[\w.\-]+)"
+    r"(?P<rest>/report|/cancel|/trace|/events)?$"
 )
 
 
@@ -79,6 +84,14 @@ class ServiceHandler(BaseHTTPRequestHandler):
             stats = self.service.stats()
             stats["status"] = "ok"
             return self._send_json(200, stats)
+        if path == "/metrics":
+            body = self.service.render_metrics().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", MetricsRegistry.CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return None
         if path == "/families":
             return self._send_json(200, registry_payload())
         if path == "/campaigns":
@@ -86,17 +99,61 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 200, {"campaigns": self.service.list_jobs()}
             )
         match = _CAMPAIGN_ROUTE.match(path)
-        if match and match.group("rest") in (None, "/report"):
+        if match and match.group("rest") in (
+            None, "/report", "/trace", "/events",
+        ):
+            job_id = match.group("job_id")
             try:
-                status = self.service.status(match.group("job_id"))
+                status = self.service.status(job_id)
             except KeyError:
-                return self._error(
-                    404, f"unknown job id {match.group('job_id')!r}"
-                )
-            if match.group("rest") is None:
+                return self._error(404, f"unknown job id {job_id!r}")
+            rest = match.group("rest")
+            if rest is None:
                 return self._send_json(200, status)
-            return self._report(match.group("job_id"), status, params)
+            if rest == "/report":
+                return self._report(job_id, status, params)
+            if rest == "/trace":
+                return self._trace(job_id)
+            return self._events(job_id)
         return self._error(404, f"no such route: GET {path}")
+
+    def _trace(self, job_id: str) -> None:
+        """The job's merged span list as newline-delimited JSON."""
+        spans = self.service.trace(job_id)
+        body = b"".join(
+            json.dumps(span, default=str).encode("utf-8") + b"\n"
+            for span in spans
+        )
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _events(self, job_id: str) -> None:
+        """Stream progress events as NDJSON until the job terminates.
+
+        No ``Content-Length``: the response body is delimited by
+        connection close (this handler speaks HTTP/1.0 by default), so
+        plain ``urllib`` / ``curl -N`` consumers read line-by-line
+        until EOF.  Each line is one JSON event; the terminal
+        ``{"event": "job", "state": ...}`` line ends the stream.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        try:
+            for event in self.service.events(
+                job_id, timeout=EVENTS_TIMEOUT_S
+            ):
+                self.wfile.write(
+                    json.dumps(event, default=str).encode("utf-8") + b"\n"
+                )
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionError):  # client went away
+            pass
+        except TimeoutError:
+            pass  # idle too long: close the stream, client may reconnect
 
     def _report(
         self, job_id: str, status: dict[str, Any], params: dict[str, str]

@@ -5,10 +5,13 @@ entry point the HTTP service exposes, so CLI and service behaviour
 cannot drift.  Commands:
 
 * ``run <spec> [--workers N] [--engine E] [--out DIR] [--name BASE]
-  [--store PATH]`` — submit a campaign spec (TOML on Python 3.11+,
-  JSON everywhere) to an ephemeral service, wait, and write
-  ``<BASE>.json`` + ``<BASE>.md`` reports.  ``--store`` memoizes
-  results across invocations (dedup by canonical scenario key).
+  [--store PATH] [--profile] [--follow]`` — submit a campaign spec
+  (TOML on Python 3.11+, JSON everywhere) to an ephemeral service,
+  wait, and write ``<BASE>.json`` + ``<BASE>.md`` reports.
+  ``--store`` memoizes results across invocations (dedup by canonical
+  scenario key); ``--profile`` attaches the kernel profiler and folds
+  a hot-component summary into the markdown report; ``--follow``
+  streams live per-scenario progress to stderr.
 * ``validate <spec>`` — expand the spec, check every family is
   registered, and print the scenario list without running anything.
 * ``families [--json]`` — list the registered design families; with
@@ -37,14 +40,44 @@ EXIT_SCENARIO_FAILURES = 1
 EXIT_SPEC_ERROR = 2
 
 
+def _follow(service: JobService, job_id: str) -> None:
+    """Print a live one-line progress display from the job's events.
+
+    Consumes the same event stream ``GET /campaigns/<id>/events``
+    serves; writes carriage-return progress to stderr so stdout stays
+    machine-readable.
+    """
+    last_len = 0
+    for event in service.events(job_id, timeout=300.0):
+        if event.get("event") == "scenario":
+            line = (
+                f"[{event['completed']}/{event['total']}] "
+                f"{event.get('status', '?'):8s} "
+                f"{'(cached) ' if event.get('cached') else ''}"
+                f"{event.get('key', '')}"
+            )
+        elif event.get("event") == "job":
+            if event.get("state") == "running":
+                continue
+            line = f"job {job_id}: {event['state']}"
+        else:  # pragma: no cover - future event kinds
+            continue
+        pad = " " * max(0, last_len - len(line))
+        print(f"\r{line}{pad}", end="", file=sys.stderr, flush=True)
+        last_len = len(line)
+    print(file=sys.stderr)
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = load_spec(args.spec)
     workers = args.workers if args.workers is not None else spec.workers
     with JobService(
         workers=workers, engine=args.engine, store=args.store,
-        ensemble=args.ensemble,
+        ensemble=args.ensemble, profile=args.profile,
     ) as service:
         job_id = service.submit(spec, workers=workers, engine=args.engine)
+        if args.follow:
+            _follow(service, job_id)
         report = service.result(job_id)
     json_path, md_path = write_report(report, args.out, args.name)
     summary = report["summary"]
@@ -129,6 +162,14 @@ def main(argv: list[str] | None = None) -> int:
                             "scenarios: auto, off, or a lane cap "
                             "(default: auto; reports are identical "
                             "either way)")
+    p_run.add_argument("--profile", action="store_true",
+                       help="attach the kernel profiler per scenario and "
+                            "fold a hot-component/fusion summary into the "
+                            "markdown report (metrics are bit-identical "
+                            "with or without)")
+    p_run.add_argument("--follow", action="store_true",
+                       help="stream per-scenario progress to stderr while "
+                            "the campaign runs")
     p_run.set_defaults(fn=_cmd_run)
 
     p_val = sub.add_parser("validate", help="expand and check a spec")

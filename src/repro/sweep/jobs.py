@@ -54,6 +54,8 @@ import traceback
 from collections import deque
 from typing import Any, Mapping
 
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
 from repro.sweep.report import aggregate
 from repro.sweep.registry import registry_payload
 from repro.sweep.runner import _scenario_row, execute_unit, plan_units
@@ -62,6 +64,9 @@ from repro.sweep.store import ResultStore
 
 #: Poll interval for the pooled result loop (drives liveness checks).
 _POLL_S = 0.05
+
+#: Job states after which no further events can be published.
+TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
 
 
 def design_affinity(design_key: str, workers: int) -> int:
@@ -88,15 +93,37 @@ def _worker_main(index: int, tasks, results) -> None:
     key, engine[, "ensemble"]) to (handle[, ctx], pristine snapshot)
     and lives for the worker's whole life — jobs come and go, compiled
     designs stay warm.
+
+    Each message carries an *opts* mapping: ``profile`` attaches the
+    kernel profiler per scenario, ``trace_id``/``parent`` seed a
+    worker-side :class:`~repro.obs.trace.Tracer` whose finished spans
+    (unit -> scenario -> build/simulate/metrics, tagged with this
+    worker's index) ship back in the result tuple for the dispatcher to
+    merge into the job's trace.
     """
     cache: dict = {}
     while True:
         msg = tasks.get()
         if msg is None:
             return
-        job_id, unit, engine = msg
+        job_id, unit, engine, opts = msg
+        tracer = Tracer(trace_id=opts.get("trace_id"), worker=index)
         try:
-            unit_rows = execute_unit(unit, engine, cache=cache, shard=index)
+            with tracer.span(
+                "unit",
+                parent=opts.get("parent"),
+                scenarios=len(unit),
+                mode="pool",
+            ) as unit_span:
+                unit_rows = execute_unit(
+                    unit,
+                    engine,
+                    cache=cache,
+                    shard=index,
+                    profile=bool(opts.get("profile")),
+                    tracer=tracer,
+                    parent=unit_span,
+                )
         except BaseException as exc:  # pragma: no cover - defensive
             unit_rows = []
             for scenario in unit:
@@ -106,7 +133,7 @@ def _worker_main(index: int, tasks, results) -> None:
                 unit_rows.append(row)
         indices = [scenario.index for scenario in unit]
         try:
-            results.put((index, job_id, indices, unit_rows))
+            results.put((index, job_id, indices, unit_rows, tracer.spans()))
         except Exception:  # pragma: no cover - unpicklable metrics
             fallback = []
             for scenario in unit:
@@ -114,7 +141,7 @@ def _worker_main(index: int, tasks, results) -> None:
                 row["status"] = "error"
                 row["error"] = "scenario result was not serializable"
                 fallback.append(row)
-            results.put((index, job_id, indices, fallback))
+            results.put((index, job_id, indices, fallback, tracer.spans()))
 
 
 class _Worker:
@@ -182,11 +209,13 @@ class Job:
         spec: CampaignSpec,
         engine: str | None,
         workers: int,
+        profile: bool = False,
     ):
         self.id = job_id
         self.spec = spec
         self.engine = engine
         self.workers = workers
+        self.profile = bool(profile)
         self.state = "queued"
         self.submitted_at = time.time()
         self.started_at: float | None = None
@@ -198,6 +227,50 @@ class Job:
         self.error: str | None = None
         self.cancel_event = threading.Event()
         self.done_event = threading.Event()
+        # Structured trace: the dispatcher-side tracer plus span dicts
+        # shipped back from pool workers (already tagged with trace_id
+        # == job id, so merging is a plain extend).
+        self.tracer: Tracer | None = None
+        self.span: Any = None
+        self.worker_spans: list[dict[str, Any]] = []
+        # Streamed progress: an append-only replay log plus per-consumer
+        # fan-out queues.  The one lock orders appends against
+        # subscriber registration, so every consumer sees every event
+        # exactly once (subscribe replays the log, then drains its
+        # queue, deduplicating on `seq`).
+        self.events_log: list[dict[str, Any]] = []
+        self._subscribers: list[queue.Queue] = []
+        self._events_lock = threading.Lock()
+
+    def publish(self, event: dict[str, Any]) -> None:
+        """Append *event* to the log and fan it out to subscribers."""
+        with self._events_lock:
+            event = dict(event)
+            event["seq"] = len(self.events_log)
+            event["job_id"] = self.id
+            self.events_log.append(event)
+            subscribers = list(self._subscribers)
+        for sub in subscribers:
+            sub.put(event)
+
+    def subscribe(self) -> tuple[list[dict[str, Any]], queue.Queue]:
+        """Register a consumer: (replay backlog, live queue).
+
+        The backlog and the queue may overlap around the registration
+        instant; consumers deduplicate on each event's ``seq``.
+        """
+        sub: queue.Queue = queue.Queue()
+        with self._events_lock:
+            backlog = list(self.events_log)
+            self._subscribers.append(sub)
+        return backlog, sub
+
+    def unsubscribe(self, sub: queue.Queue) -> None:
+        with self._events_lock:
+            try:
+                self._subscribers.remove(sub)
+            except ValueError:
+                pass
 
     def status(self) -> dict[str, Any]:
         out: dict[str, Any] = {
@@ -248,6 +321,7 @@ class JobService:
         engine: str | None = None,
         store: ResultStore | str | pathlib.Path | bool | None = None,
         ensemble: Any = "auto",
+        profile: bool = False,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
@@ -257,6 +331,10 @@ class JobService:
         # "auto" (default cap), "off", or an integer lane cap.  Reports
         # are bit-identical either way; see repro.sweep.runner.
         self.ensemble = ensemble
+        # Default profiling policy; ``submit(profile=...)`` overrides
+        # per job.  Profiled rows carry a "profile" dict (volatile —
+        # stripped from canonical reports and dedup storage).
+        self.profile = bool(profile)
         if store is True:
             store = ResultStore()
         elif isinstance(store, (str, pathlib.Path)):
@@ -278,6 +356,59 @@ class JobService:
         # global hit rate.
         self.dedup_hits = 0
         self.dedup_misses = 0
+        # Prometheus-style metrics (rendered by render_metrics / GET
+        # /metrics).  Everything here is also derivable from stats(),
+        # but the registry keeps monotonic counters across the service
+        # lifetime in a scrape-friendly exposition format.
+        self.metrics = MetricsRegistry()
+        m = self.metrics
+        self._m_submitted = m.counter(
+            "repro_jobs_submitted_total", "Campaign jobs accepted by submit()."
+        )
+        self._m_jobs_completed = m.counter(
+            "repro_jobs_completed_total",
+            "Jobs that reached a terminal state.",
+            labelnames=("state",),
+        )
+        self._m_job_duration = m.histogram(
+            "repro_job_duration_seconds",
+            "Wall time from job start to terminal state.",
+        )
+        self._m_scenario_duration = m.histogram(
+            "repro_scenario_duration_seconds",
+            "Per-scenario simulation wall time (cached rows observe 0).",
+        )
+        self._m_scenarios = m.counter(
+            "repro_scenarios_completed_total",
+            "Scenario rows produced, by final status.",
+            labelnames=("status",),
+        )
+        self._m_dedup = m.counter(
+            "repro_dedup_lookups_total",
+            "Result-store lookups before dispatch.",
+            labelnames=("result",),
+        )
+        self._m_ensemble_fallbacks = m.counter(
+            "repro_ensemble_fallbacks_total",
+            "Ensemble units that fell back to serial execution.",
+        )
+        self._m_queue_depth = m.gauge(
+            "repro_queue_depth", "Jobs waiting in the dispatch queue."
+        )
+        self._m_inflight = m.gauge(
+            "repro_pool_inflight", "Units currently executing on pool workers."
+        )
+        self._m_workers = m.gauge(
+            "repro_pool_workers", "Configured worker-pool size (0 = inline)."
+        )
+        self._m_workers_alive = m.gauge(
+            "repro_pool_workers_alive", "Worker processes currently alive."
+        )
+        self._m_respawns = m.counter(
+            "repro_worker_respawns_total",
+            "Dead worker processes replaced with fresh (cold-cache) ones.",
+        )
+        self._m_workers.set(self.pool_size)
 
     # -- lifecycle ------------------------------------------------------
 
@@ -322,6 +453,7 @@ class JobService:
         spec: CampaignSpec | Mapping[str, Any] | str | pathlib.Path,
         workers: int | None = None,
         engine: str | None = None,
+        profile: bool | None = None,
     ) -> str:
         """Validate and enqueue a campaign; returns the job id.
 
@@ -330,7 +462,8 @@ class JobService:
         raise :class:`repro.sweep.spec.SpecError` here, synchronously —
         a queued job is always runnable.  *engine* overrides the spec's
         engine; *workers* is recorded (the service's pool is fixed at
-        construction, so it caps the actual parallelism).
+        construction, so it caps the actual parallelism); *profile*
+        overrides the service's default profiling policy for this job.
         """
         if self._closed:
             raise RuntimeError("JobService is closed")
@@ -342,12 +475,15 @@ class JobService:
             engine = self.engine if self.engine is not None else spec.engine
         if workers is None:
             workers = self.pool_size or 1
+        if profile is None:
+            profile = self.profile
         job_id = f"job-{next(self._ids):06d}"
-        job = Job(job_id, spec, engine, workers)
+        job = Job(job_id, spec, engine, workers, profile=profile)
         with self._lock:
             self._jobs[job_id] = job
             self._order.append(job_id)
             self._ensure_dispatcher()
+        self._m_submitted.inc()
         self._queue.put(job_id)
         return job_id
 
@@ -433,6 +569,103 @@ class JobService:
             "store": self.store.stats() if self.store is not None else None,
         }
 
+    # -- observability --------------------------------------------------
+
+    def render_metrics(self) -> str:
+        """Prometheus text exposition of the service's metrics.
+
+        Point-in-time gauges (queue depth, worker liveness) are
+        refreshed at scrape time; counters/histograms accumulate as
+        events happen.  Content type:
+        :data:`MetricsRegistry.CONTENT_TYPE`.
+        """
+        with self._lock:
+            depth = sum(
+                1 for job in self._jobs.values() if job.state == "queued"
+            )
+        self._m_queue_depth.set(depth)
+        pool = self._pool
+        self._m_workers_alive.set(
+            sum(pool.alive()) if pool is not None else 0
+        )
+        return self.metrics.render()
+
+    def trace(self, job_id: str) -> list[dict[str, Any]]:
+        """The job's merged span list (dispatcher + workers), start-ordered.
+
+        Spans follow the schema in :mod:`repro.obs.trace`: job -> unit
+        -> scenario -> build/simulate/metrics, every span carrying the
+        job id as ``trace_id`` and pool-worker spans tagged
+        ``worker=<index>``.  Safe to call while the job is running —
+        returns the spans finished so far.
+        """
+        job = self.job(job_id)
+        spans: list[dict[str, Any]] = []
+        if job.tracer is not None:
+            spans.extend(job.tracer.spans())
+        spans.extend(job.worker_spans)
+        spans.sort(key=lambda s: (s.get("start_unix", 0.0), s.get("span_id", "")))
+        return spans
+
+    def events(self, job_id: str, timeout: float | None = None):
+        """Yield the job's progress events: replay, then live, then stop.
+
+        Replays the full event log from the start (so late subscribers
+        see every scenario), then streams live events until a terminal
+        ``{"event": "job", "state": <terminal>}`` arrives, which is
+        yielded and ends the generator.  *timeout* bounds the wait for
+        each live event; expiry raises :class:`TimeoutError` (a
+        finished job never raises — its log already ends terminally).
+        """
+        job = self.job(job_id)
+        backlog, sub = job.subscribe()
+        try:
+            last_seq = -1
+            for event in backlog:
+                last_seq = event["seq"]
+                yield event
+                if event.get("event") == "job" and (
+                    event.get("state") in TERMINAL_STATES
+                ):
+                    return
+            while True:
+                try:
+                    event = sub.get(timeout=timeout)
+                except queue.Empty:
+                    raise TimeoutError(
+                        f"no event from job {job_id} within {timeout}s"
+                    ) from None
+                if event["seq"] <= last_seq:  # replay/live overlap
+                    continue
+                last_seq = event["seq"]
+                yield event
+                if event.get("event") == "job" and (
+                    event.get("state") in TERMINAL_STATES
+                ):
+                    return
+        finally:
+            job.unsubscribe(sub)
+
+    def _note_row(self, job: Job, row: dict[str, Any], total: int) -> None:
+        """Account one finished scenario row: counters + progress event."""
+        job.completed += 1
+        status = str(row.get("status", "unknown"))
+        self._m_scenarios.inc(status=status)
+        self._m_scenario_duration.observe(float(row.get("duration_s") or 0.0))
+        if row.get("ensemble") == "fallback":
+            self._m_ensemble_fallbacks.inc()
+        job.publish(
+            {
+                "event": "scenario",
+                "key": row.get("key"),
+                "index": row.get("index"),
+                "status": status,
+                "cached": bool(row.get("cached")),
+                "completed": job.completed,
+                "total": total,
+            }
+        )
+
     # -- dispatcher -----------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -447,6 +680,16 @@ class JobService:
                 job.error = traceback.format_exc()
                 job.state = "failed"
                 job.finished_at = time.time()
+                self._m_jobs_completed.inc(state="failed")
+                if job.started_at is not None:
+                    self._m_job_duration.observe(
+                        job.finished_at - job.started_at
+                    )
+                # The terminal event must go out even on dispatcher
+                # failure — it is what ends every events() stream.
+                job.publish(
+                    {"event": "job", "state": "failed", "error": job.error}
+                )
                 job.done_event.set()
 
     def _cancelled_row(
@@ -460,6 +703,16 @@ class JobService:
     def _run_job(self, job: Job) -> None:
         job.state = "running"
         job.started_at = time.time()
+        job.tracer = Tracer(trace_id=job.id)
+        job.span = job.tracer.span(
+            "job",
+            campaign=job.spec.name,
+            engine=job.engine,
+            workers=job.workers,
+            scenarios=len(job.spec.scenarios),
+        )
+        job.publish({"event": "job", "state": "running"})
+        total = len(job.spec.scenarios)
         rows: dict[int, dict[str, Any]] = {}
         pending = []
         for scenario in job.spec.scenarios:
@@ -473,9 +726,16 @@ class JobService:
                     rows[scenario.index] = cached
                     job.dedup_hits += 1
                     self.dedup_hits += 1
-                    job.completed += 1
+                    self._m_dedup.inc(result="hit")
+                    with job.tracer.span(
+                        "scenario", parent=job.span, key=scenario.key,
+                        cached=True,
+                    ):
+                        pass
+                    self._note_row(job, cached, total)
                     continue
                 self.dedup_misses += 1
+                self._m_dedup.inc(result="miss")
             pending.append(scenario)
         if pending:
             if self._ensure_pool() is not None:
@@ -498,6 +758,22 @@ class JobService:
             job.report["summary"]["dedup_hits"] = job.dedup_hits
         job.state = "cancelled" if job.cancel_event.is_set() else "done"
         job.finished_at = time.time()
+        job.span.set(state=job.state)
+        job.span.end()
+        self._m_jobs_completed.inc(state=job.state)
+        self._m_job_duration.observe(job.finished_at - job.started_at)
+        summary = job.report["summary"]
+        job.publish(
+            {
+                "event": "job",
+                "state": job.state,
+                "ok": summary["ok"],
+                "failed": summary["failed"],
+                "completed": job.completed,
+                "total": total,
+                "elapsed_s": round(elapsed, 4),
+            }
+        )
         job.done_event.set()
 
     def _run_inline(self, job: Job, pending, rows) -> None:
@@ -507,17 +783,29 @@ class JobService:
         batch finishes (its lanes are one simulation), queued units are
         reported ``status="cancelled"``.
         """
+        total = len(job.spec.scenarios)
         for unit in plan_units(pending, self.ensemble):
             if job.cancel_event.is_set():
                 for scenario in unit:
-                    rows[scenario.index] = self._cancelled_row(scenario)
-                    job.completed += 1
+                    row = self._cancelled_row(scenario)
+                    rows[scenario.index] = row
+                    self._note_row(job, row, total)
                 continue
-            for row in execute_unit(
-                unit, job.engine, cache=self._inline_cache, shard=0
-            ):
+            with job.tracer.span(
+                "unit", parent=job.span, scenarios=len(unit), mode="inline",
+            ) as unit_span:
+                unit_rows = execute_unit(
+                    unit,
+                    job.engine,
+                    cache=self._inline_cache,
+                    shard=0,
+                    profile=job.profile,
+                    tracer=job.tracer,
+                    parent=unit_span,
+                )
+            for row in unit_rows:
                 rows[row["index"]] = row
-                job.completed += 1
+                self._note_row(job, row, total)
 
     def _run_pooled(self, job: Job, pending, rows) -> None:
         """Affinity-routed execution across the persistent worker pool.
@@ -537,13 +825,19 @@ class JobService:
             )
         inflight: dict[int, Any] = {}
         remaining = len(pending)
+        total = len(job.spec.scenarios)
+        opts = {
+            "profile": job.profile,
+            "trace_id": job.id,
+            "parent": job.span.span_id if job.span is not None else None,
+        }
 
         def account(index: int, row: dict[str, Any]) -> None:
             nonlocal remaining
             if index in rows:  # late result after a liveness verdict
                 return
             rows[index] = row
-            job.completed += 1
+            self._note_row(job, row, total)
             remaining -= 1
 
         while remaining:
@@ -560,11 +854,12 @@ class JobService:
                 if i not in inflight and backlog[i]:
                     unit = backlog[i].popleft()
                     pool.workers[i].tasks.put(
-                        (job.id, unit, job.engine)
+                        (job.id, unit, job.engine, opts)
                     )
                     inflight[i] = unit
+            self._m_inflight.set(len(inflight))
             try:
-                widx, _job_id, indices, unit_rows = pool.results.get(
+                widx, _job_id, indices, unit_rows, spans = pool.results.get(
                     timeout=_POLL_S
                 )
             except queue.Empty:
@@ -579,10 +874,13 @@ class JobService:
                             )
                             account(scenario.index, row)
                         pool.respawn(i)
+                        self._m_respawns.inc()
                 continue
             inflight.pop(widx, None)
+            job.worker_spans.extend(spans)
             for sidx, row in zip(indices, unit_rows):
                 account(sidx, row)
+        self._m_inflight.set(0)
 
 
 # ----------------------------------------------------------------------
@@ -607,6 +905,7 @@ def configure(
     engine: str | None = None,
     store: ResultStore | str | pathlib.Path | bool | None = None,
     ensemble: Any = "auto",
+    profile: bool = False,
 ) -> JobService:
     """Replace the default service (closing any previous one)."""
     global _default_service
@@ -614,7 +913,8 @@ def configure(
         if _default_service is not None:
             _default_service.close()
         _default_service = JobService(
-            workers=workers, engine=engine, store=store, ensemble=ensemble
+            workers=workers, engine=engine, store=store, ensemble=ensemble,
+            profile=profile,
         )
         return _default_service
 

@@ -91,9 +91,12 @@ def aggregate(
 
 
 #: Report fields that legitimately differ between two runs of the same
-#: campaign: wall-clock timings, worker placement, cache provenance.
+#: campaign: wall-clock timings, worker placement, cache provenance,
+#: and profiler attachments (all timing, no metrics).
 _VOLATILE_SUMMARY = ("elapsed_s", "dedup_hits")
-_VOLATILE_ROW = ("shard", "duration_s", "design_cache", "cached", "ensemble")
+_VOLATILE_ROW = (
+    "shard", "duration_s", "design_cache", "cached", "ensemble", "profile",
+)
 
 
 def canonical_report(report: Mapping[str, Any]) -> dict[str, Any]:
@@ -193,6 +196,67 @@ def render_markdown(report: Mapping[str, Any]) -> str:
                     f"* `{row['key']}` — {row['status']}\n\n```\n"
                     f"{row.get('error', '').strip()}\n```\n\n"
                 )
+    profile = _render_profile(report["scenarios"])
+    if profile:
+        out.write(profile)
+    return out.getvalue()
+
+
+#: Rows in the aggregated markdown hot list (per-scenario reports carry
+#: up to :data:`repro.sweep.runner.PROFILE_TOP` components each).
+_PROFILE_TOP = 10
+
+
+def _render_profile(rows: Sequence[Mapping[str, Any]]) -> str:
+    """Markdown profile section folded across every profiled row.
+
+    Returns "" when no row carries a ``"profile"`` dict (the campaign
+    ran without ``--profile``).  Component times are summed across
+    scenarios — the question the hot list answers is "where did this
+    campaign's wall time go", not "which scenario was slow" (that is
+    the per-row ``duration_s``).
+    """
+    profiled = [r for r in rows if isinstance(r.get("profile"), Mapping)]
+    if not profiled:
+        return ""
+    comp: dict[str, list] = {}
+    cycles_total = cycles_fused = 0
+    phase_s: dict[str, float] = {}
+    for row in profiled:
+        prof = row["profile"]
+        cycles = prof.get("cycles", {})
+        cycles_total += int(cycles.get("total", 0))
+        cycles_fused += int(cycles.get("fused", 0))
+        for name, cell in prof.get("phases", {}).items():
+            phase_s[name] = phase_s.get(name, 0.0) + float(
+                cell.get("time_s", 0.0)
+            )
+        for entry in prof.get("components", ()):
+            cell = comp.setdefault(entry["path"], [0.0, 0.0, 0])
+            cell[0] += float(entry.get("settle_s", 0.0))
+            cell[1] += float(entry.get("tick_s", 0.0))
+            cell[2] += int(entry.get("settle_calls", 0))
+    out = io.StringIO()
+    out.write("## Profile\n\n")
+    util = cycles_fused / cycles_total if cycles_total else 0.0
+    phases = " · ".join(
+        f"{name} {seconds:.3f}s" for name, seconds in sorted(phase_s.items())
+    )
+    out.write(
+        f"{len(profiled)} profiled scenario(s) · {cycles_total} cycles · "
+        f"fusion utilization {util:.1%} · {phases}\n\n"
+    )
+    out.write("| component | settle s | tick s | total s | settle calls |\n")
+    out.write("|---|---|---|---|---|\n")
+    hot = sorted(
+        comp.items(), key=lambda kv: -(kv[1][0] + kv[1][1])
+    )[:_PROFILE_TOP]
+    for path, (settle_s, tick_s, calls) in hot:
+        out.write(
+            f"| `{path}` | {settle_s:.4f} | {tick_s:.4f} | "
+            f"{settle_s + tick_s:.4f} | {calls} |\n"
+        )
+    out.write("\n")
     return out.getvalue()
 
 

@@ -31,11 +31,16 @@ import traceback
 from typing import Any, Sequence
 
 from repro.kernel.errors import EnsembleUnsupported
+from repro.obs.trace import NULL_TRACER
 from repro.sweep.registry import get_family
 from repro.sweep.spec import CampaignSpec, ScenarioSpec
 
 #: Default lane cap for ``ensemble="auto"`` batching.
 DEFAULT_ENSEMBLE_WIDTH = 16
+
+#: Hot-list cap for per-row profile reports (``--profile``): the full
+#: per-component table of a big design would dwarf the metrics payload.
+PROFILE_TOP = 20
 
 
 def normalize_ensemble(option: Any) -> int:
@@ -103,6 +108,9 @@ def execute_ensemble(
     engine: str | None,
     cache: dict | None = None,
     shard: int | None = None,
+    profile: bool = False,
+    tracer: Any = None,
+    parent: Any = None,
 ) -> list[dict[str, Any]]:
     """Run a batch of control-identical scenarios in one lockstep sim.
 
@@ -116,50 +124,90 @@ def execute_ensemble(
     Per-lane scenario failures do **not** trigger fallback: they
     surface as ordinary ``status="error"`` rows while sibling lanes
     complete.
+
+    With *profile*, a kernel profiler is attached to the lifted
+    simulator around the batch; its report (including ensemble lane
+    occupancy) lands on the **first** row of the batch only, so report
+    aggregation never double-counts a shared simulation.  *tracer* /
+    *parent* hang the batch's ``scenario``/``build``/``simulate`` spans
+    under the caller's unit span.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     rows = [_scenario_row(s, shard) for s in scenarios]
     start = time.perf_counter()
     cache_key = (scenarios[0].design_key(), engine, "ensemble")
+    span = tracer.span(
+        "scenario",
+        parent=parent,
+        key=scenarios[0].key,
+        lanes=len(scenarios),
+        ensemble=True,
+    )
     try:
-        family = get_family(scenarios[0].family)
-        support = family.ensemble
-        if support is None:
-            raise EnsembleUnsupported(
-                f"family {family.name!r} declares no ensemble support"
-            )
-        entry = cache.get(cache_key) if cache is not None else None
-        if entry is None:
-            handle = family.build(scenarios[0].params, engine)
-            ctx = support.lift(handle)
-            entry = (handle, ctx, handle.sim.snapshot())
-            if cache is not None:
-                cache[cache_key] = entry
-            cache_state = "build"
-        else:
-            handle, ctx, pristine = entry
-            handle.sim.restore(pristine)
-            cache_state = "hit"
-        outcomes = support.run(handle, ctx, scenarios)
+        with span:
+            family = get_family(scenarios[0].family)
+            support = family.ensemble
+            if support is None:
+                raise EnsembleUnsupported(
+                    f"family {family.name!r} declares no ensemble support"
+                )
+            entry = cache.get(cache_key) if cache is not None else None
+            with tracer.span("build", parent=span) as build_span:
+                if entry is None:
+                    handle = family.build(scenarios[0].params, engine)
+                    ctx = support.lift(handle)
+                    entry = (handle, ctx, handle.sim.snapshot())
+                    if cache is not None:
+                        cache[cache_key] = entry
+                    cache_state = "build"
+                else:
+                    handle, ctx, pristine = entry
+                    handle.sim.restore(pristine)
+                    cache_state = "hit"
+                build_span.set(design_cache=cache_state)
+            prof = None
+            with tracer.span("simulate", parent=span):
+                if profile:
+                    with handle.sim.profile() as prof:
+                        outcomes = support.run(handle, ctx, scenarios)
+                    prof.note_ensemble(
+                        ctx.width, len(scenarios) - len(ctx.failures)
+                    )
+                else:
+                    outcomes = support.run(handle, ctx, scenarios)
     except Exception:
         if cache is not None:
             cache.pop(cache_key, None)
         fallback = [
-            execute_scenario(s, engine, cache=cache, shard=shard)
+            execute_scenario(
+                s,
+                engine,
+                cache=cache,
+                shard=shard,
+                profile=profile,
+                tracer=tracer,
+                parent=parent,
+            )
             for s in scenarios
         ]
         for row in fallback:
             row["ensemble"] = "fallback"
         return fallback
     duration = round(time.perf_counter() - start, 4)
-    for row, (status, payload) in zip(rows, outcomes):
-        row["ensemble"] = len(scenarios)
-        row["design_cache"] = cache_state
-        row["status"] = status
-        if status == "ok":
-            row["metrics"] = payload
-        else:
-            row["error"] = payload
-        row["duration_s"] = duration
+    with tracer.span("metrics", parent=span):
+        for row, (status, payload) in zip(rows, outcomes):
+            row["ensemble"] = len(scenarios)
+            row["design_cache"] = cache_state
+            row["status"] = status
+            if status == "ok":
+                row["metrics"] = payload
+            else:
+                row["error"] = payload
+            row["duration_s"] = duration
+        if prof is not None and rows:
+            report = prof.report(top=PROFILE_TOP)
+            report["unit_scenarios"] = len(scenarios)
+            rows[0]["profile"] = report
     return rows
 
 
@@ -168,11 +216,32 @@ def execute_unit(
     engine: str | None,
     cache: dict | None = None,
     shard: int | None = None,
+    profile: bool = False,
+    tracer: Any = None,
+    parent: Any = None,
 ) -> list[dict[str, Any]]:
     """Run one planned unit: singletons serially, batches in lockstep."""
     if len(unit) == 1:
-        return [execute_scenario(unit[0], engine, cache=cache, shard=shard)]
-    return execute_ensemble(unit, engine, cache=cache, shard=shard)
+        return [
+            execute_scenario(
+                unit[0],
+                engine,
+                cache=cache,
+                shard=shard,
+                profile=profile,
+                tracer=tracer,
+                parent=parent,
+            )
+        ]
+    return execute_ensemble(
+        unit,
+        engine,
+        cache=cache,
+        shard=shard,
+        profile=profile,
+        tracer=tracer,
+        parent=parent,
+    )
 
 
 def _scenario_row(
@@ -194,6 +263,9 @@ def execute_scenario(
     engine: str | None,
     cache: dict | None = None,
     shard: int | None = None,
+    profile: bool = False,
+    tracer: Any = None,
+    parent: Any = None,
 ) -> dict[str, Any]:
     """Run one scenario and return its report row.
 
@@ -204,29 +276,50 @@ def execute_scenario(
     bypassed it (``"none"``, non-reusable families or no cache given).
     ``design_cache`` is placement metadata, not part of the metrics —
     reports are compared net of it.
+
+    With *profile*, a :class:`~repro.obs.profile.KernelProfiler` is
+    attached around the family's run and its report lands in
+    ``row["profile"]`` — volatile metadata like ``duration_s``, never
+    part of canonical comparison.  *tracer* (a
+    :class:`~repro.obs.trace.Tracer`) records
+    ``scenario -> build/simulate/metrics`` spans under *parent*.
     """
+    tracer = tracer if tracer is not None else NULL_TRACER
     row = _scenario_row(scenario, shard)
     start = time.perf_counter()
     cache_key = (scenario.design_key(), engine)
+    span = tracer.span(
+        "scenario", parent=parent, key=scenario.key, index=scenario.index
+    )
     try:
-        family = get_family(scenario.family)
-        if family.reusable and cache is not None:
-            entry = cache.get(cache_key)
-            if entry is None:
-                handle = family.build(scenario.params, engine)
-                cache[cache_key] = (handle, handle.sim.snapshot())
-                row["design_cache"] = "build"
-            else:
-                handle, pristine = entry
-                handle.sim.restore(pristine)
-                row["design_cache"] = "hit"
-            metrics = family.run(handle, scenario)
-        else:
-            handle = family.build(scenario.params, engine)
-            metrics = family.run(handle, scenario)
-            row["design_cache"] = "none"
-        row["status"] = "ok"
-        row["metrics"] = metrics
+        with span:
+            family = get_family(scenario.family)
+            with tracer.span("build", parent=span) as build_span:
+                if family.reusable and cache is not None:
+                    entry = cache.get(cache_key)
+                    if entry is None:
+                        handle = family.build(scenario.params, engine)
+                        cache[cache_key] = (handle, handle.sim.snapshot())
+                        row["design_cache"] = "build"
+                    else:
+                        handle, pristine = entry
+                        handle.sim.restore(pristine)
+                        row["design_cache"] = "hit"
+                else:
+                    handle = family.build(scenario.params, engine)
+                    row["design_cache"] = "none"
+                build_span.set(design_cache=row["design_cache"])
+            sim = getattr(handle, "sim", None)
+            with tracer.span("simulate", parent=span):
+                if profile and sim is not None:
+                    with sim.profile() as prof:
+                        metrics = family.run(handle, scenario)
+                    row["profile"] = prof.report(top=PROFILE_TOP)
+                else:
+                    metrics = family.run(handle, scenario)
+            with tracer.span("metrics", parent=span):
+                row["status"] = "ok"
+                row["metrics"] = metrics
     except Exception:
         # A failed scenario may leave a shared design mid-flight:
         # drop it so the next scenario of this design rebuilds.
@@ -244,6 +337,9 @@ def run_scenarios(
     shard: int = 0,
     cache: dict | None = None,
     ensemble: Any = "off",
+    profile: bool = False,
+    tracer: Any = None,
+    parent: Any = None,
 ) -> list[dict[str, Any]]:
     """Run *scenarios* in this process (one worker's shard).
 
@@ -257,7 +353,16 @@ def run_scenarios(
         cache = {}
     by_index: dict[int, dict[str, Any]] = {}
     for unit in plan_units(scenarios, ensemble):
-        for row in execute_unit(unit, engine, cache=cache, shard=shard):
+        rows = execute_unit(
+            unit,
+            engine,
+            cache=cache,
+            shard=shard,
+            profile=profile,
+            tracer=tracer,
+            parent=parent,
+        )
+        for row in rows:
             by_index[row["index"]] = row
     return [by_index[scenario.index] for scenario in scenarios]
 
@@ -296,6 +401,7 @@ def run_campaign(
     engine: str | None = None,
     store: Any = None,
     ensemble: Any = "auto",
+    profile: bool = False,
 ) -> dict[str, Any]:
     """Execute *spec* and return the aggregated campaign report.
 
@@ -308,14 +414,20 @@ def run_campaign(
     answered from the store without simulating.  *ensemble* controls
     lockstep batching of control-identical scenarios (``"auto"``,
     ``"off"`` or an integer lane cap); reports are bit-identical either
-    way, batching only changes throughput.
+    way, batching only changes throughput.  *profile* attaches the
+    kernel profiler per scenario and folds its reports into the rows as
+    volatile metadata (see ``docs/observability.md``).
     """
     from repro.sweep.jobs import JobService
 
     if workers is None:
         workers = spec.workers
     with JobService(
-        workers=workers, engine=engine, store=store, ensemble=ensemble
+        workers=workers,
+        engine=engine,
+        store=store,
+        ensemble=ensemble,
+        profile=profile,
     ) as service:
         job_id = service.submit(spec, workers=workers, engine=engine)
         return service.result(job_id)

@@ -26,8 +26,10 @@ import pathlib
 import threading
 from typing import Any, Mapping
 
-#: Per-run placement fields that must not survive into the store.
-_VOLATILE_FIELDS = ("shard", "duration_s", "design_cache", "cached", "index")
+#: Per-run placement/timing fields that must not survive into the store.
+_VOLATILE_FIELDS = (
+    "shard", "duration_s", "design_cache", "cached", "index", "profile",
+)
 
 
 def strip_volatile(row: Mapping[str, Any]) -> dict[str, Any]:

@@ -488,3 +488,192 @@ class TestCampaignSpecType:
     def test_submit_requires_expanded_spec(self):
         spec = from_dict(SMALL_CAMPAIGN)
         assert isinstance(spec, CampaignSpec)
+
+
+class TestObservability:
+    """Events stream, merged traces, metrics — the jobs-API surface."""
+
+    def test_events_replay_after_done(self):
+        with JobService(workers=0) as service:
+            job_id = service.submit(SMALL_CAMPAIGN)
+            service.result(job_id)
+            events = list(service.events(job_id))
+        assert events[0]["event"] == "job"
+        assert events[0]["state"] == "running"
+        scenario_events = [e for e in events if e["event"] == "scenario"]
+        assert len(scenario_events) == 3
+        keys = {e["key"] for e in scenario_events}
+        assert len(keys) == 3
+        assert [e["completed"] for e in scenario_events] == [1, 2, 3]
+        for e in scenario_events:
+            assert e["total"] == 3 and e["status"] == "ok"
+            assert e["cached"] is False
+        last = events[-1]
+        assert last["event"] == "job" and last["state"] == "done"
+        assert last["ok"] == 3 and last["failed"] == 0
+        # seq numbers are the dedup key for replay/live overlap
+        assert [e["seq"] for e in events] == list(range(len(events)))
+
+    def test_events_live_subscriber_sees_everything(self, temp_family):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def run(handle, scenario):
+            started.set()
+            assert gate.wait(10)
+            return {"cycles": 1}
+
+        temp_family(Family(
+            name="_slow_obs", build=_build_nothing, run=run, reusable=False,
+        ))
+        spec = {
+            "campaign": {"name": "live", "seed": 1},
+            "scenarios": [{"family": "_slow_obs"}] * 2,
+        }
+        with JobService(workers=0) as service:
+            job_id = service.submit(spec)
+            assert started.wait(10)
+            collected = []
+
+            def consume():
+                for event in service.events(job_id, timeout=30):
+                    collected.append(event)
+
+            consumer = threading.Thread(target=consume, daemon=True)
+            consumer.start()
+            gate.set()
+            consumer.join(timeout=30)
+            assert not consumer.is_alive()
+        assert collected[-1]["state"] == "done"
+        assert sum(1 for e in collected if e["event"] == "scenario") == 2
+
+    def test_events_cancelled_job_terminates_stream(self, temp_family):
+        gate = threading.Event()
+        started = threading.Event()
+
+        def run(handle, scenario):
+            started.set()
+            assert gate.wait(10)
+            return {"cycles": 1}
+
+        temp_family(Family(
+            name="_cancel_obs", build=_build_nothing, run=run,
+            reusable=False,
+        ))
+        spec = {
+            "campaign": {"name": "cancel-events", "seed": 1},
+            "scenarios": [{"family": "_cancel_obs"}] * 3,
+        }
+        with JobService(workers=0) as service:
+            job_id = service.submit(spec)
+            assert started.wait(10)
+            assert service.cancel(job_id)
+            gate.set()
+            events = list(service.events(job_id, timeout=30))
+        assert events[-1]["event"] == "job"
+        assert events[-1]["state"] == "cancelled"
+
+    def test_events_unknown_job_raises(self):
+        with JobService(workers=0) as service:
+            with pytest.raises(KeyError):
+                list(service.events("job-999999"))
+
+    def test_inline_trace_hierarchy(self):
+        with JobService(workers=0) as service:
+            job_id = service.submit(SMALL_CAMPAIGN)
+            service.result(job_id)
+            spans = service.trace(job_id)
+        names = [s["name"] for s in spans]
+        assert names.count("job") == 1
+        assert "unit" in names and "scenario" in names
+        assert {"build", "simulate", "metrics"} <= set(names)
+        by_id = {s["span_id"]: s for s in spans}
+        job_span = next(s for s in spans if s["name"] == "job")
+        assert job_span["trace_id"] == job_id
+        assert job_span["attrs"]["state"] == "done"
+        for span in spans:
+            assert span["trace_id"] == job_id
+            if span["parent_id"] is not None:
+                assert span["parent_id"] in by_id
+        # start-ordered
+        starts = [s["start_unix"] for s in spans]
+        assert starts == sorted(starts)
+
+    def test_pooled_trace_merges_worker_spans(self):
+        with JobService(workers=2) as service:
+            job_id = service.submit(SMALL_CAMPAIGN)
+            service.result(job_id)
+            spans = service.trace(job_id)
+        assert all(s["trace_id"] == job_id for s in spans)
+        workers_seen = {
+            s["attrs"]["worker"]
+            for s in spans
+            if "worker" in s.get("attrs", {})
+        }
+        assert workers_seen, "no worker-tagged spans shipped back"
+        scenario_spans = [s for s in spans if s["name"] == "scenario"]
+        assert len(scenario_spans) == 3
+        # worker unit spans parent to the dispatcher's job span
+        job_span = next(s for s in spans if s["name"] == "job")
+        unit_spans = [s for s in spans if s["name"] == "unit"]
+        assert all(
+            u["parent_id"] == job_span["span_id"] for u in unit_spans
+        )
+
+    def test_cached_rows_emit_events_and_spans(self):
+        with JobService(workers=0, store=True) as service:
+            first = service.submit(SMALL_CAMPAIGN)
+            service.result(first)
+            second = service.submit(SMALL_CAMPAIGN)
+            service.result(second)
+            events = list(service.events(second))
+            spans = service.trace(second)
+        scenario_events = [e for e in events if e["event"] == "scenario"]
+        assert len(scenario_events) == 3
+        assert all(e["cached"] for e in scenario_events)
+        cached_spans = [
+            s for s in spans
+            if s["name"] == "scenario" and s["attrs"].get("cached")
+        ]
+        assert len(cached_spans) == 3
+
+    def test_metrics_counters_accumulate(self):
+        with JobService(workers=0, store=True) as service:
+            first = service.submit(SMALL_CAMPAIGN)
+            service.result(first)
+            second = service.submit(SMALL_CAMPAIGN)
+            service.result(second)
+            text = service.render_metrics()
+        assert "repro_jobs_submitted_total 2" in text
+        assert 'repro_jobs_completed_total{state="done"} 2' in text
+        assert 'repro_scenarios_completed_total{status="ok"} 6' in text
+        assert 'repro_dedup_lookups_total{result="miss"} 3' in text
+        assert 'repro_dedup_lookups_total{result="hit"} 3' in text
+        assert "repro_scenario_duration_seconds_count 6" in text
+        assert "repro_job_duration_seconds_count 2" in text
+
+    def test_profile_flag_attaches_and_stays_volatile(self):
+        store = ResultStore()
+        with JobService(workers=0, store=store, profile=True) as service:
+            job_id = service.submit(SMALL_CAMPAIGN)
+            report = service.result(job_id)
+        ok_rows = [
+            r for r in report["scenarios"] if r["status"] == "ok"
+        ]
+        assert ok_rows and all("profile" in r for r in ok_rows)
+        # canonical reports strip the profile payloads...
+        canon = canonical_report(report)
+        assert all("profile" not in r for r in canon["scenarios"])
+        # ...and the dedup store never persists them
+        assert len(store) == 3
+        for row in store._rows.values():
+            assert "profile" not in row
+
+    def test_submit_profile_override(self):
+        with JobService(workers=0, profile=False) as service:
+            job_id = service.submit(SMALL_CAMPAIGN, profile=True)
+            report = service.result(job_id)
+            assert any("profile" in r for r in report["scenarios"])
+            plain = service.submit(SMALL_CAMPAIGN)
+            report = service.result(plain)
+            assert not any("profile" in r for r in report["scenarios"])

@@ -240,3 +240,97 @@ class TestServeCLI:
         assert "repro.serve listening on http://" in out
         assert "(inline, store=memory)" in out
         assert "repro.serve stopped" in out
+
+
+class TestObservabilityRoutes:
+    """GET /metrics, /campaigns/<id>/trace and /campaigns/<id>/events."""
+
+    def test_metrics_scrape_format_and_series(self, service_client):
+        client, _service = service_client
+        job_id = client.submit(CAMPAIGN)["id"]
+        client.report(job_id, wait=30)
+        text = client.metrics()
+        # exposition validity: every line is a comment or name[{..}] value
+        import re as re_mod
+
+        sample = re_mod.compile(
+            r"^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? \S+$"
+        )
+        for line in text.splitlines():
+            assert line.startswith("#") or sample.match(line), (
+                f"malformed exposition line: {line!r}"
+            )
+        for series in (
+            "repro_jobs_submitted_total",
+            'repro_jobs_completed_total{state="done"}',
+            "repro_job_duration_seconds_bucket",
+            "repro_scenario_duration_seconds_bucket",
+            'repro_scenarios_completed_total{status="ok"}',
+            "repro_dedup_lookups_total",
+            "repro_queue_depth",
+            "repro_pool_workers 0",
+            "repro_pool_workers_alive 0",
+        ):
+            assert series in text, f"/metrics is missing {series}"
+        assert "repro_jobs_submitted_total 1" in text
+        assert 'repro_scenarios_completed_total{status="ok"} 3' in text
+
+    def test_trace_route(self, service_client):
+        client, _service = service_client
+        job_id = client.submit(CAMPAIGN)["id"]
+        client.report(job_id, wait=30)
+        spans = client.trace(job_id)
+        names = [s["name"] for s in spans]
+        assert names.count("job") == 1
+        assert {"unit", "scenario", "build", "simulate", "metrics"} <= (
+            set(names)
+        )
+        assert all(s["trace_id"] == job_id for s in spans)
+
+    def test_events_route_streams_every_scenario(self, service_client):
+        client, _service = service_client
+        job_id = client.submit(CAMPAIGN)["id"]
+        events = list(client.events(job_id, timeout=60))
+        scenario_events = [e for e in events if e["event"] == "scenario"]
+        assert len(scenario_events) == 3
+        assert len({e["key"] for e in scenario_events}) == 3
+        assert events[-1]["event"] == "job"
+        assert events[-1]["state"] == "done"
+        # replay: a second consumer of a finished job sees the same log
+        again = list(client.events(job_id, timeout=10))
+        assert [e["seq"] for e in again] == [e["seq"] for e in events]
+
+    def test_trace_and_events_unknown_job_404(self, service_client):
+        client, _service = service_client
+        with pytest.raises(ServiceError) as excinfo:
+            client.trace("job-999999")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            list(client.events("job-999999"))
+        assert excinfo.value.status == 404
+
+
+class TestCLIFlags:
+    def test_run_profile_and_follow(self, tmp_path, capsys):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps(CAMPAIGN), encoding="utf-8")
+        rc = sweep_cli.main([
+            "run", str(spec_path), "--profile", "--follow",
+            "--out", str(tmp_path / "out"), "--name", "obs",
+        ])
+        assert rc == 0
+        captured = capsys.readouterr()
+        # --follow writes progress to stderr, report paths to stdout
+        assert "[3/3]" in captured.err
+        assert "wrote" in captured.out
+        md = (tmp_path / "out" / "obs.md").read_text(encoding="utf-8")
+        assert "## Profile" in md
+        assert "| component |" in md
+        # profile payloads are volatile: the JSON report keeps them,
+        # the canonical comparison ignores them
+        report = json.loads(
+            (tmp_path / "out" / "obs.json").read_text(encoding="utf-8")
+        )
+        assert any("profile" in r for r in report["scenarios"])
+        canon = canonical_report(report)
+        assert all("profile" not in r for r in canon["scenarios"])
