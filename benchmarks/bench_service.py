@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import concurrent.futures
+import copy
 import json
 import os
 import pathlib
@@ -110,6 +111,12 @@ REQUIRED_METRICS = (
     "repro_pool_inflight",
     "repro_pool_workers",
     "repro_pool_workers_alive",
+    # Resilience series (PR 10): present from the first scrape even
+    # when nothing has timed out / retried / been rejected yet.
+    "repro_scenario_timeouts_total",
+    "repro_scenario_retries_total",
+    "repro_jobs_rejected_total",
+    "repro_drain_seconds",
 )
 
 
@@ -269,8 +276,36 @@ def main(argv: list[str] | None = None) -> int:
         assert dedup["store_entries"] == scenario_count, (
             f"store should hold one row per scenario: {dedup}"
         )
-    finally:
+
+        # Graceful-drain contract: SIGTERM while a job is mid-flight
+        # must finish that job, deliver the terminal event on the
+        # already-open /events stream, and exit 0.  The bumped seed
+        # defeats dedup so the job really simulates.
+        drain_spec = copy.deepcopy(spec_mapping)
+        campaign = drain_spec.setdefault("campaign", {})
+        campaign["seed"] = int(campaign.get("seed", 0)) + 1
+        drain_id = client.submit(drain_spec)["id"]
+        stream = client.events(drain_id, timeout=600)
+        first = next(stream)  # stream established before the SIGTERM
+        drain_start = time.perf_counter()
         process.terminate()
+        drain_events = [first, *stream]
+        drain_s = time.perf_counter() - drain_start
+        last = drain_events[-1]
+        assert last.get("event") == "job" and last.get("state") == "done", (
+            f"drain did not deliver a terminal event: {last}"
+        )
+        rc = process.wait(timeout=60)
+        assert rc == 0, f"drained server exited {rc}"
+        tail = process.stdout.read() or ""
+        assert "drained in" in tail, (
+            f"server did not report a graceful drain: {tail!r}"
+        )
+        print(f"graceful drain: job finished and server exited 0 "
+              f"in {drain_s * 1000:.1f} ms")
+    finally:
+        if process.poll() is None:
+            process.terminate()
         process.wait(timeout=15)
 
     warm_ms = [s * 1000 for s in warm]
@@ -297,6 +332,8 @@ def main(argv: list[str] | None = None) -> int:
         "dedup_rate": 1.0,
         "dedup": health["dedup"],
         "store": health["store"],
+        # SIGTERM-to-terminal-event latency of the drain check.
+        "drain_ms": round(drain_s * 1000, 2),
         # /metrics gauge envelope sampled during the warm storm (max /
         # mean of each point-in-time series; see GaugeSampler).
         "gauges": gauges,

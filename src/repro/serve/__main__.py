@@ -11,15 +11,24 @@ Starts the HTTP front end over a long-running
 * ``--engine E`` — settle-engine override applied to every job.
 * ``--host/--port`` — bind address (``--port 0`` picks a free port;
   the chosen one is printed on stdout).
+* ``--retries N`` / ``--timeout-s S`` — default retry budget for
+  retryable scenario failures and the deadline of last resort (see
+  ``docs/service.md`` "Reliability").
+* ``--max-queued-jobs N`` / ``--max-scenarios-per-job N`` — admission
+  quotas; over-limit submissions get HTTP 429.
 
-The process runs until SIGINT/SIGTERM and drains cleanly: the HTTP
-server stops accepting, then the job service shuts its workers down.
+The process runs until SIGINT/SIGTERM and **drains gracefully**: new
+submissions are rejected, accepted jobs finish (established event
+streams keep delivering until their terminal line), the store is
+flushed, then the workers shut down.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 
 from repro.serve.http import make_server
 from repro.sweep.jobs import JobService
@@ -44,13 +53,33 @@ def main(argv: list[str] | None = None) -> int:
                              "at PATH")
     parser.add_argument("--memory-store", action="store_true",
                         help="in-memory dedup store (no persistence)")
+    parser.add_argument("--retries", type=int, default=1,
+                        help="default retry budget for retryable scenario "
+                             "failures (worker death, deadline); "
+                             "spec/submit values override (default: 1)")
+    parser.add_argument("--timeout-s", type=float, default=None,
+                        metavar="S",
+                        help="fallback per-scenario deadline in seconds "
+                             "when neither the spec nor duration history "
+                             "provides one (default: none)")
+    parser.add_argument("--max-queued-jobs", type=int, default=None,
+                        metavar="N",
+                        help="reject submissions (HTTP 429) once N jobs "
+                             "are queued (default: unlimited)")
+    parser.add_argument("--max-scenarios-per-job", type=int, default=None,
+                        metavar="N",
+                        help="reject campaigns expanding past N scenarios "
+                             "(HTTP 429; default: unlimited)")
     parser.add_argument("--verbose", action="store_true",
                         help="log every HTTP request to stderr")
     args = parser.parse_args(argv)
 
     store = args.store if args.store else (True if args.memory_store else None)
     service = JobService(
-        workers=args.workers, engine=args.engine, store=store
+        workers=args.workers, engine=args.engine, store=store,
+        retries=args.retries, default_timeout_s=args.timeout_s,
+        max_queued_jobs=args.max_queued_jobs,
+        max_scenarios_per_job=args.max_scenarios_per_job,
     )
     server = make_server(
         service, host=args.host, port=args.port, quiet=not args.verbose
@@ -66,15 +95,43 @@ def main(argv: list[str] | None = None) -> int:
         f"({mode}, {dedup})",
         flush=True,
     )
+
+    # SIGTERM/SIGINT start the drain.  server.shutdown() must not run
+    # on the thread executing serve_forever() (it would deadlock), and
+    # a signal handler runs exactly there — so hand it to a thread.
+    def request_stop(_signum, _frame) -> None:
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        try:
+            previous[signum] = signal.signal(signum, request_stop)
+        except ValueError:  # not the main thread (embedded/tests)
+            pass
     try:
         server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
+        for signum, handler in previous.items():
+            try:
+                signal.signal(signum, handler)
+            except ValueError:  # pragma: no cover - non-main thread
+                pass
         server.shutdown()
+        # Accepting is stopped but established connections (event
+        # streams) still run on their daemon threads: drain the
+        # service — finish accepted jobs, flush the store, let streams
+        # deliver terminal lines — before tearing the sockets down.
+        drained = service.shutdown(drain=True)
         server.server_close()
-        service.close()
-        print("repro.serve stopped", flush=True)
+        if drained is not None:
+            print(
+                f"repro.serve stopped (drained in {drained:.2f}s)",
+                flush=True,
+            )
+        else:
+            print("repro.serve stopped", flush=True)
     return 0
 
 

@@ -3,22 +3,33 @@
 The tests, the load benchmark (``benchmarks/bench_service.py``) and the
 CI smoke job all talk to the server through this one wrapper, so the
 client-visible contract is exercised end to end everywhere it is used.
+
+The client retries transient failures — connection errors, timeouts
+and 5xx responses — with exponential backoff + jitter (``retries=`` /
+``backoff_s=`` constructor knobs).  Idempotent GETs are trivially safe
+to retry; ``submit`` is too, because result-store dedup makes a
+double-accepted campaign free (the rerun answers from the store).
+``cancel`` is deliberately not retried.  Structured 4xx errors
+(:class:`ServiceError` with a spec/quota body) are never retried —
+they are answers, not failures.
 """
 
 from __future__ import annotations
 
 import json
+import random
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Mapping
+from typing import Any, Callable, Mapping
 
 
 class ServiceError(RuntimeError):
     """A non-2xx response from the campaign service.
 
     ``status`` is the HTTP status code; ``payload`` the decoded JSON
-    body (the structured ``{path, field, reason}`` spec error for 400s).
+    body (the structured ``{path, field, reason}`` spec error for 400s,
+    the ``{kind, reason, limit, actual}`` quota error for 429s).
     """
 
     def __init__(self, status: int, payload: Any):
@@ -30,9 +41,44 @@ class ServiceError(RuntimeError):
 class ServiceClient:
     """Minimal JSON-over-HTTP client for one service base URL."""
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff_s: float = 0.1,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = retries
+        self.backoff_s = backoff_s
+
+    def _retrying(self, call: Callable[[], Any]) -> Any:
+        """Run *call*, retrying transient failures with backoff.
+
+        Retryable: 5xx :class:`ServiceError`, connection-level
+        ``OSError`` (``urllib.error.URLError`` included) and socket
+        timeouts.  4xx errors re-raise immediately — they are the
+        service's answer, not a transport fault.  Backoff doubles per
+        attempt with multiplicative jitter (0.5x-1.5x) so a thundering
+        herd of clients decorrelates.
+        """
+        attempt = 0
+        while True:
+            try:
+                return call()
+            except ServiceError as exc:
+                if exc.status < 500 or attempt >= self.retries:
+                    raise
+            except (TimeoutError, OSError):
+                if attempt >= self.retries:
+                    raise
+            attempt += 1
+            time.sleep(
+                self.backoff_s
+                * (2 ** (attempt - 1))
+                * (0.5 + random.random())
+            )
 
     def _request(
         self, method: str, path: str, body: Mapping[str, Any] | None = None
@@ -61,64 +107,85 @@ class ServiceClient:
     # -- the API --------------------------------------------------------
 
     def healthz(self) -> dict[str, Any]:
-        return self._request("GET", "/healthz")
+        return self._retrying(lambda: self._request("GET", "/healthz"))
 
     def families(self) -> dict[str, Any]:
-        return self._request("GET", "/families")
+        return self._retrying(lambda: self._request("GET", "/families"))
 
     def submit(self, spec: Mapping[str, Any]) -> dict[str, Any]:
         """POST a campaign spec (the JSON/TOML structure); returns the
-        job status snapshot (its ``id`` is the job handle)."""
-        return self._request("POST", "/campaigns", body=spec)
+        job status snapshot (its ``id`` is the job handle).
+
+        Retried on transient failures like the GETs: a duplicate
+        acceptance costs nothing (dedup) and a lost-response resubmit
+        beats a lost campaign.
+        """
+        return self._retrying(
+            lambda: self._request("POST", "/campaigns", body=spec)
+        )
 
     def campaigns(self) -> list[dict[str, Any]]:
-        return self._request("GET", "/campaigns")["campaigns"]
+        return self._retrying(
+            lambda: self._request("GET", "/campaigns")["campaigns"]
+        )
 
     def status(self, job_id: str) -> dict[str, Any]:
-        return self._request("GET", f"/campaigns/{job_id}")
+        return self._retrying(
+            lambda: self._request("GET", f"/campaigns/{job_id}")
+        )
 
     def report(self, job_id: str, wait: float = 0) -> dict[str, Any]:
         path = f"/campaigns/{job_id}/report"
         if wait:
             path += f"?wait={wait}"
-        return self._request("GET", path)
+        return self._retrying(lambda: self._request("GET", path))
 
     def cancel(self, job_id: str) -> dict[str, Any]:
+        # Not retried: a lost response leaves cancellation state
+        # ambiguous, and re-POSTing can race job completion.
         return self._request("POST", f"/campaigns/{job_id}/cancel")
 
     def metrics(self) -> str:
         """``GET /metrics``: the Prometheus text exposition, verbatim."""
-        request = urllib.request.Request(
-            f"{self.base_url}/metrics", method="GET"
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                return response.read().decode("utf-8")
-        except urllib.error.HTTPError as exc:
-            raise ServiceError(exc.code, exc.read().decode()) from None
+
+        def fetch() -> str:
+            request = urllib.request.Request(
+                f"{self.base_url}/metrics", method="GET"
+            )
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return response.read().decode("utf-8")
+            except urllib.error.HTTPError as exc:
+                raise ServiceError(exc.code, exc.read().decode()) from None
+
+        return self._retrying(fetch)
 
     def trace(self, job_id: str) -> list[dict[str, Any]]:
         """``GET /campaigns/<id>/trace``: the merged span list."""
-        request = urllib.request.Request(
-            f"{self.base_url}/campaigns/{job_id}/trace", method="GET"
-        )
-        try:
-            with urllib.request.urlopen(
-                request, timeout=self.timeout
-            ) as response:
-                return [
-                    json.loads(line)
-                    for line in response.read().splitlines()
-                    if line.strip()
-                ]
-        except urllib.error.HTTPError as exc:
+
+        def fetch() -> list[dict[str, Any]]:
+            request = urllib.request.Request(
+                f"{self.base_url}/campaigns/{job_id}/trace", method="GET"
+            )
             try:
-                payload = json.loads(exc.read())
-            except Exception:
-                payload = {"error": {"reason": str(exc)}}
-            raise ServiceError(exc.code, payload) from None
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    return [
+                        json.loads(line)
+                        for line in response.read().splitlines()
+                        if line.strip()
+                    ]
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read())
+                except Exception:
+                    payload = {"error": {"reason": str(exc)}}
+                raise ServiceError(exc.code, payload) from None
+
+        return self._retrying(fetch)
 
     def events(self, job_id: str, timeout: float | None = None):
         """``GET /campaigns/<id>/events``: yield progress events live.
@@ -127,21 +194,28 @@ class ServiceClient:
         terminal ``{"event": "job", "state": ...}`` event (the server
         closes the connection).  *timeout* is the socket timeout for
         the whole stream (defaults to the client timeout) — size it to
-        the campaign, not to the inter-event gap.
+        the campaign, not to the inter-event gap.  Only establishing
+        the stream is retried; a drop mid-stream surfaces to the caller
+        (reconnecting replays the full event log from seq 0).
         """
-        request = urllib.request.Request(
-            f"{self.base_url}/campaigns/{job_id}/events", method="GET"
-        )
-        try:
-            response = urllib.request.urlopen(
-                request, timeout=timeout if timeout is not None else self.timeout
+        stream_timeout = timeout if timeout is not None else self.timeout
+
+        def open_stream():
+            request = urllib.request.Request(
+                f"{self.base_url}/campaigns/{job_id}/events", method="GET"
             )
-        except urllib.error.HTTPError as exc:
             try:
-                payload = json.loads(exc.read())
-            except Exception:
-                payload = {"error": {"reason": str(exc)}}
-            raise ServiceError(exc.code, payload) from None
+                return urllib.request.urlopen(
+                    request, timeout=stream_timeout
+                )
+            except urllib.error.HTTPError as exc:
+                try:
+                    payload = json.loads(exc.read())
+                except Exception:
+                    payload = {"error": {"reason": str(exc)}}
+                raise ServiceError(exc.code, payload) from None
+
+        response = self._retrying(open_stream)
         with response:
             for line in response:
                 line = line.strip()

@@ -4,7 +4,9 @@ Transport only — every route is a thin translation between HTTP and
 the :mod:`repro.sweep.jobs` API, so the CLI and the server can never
 disagree about behaviour.  Spec validation errors surface as HTTP 400
 with the :meth:`repro.sweep.spec.SpecError.to_dict` body — the same
-``{path, field, reason}`` structure the CLI renders as text.
+``{path, field, reason}`` structure the CLI renders as text — and
+admission-control rejections as HTTP 429 with the
+:meth:`repro.sweep.jobs.QuotaError.to_dict` body.
 
 The server is a ``ThreadingHTTPServer``: request threads only enqueue
 jobs and read status snapshots; all simulation happens in the
@@ -19,7 +21,7 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any
 
 from repro.obs.metrics import MetricsRegistry
-from repro.sweep.jobs import JobService
+from repro.sweep.jobs import JobService, QuotaError
 from repro.sweep.registry import registry_payload
 from repro.sweep.spec import SpecError
 
@@ -182,6 +184,8 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 job_id = self.service.submit(data)
             except SpecError as exc:
                 return self._send_json(400, {"error": exc.to_dict()})
+            except QuotaError as exc:
+                return self._send_json(429, {"error": exc.to_dict()})
             return self._send_json(201, self.service.status(job_id))
         match = _CAMPAIGN_ROUTE.match(path)
         if match and match.group("rest") == "/cancel":

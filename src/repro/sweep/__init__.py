@@ -30,6 +30,7 @@ Service: ``python -m repro.serve [--port P] [--workers N]``.
 
 from repro.sweep.jobs import (
     JobService,
+    QuotaError,
     cancel,
     job_result,
     job_status,
@@ -57,6 +58,7 @@ from repro.sweep.store import ResultStore
 __all__ = [
     "CampaignSpec",
     "JobService",
+    "QuotaError",
     "ResultStore",
     "ScenarioSpec",
     "SpecError",

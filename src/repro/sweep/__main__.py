@@ -60,6 +60,17 @@ def _follow(service: JobService, job_id: str) -> None:
             if event.get("state") == "running":
                 continue
             line = f"job {job_id}: {event['state']}"
+        elif event.get("event") == "watchdog":
+            line = (
+                f"watchdog: {event.get('reason', '?')} "
+                f"(attempt {event.get('attempt', '?')}, "
+                f"{'retrying' if event.get('retrying') else 'giving up'})"
+            )
+        elif event.get("event") == "retry":
+            line = (
+                f"retry: attempt {event.get('attempt', '?')} after "
+                f"{event.get('reason', '?')}"
+            )
         else:  # pragma: no cover - future event kinds
             continue
         pad = " " * max(0, last_len - len(line))
@@ -75,7 +86,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         workers=workers, engine=args.engine, store=args.store,
         ensemble=args.ensemble, profile=args.profile,
     ) as service:
-        job_id = service.submit(spec, workers=workers, engine=args.engine)
+        job_id = service.submit(
+            spec, workers=workers, engine=args.engine,
+            timeout_s=args.timeout_s, retries=args.retries,
+        )
         if args.follow:
             _follow(service, job_id)
         report = service.result(job_id)
@@ -170,6 +184,16 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--follow", action="store_true",
                        help="stream per-scenario progress to stderr while "
                             "the campaign runs")
+    p_run.add_argument("--timeout-s", type=float, default=None, metavar="S",
+                       help="per-scenario deadline in seconds for this run "
+                            "(overrides spec timeout_s values); a unit "
+                            "past its deadline is killed and its rows "
+                            "marked status=timeout (default: spec/derived)")
+    p_run.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="retry budget for retryable scenario failures "
+                            "(timeout, worker death); retried-then-ok "
+                            "rows are bit-identical to first-try rows "
+                            "(default: spec's campaign.retries, else 1)")
     p_run.set_defaults(fn=_cmd_run)
 
     p_val = sub.add_parser("validate", help="expand and check a spec")

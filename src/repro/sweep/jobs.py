@@ -39,6 +39,27 @@ Determinism is inherited, not re-established: scenario seeds derive
 from (campaign seed, scenario key) alone and the settle engines are
 cycle-identical, so CLI, sharded, pooled and memoized runs of the same
 spec all produce the same per-scenario metrics.
+
+The service is also **fault-tolerant** (the resilience layer):
+
+* **Deadlines + watchdog** — every dispatched unit carries a deadline
+  (explicit ``timeout_s`` at any level, or derived from the family's
+  recent p95 durations); the dispatcher kills and respawns a worker
+  that blows it and marks the rows ``status="timeout"`` without
+  failing the rest of the job.  Inline mode abandons the runner thread
+  instead (it cannot be killed) and continues on a fresh one.
+* **Bounded retries** — rows failing with a retryable status
+  (:data:`RETRYABLE_STATUSES`) are re-enqueued up to ``retries`` times
+  with exponential backoff, re-routed off the affinity worker on the
+  second attempt.  A retried-then-ok row is bit-identical to a
+  first-try row (determinism again); its ``attempts`` count is a
+  volatile field.
+* **Admission control** — ``max_queued_jobs`` / ``max_scenarios_per_job``
+  reject over-limit submissions with a structured :class:`QuotaError`
+  (HTTP 429), and :meth:`~JobService.stats` reports saturation.
+* **Graceful drain** — :meth:`~JobService.shutdown` stops admission,
+  settles in-flight jobs, flushes the store and lets every open event
+  stream deliver its terminal line before closing.
 """
 
 from __future__ import annotations
@@ -59,7 +80,13 @@ from repro.obs.trace import Tracer
 from repro.sweep.report import aggregate
 from repro.sweep.registry import registry_payload
 from repro.sweep.runner import _scenario_row, execute_unit, plan_units
-from repro.sweep.spec import CampaignSpec, from_dict, load_spec
+from repro.sweep.spec import (
+    CampaignSpec,
+    _retries_value,
+    _timeout_value,
+    from_dict,
+    load_spec,
+)
 from repro.sweep.store import ResultStore
 
 #: Poll interval for the pooled result loop (drives liveness checks).
@@ -67,6 +94,59 @@ _POLL_S = 0.05
 
 #: Job states after which no further events can be published.
 TERMINAL_STATES = frozenset({"done", "failed", "cancelled"})
+
+#: Row statuses that justify automatically re-running the unit: the
+#: failure was the harness's (a dead or hung worker), never the
+#: design's (those are "error" rows and retrying would just repeat
+#: them — the simulation is deterministic).
+RETRYABLE_STATUSES = frozenset({"worker-failed", "timeout"})
+
+#: Deadline derivation from recent per-family durations: once a family
+#: has this many fresh (non-cached, ok) samples, its default deadline
+#: is ``max(floor, multiple × p95)``.  The generous multiple plus the
+#: floor make derived deadlines a hung-unit tripwire, not a
+#: performance budget — a healthy scenario never gets near one.
+_TIMEOUT_MIN_SAMPLES = 8
+_TIMEOUT_P95_MULTIPLE = 20.0
+_TIMEOUT_FLOOR_S = 30.0
+
+#: First-retry backoff in seconds; doubles per subsequent attempt.
+_RETRY_BACKOFF_S = 0.05
+
+
+class QuotaError(RuntimeError):
+    """A submission was rejected by admission control (HTTP 429).
+
+    Structured like :class:`repro.sweep.spec.SpecError` (one source,
+    every transport) but deliberately *not* a subclass: a quota
+    rejection is a service-state condition — retry later, or against
+    another instance — not a malformed spec to be fixed.  *kind* is
+    machine-readable (``"draining"``, ``"queue_full"``,
+    ``"too_many_scenarios"``); *limit*/*actual* quantify the breach
+    when one applies.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        *,
+        kind: str,
+        limit: int | None = None,
+        actual: int | None = None,
+    ):
+        self.reason = reason
+        self.kind = kind
+        self.limit = limit
+        self.actual = actual
+        super().__init__(reason)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "reason": self.reason,
+            "limit": self.limit,
+            "actual": self.actual,
+        }
 
 
 def design_affinity(design_key: str, workers: int) -> int:
@@ -196,6 +276,66 @@ class _WorkerPool:
                 worker.process.join(timeout=1.0)
 
 
+class _InlineRunner:
+    """Inline analogue of a pool worker: a daemon thread owning the cache.
+
+    Inline execution cannot kill a hung unit the way the pool kills a
+    process, so the unit runs on this thread and the dispatcher waits
+    on the results queue with the unit's deadline.  On a blown deadline
+    the dispatcher *abandons* the runner — sets ``abandoned`` so a late
+    result is discarded, leaves the daemon thread to finish or leak —
+    and replaces it with a fresh runner (and fresh cache): the inline
+    kill+respawn, at the cost of a cold cache.
+    """
+
+    def __init__(self, cache: dict):
+        self.cache = cache
+        self.tasks: queue.Queue = queue.Queue()
+        self.results: queue.Queue = queue.Queue()
+        self.abandoned = threading.Event()
+        self.thread = threading.Thread(
+            target=self._loop, daemon=True, name="sweep-inline-runner"
+        )
+        self.thread.start()
+
+    def _loop(self) -> None:
+        while True:
+            msg = self.tasks.get()
+            if msg is None:
+                return
+            job, unit, engine, profile = msg
+            try:
+                with job.tracer.span(
+                    "unit",
+                    parent=job.span,
+                    scenarios=len(unit),
+                    mode="inline",
+                ) as unit_span:
+                    unit_rows = execute_unit(
+                        unit,
+                        engine,
+                        cache=self.cache,
+                        shard=0,
+                        profile=profile,
+                        tracer=job.tracer,
+                        parent=unit_span,
+                    )
+            except BaseException as exc:  # pragma: no cover - defensive
+                unit_rows = []
+                for scenario in unit:
+                    row = _scenario_row(scenario, 0)
+                    row["status"] = "error"
+                    row["error"] = f"{type(exc).__name__}: {exc}"
+                    unit_rows.append(row)
+            if self.abandoned.is_set():
+                return
+            self.results.put(([s.index for s in unit], unit_rows))
+
+    def close(self) -> None:
+        self.tasks.put(None)
+        self.thread.join(timeout=1.0)
+
+
 # ----------------------------------------------------------------------
 # jobs
 # ----------------------------------------------------------------------
@@ -210,12 +350,18 @@ class Job:
         engine: str | None,
         workers: int,
         profile: bool = False,
+        timeout_s: float | None = None,
+        retries: int = 0,
     ):
         self.id = job_id
         self.spec = spec
         self.engine = engine
         self.workers = workers
         self.profile = bool(profile)
+        #: Submit-time deadline override (wins over spec-level values).
+        self.timeout_s = timeout_s
+        #: Resolved retry budget (submit > spec > service default).
+        self.retries = retries
         self.state = "queued"
         self.submitted_at = time.time()
         self.started_at: float | None = None
@@ -282,6 +428,8 @@ class Job:
             "scenarios": len(self.spec.scenarios),
             "completed": self.completed,
             "dedup_hits": self.dedup_hits,
+            "retries": self.retries,
+            "timeout_s": self.timeout_s,
             "cancel_requested": self.cancel_event.is_set(),
             "submitted_at": self.submitted_at,
             "started_at": self.started_at,
@@ -313,6 +461,13 @@ class JobService:
     one-shot CLI uses for serial runs.  *store* enables result-store
     dedup: pass a :class:`ResultStore`, a path for a persisted JSONL
     store, or ``True`` for an in-memory one.
+
+    Resilience knobs: *retries* is the default retry budget for
+    retryable failures (spec/submit values win); *default_timeout_s*
+    the deadline of last resort when neither the spec nor the family's
+    duration history provides one; *max_queued_jobs* /
+    *max_scenarios_per_job* enable admission control
+    (:class:`QuotaError` on breach).
     """
 
     def __init__(
@@ -322,9 +477,15 @@ class JobService:
         store: ResultStore | str | pathlib.Path | bool | None = None,
         ensemble: Any = "auto",
         profile: bool = False,
+        retries: int = 1,
+        default_timeout_s: float | None = None,
+        max_queued_jobs: int | None = None,
+        max_scenarios_per_job: int | None = None,
     ):
         if workers < 0:
             raise ValueError("workers must be >= 0")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
         self.pool_size = workers if workers > 1 else 0
         self.engine = engine
         # Lockstep-batching policy for every job this service runs:
@@ -340,6 +501,12 @@ class JobService:
         elif isinstance(store, (str, pathlib.Path)):
             store = ResultStore(store)
         self.store = store
+        self.retries = retries
+        self.default_timeout_s = _timeout_value(
+            default_timeout_s, path="service", field="default_timeout_s"
+        )
+        self.max_queued_jobs = max_queued_jobs
+        self.max_scenarios_per_job = max_scenarios_per_job
         self._jobs: dict[str, Job] = {}
         self._order: list[str] = []
         self._queue: queue.Queue = queue.Queue()
@@ -347,9 +514,21 @@ class JobService:
         self._ids = itertools.count(1)
         self._pool: _WorkerPool | None = None
         self._inline_cache: dict = {}
+        self._inline_runner: _InlineRunner | None = None
         self._dispatcher: threading.Thread | None = None
         self._closed = False
+        self._draining = False
+        self._drain_seconds: float | None = None
         self._started_at = time.time()
+        # Admission-control accounting: rejections by kind, for
+        # stats()["admission"] (the metrics counter mirrors it).
+        self._rejected: dict[str, int] = {}
+        # Recent per-family ok-row durations (dispatcher thread only),
+        # feeding the derived-deadline estimate.
+        self._durations: dict[str, deque] = {}
+        # Open events() streams; graceful drain waits (bounded) for
+        # them to deliver their terminal lines before closing.
+        self._active_streams = 0
         # Service-lifetime dedup accounting: per-job `dedup_hits` only
         # tells a client about its own submission; these fold every
         # store lookup since service start so /healthz can report a
@@ -408,6 +587,25 @@ class JobService:
             "repro_worker_respawns_total",
             "Dead worker processes replaced with fresh (cold-cache) ones.",
         )
+        self._m_timeouts = m.counter(
+            "repro_scenario_timeouts_total",
+            "Scenario rows that blew their unit deadline (counted per "
+            "attempt, before any retry).",
+        )
+        self._m_retries = m.counter(
+            "repro_scenario_retries_total",
+            "Retried scenario rows (final attempt > 1), by final status.",
+            labelnames=("outcome",),
+        )
+        self._m_rejected = m.counter(
+            "repro_jobs_rejected_total",
+            "Submissions rejected by admission control, by reason.",
+            labelnames=("reason",),
+        )
+        self._m_drain_seconds = m.gauge(
+            "repro_drain_seconds",
+            "Duration of the last graceful drain (0 until one happens).",
+        )
         self._m_workers.set(self.pool_size)
 
     # -- lifecycle ------------------------------------------------------
@@ -419,7 +617,12 @@ class JobService:
         self.close()
 
     def close(self) -> None:
-        """Stop the dispatcher and tear down the worker pool."""
+        """Stop the dispatcher and tear down the worker pool.
+
+        Queued jobs still drain first (the stop sentinel goes to the
+        end of the FIFO); use :meth:`shutdown` for the full graceful
+        sequence (stop admission, flush the store, settle streams).
+        """
         with self._lock:
             if self._closed:
                 return
@@ -431,6 +634,61 @@ class JobService:
         if self._pool is not None:
             self._pool.close()
             self._pool = None
+        if self._inline_runner is not None:
+            self._inline_runner.close()
+            self._inline_runner = None
+
+    def shutdown(
+        self, drain: bool = True, timeout: float | None = None
+    ) -> float | None:
+        """Graceful teardown; returns the drain duration in seconds.
+
+        Stops admission immediately (new :meth:`submit` calls raise
+        :class:`QuotaError` with kind ``"draining"``), then with
+        *drain* true waits for every accepted job to finish — bounded
+        by *timeout* seconds if given, after which leftover jobs are
+        cancelled (their in-flight units still settle).  With *drain*
+        false, all unfinished jobs are cancelled up front.  Either way
+        the store is flushed, open event streams get a bounded window
+        to deliver their terminal lines, and the service is closed.
+        Idempotent: returns None if the service was already closed.
+        """
+        start = time.time()
+        with self._lock:
+            if self._closed:
+                return None
+            self._draining = True
+            jobs = [self._jobs[job_id] for job_id in self._order]
+        if drain:
+            deadline = None if timeout is None else start + timeout
+            for job in jobs:
+                if deadline is None:
+                    job.done_event.wait()
+                elif not job.done_event.wait(
+                    max(0.0, deadline - time.time())
+                ):
+                    job.cancel_event.set()
+        else:
+            for job in jobs:
+                if not job.done_event.is_set():
+                    job.cancel_event.set()
+        if self.store is not None:
+            self.store.flush()
+        # Let open event streams write their terminal lines before the
+        # transport goes away; every job above is (or is becoming)
+        # terminal, so streams end on their own — this is a bounded
+        # wait, not a join.
+        stream_deadline = time.time() + 2.0
+        while time.time() < stream_deadline:
+            with self._lock:
+                if self._active_streams == 0:
+                    break
+            time.sleep(0.02)
+        self.close()
+        drained = round(time.time() - start, 4)
+        self._drain_seconds = drained
+        self._m_drain_seconds.set(drained)
+        return drained
 
     def _ensure_dispatcher(self) -> None:
         if self._dispatcher is None:
@@ -448,37 +706,96 @@ class JobService:
 
     # -- the jobs API ---------------------------------------------------
 
+    def _reject(
+        self,
+        kind: str,
+        reason: str,
+        *,
+        limit: int | None = None,
+        actual: int | None = None,
+    ) -> None:
+        """Record and raise an admission-control rejection."""
+        with self._lock:
+            self._rejected[kind] = self._rejected.get(kind, 0) + 1
+        self._m_rejected.inc(reason=kind)
+        raise QuotaError(reason, kind=kind, limit=limit, actual=actual)
+
     def submit(
         self,
         spec: CampaignSpec | Mapping[str, Any] | str | pathlib.Path,
         workers: int | None = None,
         engine: str | None = None,
         profile: bool | None = None,
+        timeout_s: float | None = None,
+        retries: int | None = None,
     ) -> str:
         """Validate and enqueue a campaign; returns the job id.
 
         *spec* may be a :class:`CampaignSpec`, a plain mapping (the
         JSON/TOML structure) or a spec file path.  Malformed specs
         raise :class:`repro.sweep.spec.SpecError` here, synchronously —
-        a queued job is always runnable.  *engine* overrides the spec's
+        a queued job is always runnable — and over-quota submissions
+        raise :class:`QuotaError`.  *engine* overrides the spec's
         engine; *workers* is recorded (the service's pool is fixed at
         construction, so it caps the actual parallelism); *profile*
         overrides the service's default profiling policy for this job.
+        *timeout_s* is a job-wide deadline override (wins over every
+        spec-level value); *retries* overrides the retry budget
+        (submit > spec > service default).
         """
         if self._closed:
             raise RuntimeError("JobService is closed")
+        timeout_s = _timeout_value(timeout_s, path="submit")
+        retries = _retries_value(retries, path="submit")
+        with self._lock:
+            draining = self._draining
+            queued = sum(
+                1 for job in self._jobs.values() if job.state == "queued"
+            )
+        if draining:
+            self._reject(
+                "draining",
+                "service is draining and not accepting new campaigns",
+            )
+        if self.max_queued_jobs is not None and (
+            queued >= self.max_queued_jobs
+        ):
+            self._reject(
+                "queue_full",
+                f"job queue is full ({queued} queued, "
+                f"limit {self.max_queued_jobs}); retry later",
+                limit=self.max_queued_jobs,
+                actual=queued,
+            )
         if isinstance(spec, (str, pathlib.Path)):
             spec = load_spec(spec)
         elif isinstance(spec, Mapping):
             spec = from_dict(spec)
+        if self.max_scenarios_per_job is not None and (
+            len(spec.scenarios) > self.max_scenarios_per_job
+        ):
+            self._reject(
+                "too_many_scenarios",
+                f"campaign expands to {len(spec.scenarios)} scenarios "
+                f"(limit {self.max_scenarios_per_job}); split it up",
+                limit=self.max_scenarios_per_job,
+                actual=len(spec.scenarios),
+            )
         if engine is None:
             engine = self.engine if self.engine is not None else spec.engine
         if workers is None:
             workers = self.pool_size or 1
         if profile is None:
             profile = self.profile
+        if retries is None:
+            retries = (
+                spec.retries if spec.retries is not None else self.retries
+            )
         job_id = f"job-{next(self._ids):06d}"
-        job = Job(job_id, spec, engine, workers, profile=profile)
+        job = Job(
+            job_id, spec, engine, workers, profile=profile,
+            timeout_s=timeout_s, retries=retries,
+        )
         with self._lock:
             self._jobs[job_id] = job
             self._order.append(job_id)
@@ -543,10 +860,24 @@ class JobService:
                 states[job.state] = states.get(job.state, 0) + 1
         pool = self._pool
         lookups = self.dedup_hits + self.dedup_misses
+        queued = states.get("queued", 0)
         return {
             "uptime_s": round(time.time() - self._started_at, 3),
-            "queue_depth": states.get("queued", 0),
+            "queue_depth": queued,
             "jobs": states,
+            # Admission-control view: are we turning work away, and how
+            # close to the queue quota are we (saturation 1.0 = full).
+            "admission": {
+                "draining": self._draining,
+                "max_queued_jobs": self.max_queued_jobs,
+                "max_scenarios_per_job": self.max_scenarios_per_job,
+                "rejected": dict(self._rejected),
+                "saturation": (
+                    round(queued / self.max_queued_jobs, 4)
+                    if self.max_queued_jobs
+                    else None
+                ),
+            },
             "workers": {
                 "configured": self.pool_size,
                 "mode": "pool" if self.pool_size else "inline",
@@ -619,6 +950,8 @@ class JobService:
         """
         job = self.job(job_id)
         backlog, sub = job.subscribe()
+        with self._lock:
+            self._active_streams += 1
         try:
             last_seq = -1
             for event in backlog:
@@ -644,6 +977,8 @@ class JobService:
                 ):
                     return
         finally:
+            with self._lock:
+                self._active_streams -= 1
             job.unsubscribe(sub)
 
     def _note_row(self, job: Job, row: dict[str, Any], total: int) -> None:
@@ -652,6 +987,11 @@ class JobService:
         status = str(row.get("status", "unknown"))
         self._m_scenarios.inc(status=status)
         self._m_scenario_duration.observe(float(row.get("duration_s") or 0.0))
+        if status == "ok" and not row.get("cached"):
+            # Fresh-run durations feed the derived-deadline estimate.
+            self._durations.setdefault(
+                str(row.get("family")), deque(maxlen=64)
+            ).append(float(row.get("duration_s") or 0.0))
         if row.get("ensemble") == "fallback":
             self._m_ensemble_fallbacks.inc()
         job.publish(
@@ -776,34 +1116,197 @@ class JobService:
         )
         job.done_event.set()
 
+    # -- deadlines and retries ------------------------------------------
+
+    def _derived_timeout_s(self, family: str) -> float | None:
+        """Deadline estimate from the family's recent ok durations.
+
+        None until :data:`_TIMEOUT_MIN_SAMPLES` fresh samples exist —
+        a family with no track record gets no derived deadline (only
+        explicit ``timeout_s`` values apply), so a cold first run can
+        never be killed by a miscalibrated estimate.
+        """
+        samples = self._durations.get(family)
+        if samples is None or len(samples) < _TIMEOUT_MIN_SAMPLES:
+            return None
+        ordered = sorted(samples)
+        p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+        return max(_TIMEOUT_FLOOR_S, _TIMEOUT_P95_MULTIPLE * p95)
+
+    def _resolve_timeout_s(self, job: Job, scenario) -> float | None:
+        """One scenario's deadline: submit > scenario > spec > derived
+        > service default; None means run unbounded."""
+        for explicit in (
+            job.timeout_s, scenario.timeout_s, job.spec.timeout_s,
+        ):
+            if explicit is not None:
+                return explicit
+        derived = self._derived_timeout_s(scenario.family)
+        if derived is not None:
+            return derived
+        return self.default_timeout_s
+
+    def _unit_deadline(self, job: Job, unit) -> float | None:
+        """A unit's deadline: the laxest member deadline, or None.
+
+        A unit is one simulation (ensemble lanes advance in lockstep),
+        so any member without a deadline makes the whole unit
+        unbounded — a deadline must never kill a scenario that did not
+        opt into one.
+        """
+        timeouts = [self._resolve_timeout_s(job, s) for s in unit]
+        if any(t is None for t in timeouts):
+            return None
+        return max(timeouts)
+
+    def _fail_unit(
+        self,
+        job: Job,
+        unit,
+        attempt: int,
+        status: str,
+        message: str,
+        *,
+        shard: int | None,
+        sink,
+        retry,
+    ) -> bool:
+        """Handle a watchdog verdict on an in-flight unit.
+
+        Publishes the watchdog event; then either re-enqueues the unit
+        via *retry(unit, next_attempt, ready_time)* (with exponential
+        backoff, a retry event and a point span) or finalizes every
+        row as *status* through *sink(index, row)*.  Returns True when
+        the unit was re-enqueued.
+        """
+        if status == "timeout":
+            self._m_timeouts.inc(len(unit))
+        will_retry = (
+            status in RETRYABLE_STATUSES
+            and attempt <= job.retries
+            and not job.cancel_event.is_set()
+        )
+        keys = [scenario.key for scenario in unit]
+        job.publish(
+            {
+                "event": "watchdog",
+                "reason": status,
+                "worker": shard,
+                "keys": keys,
+                "attempt": attempt,
+                "retrying": will_retry,
+            }
+        )
+        if will_retry:
+            backoff = _RETRY_BACKOFF_S * (2 ** (attempt - 1))
+            with job.tracer.span(
+                "retry",
+                parent=job.span,
+                reason=status,
+                attempt=attempt + 1,
+                scenarios=len(unit),
+                backoff_s=backoff,
+            ):
+                pass
+            job.publish(
+                {
+                    "event": "retry",
+                    "keys": keys,
+                    "attempt": attempt + 1,
+                    "backoff_s": backoff,
+                    "reason": status,
+                }
+            )
+            retry(unit, attempt + 1, time.time() + backoff)
+            return True
+        for scenario in unit:
+            row = _scenario_row(scenario, shard)
+            row["status"] = status
+            row["error"] = message
+            row["attempts"] = attempt
+            if attempt > 1:
+                self._m_retries.inc(outcome=status)
+            sink(scenario.index, row)
+        return False
+
+    def _ensure_inline_runner(self) -> _InlineRunner:
+        if self._inline_runner is None:
+            self._inline_runner = _InlineRunner(self._inline_cache)
+        return self._inline_runner
+
+    def _abandon_inline_runner(self) -> None:
+        """Inline kill+respawn: discard the hung runner and its cache.
+
+        The runner thread cannot be killed; it is left to finish (or
+        leak, as a daemon) with ``abandoned`` set so its late result —
+        and any result put racing the abandonment — lands on a queue
+        nobody reads.  The next unit gets a fresh runner and a fresh
+        (cold) cache, exactly like a pool respawn.
+        """
+        runner = self._inline_runner
+        if runner is not None:
+            runner.abandoned.set()
+        self._inline_cache = {}
+        self._inline_runner = None
+
+    # -- execution ------------------------------------------------------
+
     def _run_inline(self, job: Job, pending, rows) -> None:
         """Dispatcher-thread execution with the service-lifetime cache.
 
+        Units actually execute on the :class:`_InlineRunner` thread so
+        a deadline can be enforced (the dispatcher waits on the result
+        queue with the unit's timeout and abandons blown runners).
         Cancellation is checked between units: an in-flight ensemble
         batch finishes (its lanes are one simulation), queued units are
-        reported ``status="cancelled"``.
+        reported ``status="cancelled"``.  Retried units go to the back
+        of the queue, so siblings run during the backoff.
         """
         total = len(job.spec.scenarios)
-        for unit in plan_units(pending, self.ensemble):
+        work: deque = deque(
+            (unit, 1, 0.0) for unit in plan_units(pending, self.ensemble)
+        )
+
+        def requeue(unit, attempt, ready):
+            work.append((unit, attempt, ready))
+
+        def finalize(index, row):
+            rows[index] = row
+            self._note_row(job, row, total)
+
+        while work:
             if job.cancel_event.is_set():
-                for scenario in unit:
-                    row = self._cancelled_row(scenario)
-                    rows[scenario.index] = row
-                    self._note_row(job, row, total)
-                continue
-            with job.tracer.span(
-                "unit", parent=job.span, scenarios=len(unit), mode="inline",
-            ) as unit_span:
-                unit_rows = execute_unit(
-                    unit,
-                    job.engine,
-                    cache=self._inline_cache,
-                    shard=0,
-                    profile=job.profile,
-                    tracer=job.tracer,
-                    parent=unit_span,
+                while work:
+                    unit, _attempt, _ready = work.popleft()
+                    for scenario in unit:
+                        row = self._cancelled_row(scenario)
+                        rows[scenario.index] = row
+                        self._note_row(job, row, total)
+                return
+            unit, attempt, ready = work.popleft()
+            wait = ready - time.time()
+            if wait > 0:
+                time.sleep(wait)
+            runner = self._ensure_inline_runner()
+            deadline = self._unit_deadline(job, unit)
+            runner.tasks.put((job, unit, job.engine, job.profile))
+            try:
+                _indices, unit_rows = runner.results.get(timeout=deadline)
+            except queue.Empty:
+                self._abandon_inline_runner()
+                self._fail_unit(
+                    job, unit, attempt, "timeout",
+                    f"unit blew its {deadline:.1f}s deadline "
+                    "(inline runner abandoned)",
+                    shard=0, sink=finalize, retry=requeue,
                 )
+                continue
             for row in unit_rows:
+                row["attempts"] = attempt
+                if attempt > 1:
+                    self._m_retries.inc(
+                        outcome=str(row.get("status", "unknown"))
+                    )
                 rows[row["index"]] = row
                 self._note_row(job, row, total)
 
@@ -813,17 +1316,26 @@ class JobService:
         Units (not single scenarios) are the message granularity: every
         scenario in a unit shares one design key, so affinity routing
         is unchanged — the whole batch lands on the worker holding that
-        design.  A worker death fails its entire in-flight unit.
+        design.  The dispatcher is also the watchdog: each poll-timeout
+        tick it checks every in-flight unit's worker for death and its
+        deadline for expiry; either verdict fails (or retries) the
+        whole unit and respawns the worker.  Retried units are routed
+        off the affinity worker (``+ attempt - 1`` rotation) — dodging
+        both a possibly poisoned cache and the cold respawn.
         """
         pool = self._pool
-        backlog: dict[int, deque] = {
-            i: deque() for i in range(pool.size)
-        }
+
+        def route(unit, attempt: int) -> int:
+            return (
+                design_affinity(unit[0].design_key(), pool.size)
+                + attempt - 1
+            ) % pool.size
+
+        backlog: dict[int, deque] = {i: deque() for i in range(pool.size)}
         for unit in plan_units(pending, self.ensemble):
-            backlog[design_affinity(unit[0].design_key(), pool.size)].append(
-                unit
-            )
-        inflight: dict[int, Any] = {}
+            backlog[route(unit, 1)].append((unit, 1, 0.0))
+        # widx -> (unit, attempt, absolute deadline | None, timeout_s)
+        inflight: dict[int, tuple] = {}
         remaining = len(pending)
         total = len(job.spec.scenarios)
         opts = {
@@ -834,51 +1346,87 @@ class JobService:
 
         def account(index: int, row: dict[str, Any]) -> None:
             nonlocal remaining
-            if index in rows:  # late result after a liveness verdict
+            if index in rows:  # late result after a watchdog verdict
                 return
             rows[index] = row
             self._note_row(job, row, total)
             remaining -= 1
 
+        def requeue(unit, attempt, ready):
+            backlog[route(unit, attempt)].append((unit, attempt, ready))
+
         while remaining:
             if job.cancel_event.is_set():
                 for dq in backlog.values():
                     while dq:
-                        for scenario in dq.popleft():
+                        unit, _attempt, _ready = dq.popleft()
+                        for scenario in unit:
                             account(
                                 scenario.index, self._cancelled_row(scenario)
                             )
                 if not inflight:
                     break
+            now = time.time()
             for i in range(pool.size):
-                if i not in inflight and backlog[i]:
-                    unit = backlog[i].popleft()
-                    pool.workers[i].tasks.put(
-                        (job.id, unit, job.engine, opts)
-                    )
-                    inflight[i] = unit
+                if i in inflight or not backlog[i]:
+                    continue
+                if backlog[i][0][2] > now:  # head still backing off
+                    continue
+                unit, attempt, _ready = backlog[i].popleft()
+                pool.workers[i].tasks.put((job.id, unit, job.engine, opts))
+                timeout_s = self._unit_deadline(job, unit)
+                deadline = now + timeout_s if timeout_s is not None else None
+                inflight[i] = (unit, attempt, deadline, timeout_s)
             self._m_inflight.set(len(inflight))
             try:
                 widx, _job_id, indices, unit_rows, spans = pool.results.get(
                     timeout=_POLL_S
                 )
             except queue.Empty:
+                now = time.time()
                 for i in list(inflight):
-                    if not pool.workers[i].process.is_alive():
-                        for scenario in inflight.pop(i):
-                            row = _scenario_row(scenario, i)
-                            row["status"] = "worker-failed"
-                            row["error"] = (
-                                f"worker {i} died (exit code "
-                                f"{pool.workers[i].process.exitcode})"
-                            )
-                            account(scenario.index, row)
+                    unit, attempt, deadline, timeout_s = inflight[i]
+                    worker = pool.workers[i]
+                    if not worker.process.is_alive():
+                        inflight.pop(i)
+                        self._fail_unit(
+                            job, unit, attempt, "worker-failed",
+                            f"worker {i} died (exit code "
+                            f"{worker.process.exitcode})",
+                            shard=i, sink=account, retry=requeue,
+                        )
+                        pool.respawn(i)
+                        self._m_respawns.inc()
+                    elif deadline is not None and now > deadline:
+                        inflight.pop(i)
+                        worker.process.kill()
+                        self._fail_unit(
+                            job, unit, attempt, "timeout",
+                            f"unit blew its {timeout_s:.1f}s deadline on "
+                            f"worker {i} (worker killed and respawned)",
+                            shard=i, sink=account, retry=requeue,
+                        )
                         pool.respawn(i)
                         self._m_respawns.inc()
                 continue
-            inflight.pop(widx, None)
+            entry = inflight.get(widx)
+            if entry is not None and (
+                [s.index for s in entry[0]] == indices
+            ):
+                inflight.pop(widx)
+                attempt = entry[1]
+            else:
+                # A stale result: the unit it answers was already
+                # failed by a watchdog verdict (account() drops the
+                # duplicate rows via the `index in rows` guard).
+                attempt = 1
             job.worker_spans.extend(spans)
             for sidx, row in zip(indices, unit_rows):
+                row["attempts"] = attempt
+                if attempt > 1 and sidx not in rows:
+                    self._m_retries.inc(
+                        outcome=str(row.get("status", "unknown"))
+                    )
                 account(sidx, row)
         self._m_inflight.set(0)
 
@@ -923,9 +1471,14 @@ def submit_campaign(
     spec: CampaignSpec | Mapping[str, Any] | str | pathlib.Path,
     workers: int | None = None,
     engine: str | None = None,
+    timeout_s: float | None = None,
+    retries: int | None = None,
 ) -> str:
     """Submit a campaign to the default service; returns the job id."""
-    return default_service().submit(spec, workers=workers, engine=engine)
+    return default_service().submit(
+        spec, workers=workers, engine=engine, timeout_s=timeout_s,
+        retries=retries,
+    )
 
 
 def job_status(job_id: str) -> dict[str, Any]:

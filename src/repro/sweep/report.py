@@ -92,10 +92,11 @@ def aggregate(
 
 #: Report fields that legitimately differ between two runs of the same
 #: campaign: wall-clock timings, worker placement, cache provenance,
-#: and profiler attachments (all timing, no metrics).
+#: retry counts and profiler attachments (all timing, no metrics).
 _VOLATILE_SUMMARY = ("elapsed_s", "dedup_hits")
 _VOLATILE_ROW = (
     "shard", "duration_s", "design_cache", "cached", "ensemble", "profile",
+    "attempts",
 )
 
 

@@ -402,6 +402,8 @@ def run_campaign(
     store: Any = None,
     ensemble: Any = "auto",
     profile: bool = False,
+    timeout_s: float | None = None,
+    retries: int | None = None,
 ) -> dict[str, Any]:
     """Execute *spec* and return the aggregated campaign report.
 
@@ -416,7 +418,9 @@ def run_campaign(
     ``"off"`` or an integer lane cap); reports are bit-identical either
     way, batching only changes throughput.  *profile* attaches the
     kernel profiler per scenario and folds its reports into the rows as
-    volatile metadata (see ``docs/observability.md``).
+    volatile metadata (see ``docs/observability.md``).  *timeout_s* /
+    *retries* set the run's deadline override and retry budget (see
+    :meth:`repro.sweep.jobs.JobService.submit`).
     """
     from repro.sweep.jobs import JobService
 
@@ -429,5 +433,8 @@ def run_campaign(
         ensemble=ensemble,
         profile=profile,
     ) as service:
-        job_id = service.submit(spec, workers=workers, engine=engine)
+        job_id = service.submit(
+            spec, workers=workers, engine=engine, timeout_s=timeout_s,
+            retries=retries,
+        )
         return service.result(job_id)

@@ -65,6 +65,40 @@ class SpecError(ValueError):
 SweepSpecError = SpecError
 
 
+def _timeout_value(
+    value: Any, *, path: str, field: str = "timeout_s"
+) -> float | None:
+    """Validate a deadline value: a positive number of seconds or None."""
+    if value is None:
+        return None
+    try:
+        timeout = float(value)
+    except (TypeError, ValueError):
+        raise SpecError(
+            "must be a positive number of seconds", path=path, field=field
+        ) from None
+    if timeout <= 0:
+        raise SpecError(
+            "must be a positive number of seconds", path=path, field=field
+        )
+    return timeout
+
+
+def _retries_value(value: Any, *, path: str = "campaign") -> int | None:
+    """Validate a retry budget: a non-negative integer or None."""
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise SpecError(
+            "must be a non-negative integer", path=path, field="retries"
+        )
+    if value < 0:
+        raise SpecError(
+            "must be a non-negative integer", path=path, field="retries"
+        )
+    return value
+
+
 def _canon_value(value: Any) -> str:
     if isinstance(value, float) and value.is_integer():
         return str(int(value))
@@ -89,6 +123,10 @@ class ScenarioSpec:
     metrics: Mapping[str, Any]
     key: str
     seed: int
+    #: Per-scenario deadline in seconds (None = derive from history /
+    #: campaign default).  Deliberately excluded from :meth:`result_key`:
+    #: a deadline changes *whether* a run finishes, never its metrics.
+    timeout_s: float | None = None
 
     def design_key(self) -> str:
         """Identity of the *built design* (family + structural params).
@@ -132,6 +170,10 @@ class CampaignSpec:
     engine: str | None
     workers: int
     scenarios: tuple[ScenarioSpec, ...]
+    #: Campaign-wide deadline default; per-scenario ``timeout_s`` wins.
+    timeout_s: float | None = None
+    #: Retry budget for retryable failures (None = service default).
+    retries: int | None = None
 
     def scenario(self, key: str) -> ScenarioSpec:
         for sc in self.scenarios:
@@ -161,8 +203,9 @@ def _expand_template(
     grid = dict(template.get("grid") or {})
     stimulus = dict(template.get("stimulus") or {})
     metrics = dict(template.get("metrics") or {})
+    timeout_s = _timeout_value(template.get("timeout_s"), path=where)
     unknown = set(template) - {
-        "family", "params", "grid", "stimulus", "metrics",
+        "family", "params", "grid", "stimulus", "metrics", "timeout_s",
     }
     if unknown:
         raise SpecError(
@@ -201,6 +244,7 @@ def _expand_template(
                 "stimulus": stim,
                 "stim_tags": stim_tags,
                 "metrics": metrics,
+                "timeout_s": timeout_s,
             }
         )
     return out
@@ -225,6 +269,8 @@ def from_dict(data: Mapping[str, Any]) -> CampaignSpec:
     workers = int(campaign.get("workers", 1))
     if workers < 0:
         raise SpecError("must be >= 0", field="workers")
+    timeout_s = _timeout_value(campaign.get("timeout_s"), path="campaign")
+    retries = _retries_value(campaign.get("retries"))
     entries: list[dict[str, Any]] = []
     for position, template in enumerate(templates):
         entries.extend(_expand_template(template, position))
@@ -254,6 +300,7 @@ def from_dict(data: Mapping[str, Any]) -> CampaignSpec:
                 metrics=entry["metrics"],
                 key=key,
                 seed=_scenario_seed(seed, key),
+                timeout_s=entry["timeout_s"],
             )
         )
     return CampaignSpec(
@@ -262,6 +309,8 @@ def from_dict(data: Mapping[str, Any]) -> CampaignSpec:
         engine=engine,
         workers=workers,
         scenarios=tuple(scenarios),
+        timeout_s=timeout_s,
+        retries=retries,
     )
 
 
@@ -272,6 +321,7 @@ def make_scenario(
     metrics: Mapping[str, Any] | None = None,
     seed: int = 0,
     index: int = 0,
+    timeout_s: float | None = None,
 ) -> ScenarioSpec:
     """One ad-hoc scenario for programmatic use (benchmarks, tests).
 
@@ -293,6 +343,7 @@ def make_scenario(
         metrics=dict(metrics or {}),
         key=key,
         seed=_scenario_seed(seed, key),
+        timeout_s=_timeout_value(timeout_s, path="scenario"),
     )
 
 

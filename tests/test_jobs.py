@@ -352,9 +352,13 @@ class TestWorkerDeath:
         killed = rows["_kills_worker()/uniform"]
         assert killed["status"] == "worker-failed"
         assert "died" in killed["error"]
+        # The default retry budget (1) re-ran the unit once; the family
+        # kills its worker every time, so the row exhausted both
+        # attempts and both deaths triggered a respawn.
+        assert killed["attempts"] == 2
         healthy = rows["mt_chain(n_funcs=1,threads=2)/uniform"]
         assert healthy["status"] == "ok"
-        assert stats["workers"]["respawns"] == 1
+        assert stats["workers"]["respawns"] == 2
         assert all(stats["workers"]["alive"])
         assert after["summary"]["failed"] == 0
 
